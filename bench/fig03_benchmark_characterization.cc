@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 3 — benchmark characterization: dynamic instruction count,
+ * and calls, memory references, and saves & restores as a percentage
+ * of total dynamic instructions. Measured on the paper's baseline
+ * binaries (no E-DVI).
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+
+using namespace dvi;
+
+int
+main()
+{
+    const std::uint64_t insts = harness::benchInsts(400000);
+
+    Table t("Figure 3: Benchmark characterization");
+    t.setHeader({"Benchmark", "Dynamic Inst", "Call Inst %",
+                 "Mem Inst %", "Saves & Restores %"});
+    for (auto id : workload::allBenchmarks()) {
+        harness::BuiltBenchmark b = harness::buildBenchmark(id);
+        const arch::EmulatorStats s =
+            harness::runOracle(b.plain, insts);
+        t.addRow({b.name, Table::fmt(s.progInsts),
+                  Table::fmt(percent(s.calls, s.progInsts), 2),
+                  Table::fmt(percent(s.memRefs, s.progInsts), 1),
+                  Table::fmt(percent(s.saves + s.restores,
+                                     s.progInsts),
+                             1)});
+    }
+    t.print();
+    std::printf("(runs capped at %llu instructions; set "
+                "DVI_BENCH_INSTS to change)\n",
+                static_cast<unsigned long long>(insts));
+    return 0;
+}

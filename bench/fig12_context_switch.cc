@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 12 — saves and restores eliminated at context switches, per
+ * benchmark, for I-DVI only and for E-DVI + I-DVI. Each benchmark
+ * runs under the preemptive round-robin scheduler; at every
+ * preemption the switch code saves only LVM-live registers
+ * (live-store + lvm-save, §6.1). Paper means: 42% with I-DVI, 51%
+ * with E-DVI + I-DVI. Also reports the FP register reduction the
+ * paper notes ("floating point registers are often dead in integer
+ * codes").
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "os/scheduler.hh"
+#include "stats/table.hh"
+
+using namespace dvi;
+
+namespace
+{
+
+os::SwitchStats
+runMode(const comp::Executable &exe, bool honor_edvi,
+        std::uint64_t insts)
+{
+    arch::EmulatorOptions opts;
+    opts.trackLiveness = true;
+    opts.honorEdvi = honor_edvi;
+    opts.honorIdvi = true;
+    os::SchedulerOptions sched;
+    sched.quantum = 20000;
+    sched.maxTotalInsts = insts;
+    os::Scheduler s(sched);
+    s.addThread("t0", exe, opts);
+    s.run();
+    return s.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t insts = harness::benchInsts(400000);
+
+    Table t("Figure 12: Context-switch saves/restores eliminated");
+    t.setHeader({"Benchmark", "I-DVI %", "E-DVI and I-DVI %",
+                 "avg live int", "FP elim %"});
+    double sum_idvi = 0, sum_full = 0;
+    unsigned n = 0;
+    for (auto id : workload::allBenchmarks()) {
+        harness::BuiltBenchmark b = harness::buildBenchmark(id);
+        // I-DVI requires no binary support: plain binary.
+        const os::SwitchStats idvi =
+            runMode(b.plain, false, insts);
+        const os::SwitchStats full = runMode(b.edvi, true, insts);
+        t.addRow({b.name,
+                  Table::fmt(idvi.intReductionPercent(), 1),
+                  Table::fmt(full.intReductionPercent(), 1),
+                  Table::fmt(full.liveIntAtSwitch.mean(), 1),
+                  Table::fmt(full.fpReductionPercent(), 1)});
+        sum_idvi += idvi.intReductionPercent();
+        sum_full += full.intReductionPercent();
+        ++n;
+    }
+    t.addRow({"mean", Table::fmt(sum_idvi / n, 1),
+              Table::fmt(sum_full / n, 1), "", ""});
+    t.print();
+    std::printf("paper means: 42%% (I-DVI), 51%% (E-DVI + I-DVI)\n");
+    return 0;
+}

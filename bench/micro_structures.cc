@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Microbenchmarks of the DVI hardware structures (google-benchmark).
+ * The paper argues its mechanisms need "minimal additional hardware
+ * structures" (§1); these measure the simulator-side cost of each
+ * structure's operations so regressions in the hot paths are
+ * caught.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/lvm.hh"
+#include "core/lvm_stack.hh"
+#include "core/renamer.hh"
+#include "mem/cache.hh"
+#include "predictor/branch_predictor.hh"
+
+using namespace dvi;
+
+namespace
+{
+
+void
+BM_LvmKillDefine(benchmark::State &state)
+{
+    core::Lvm lvm;
+    const RegMask mask = isa::idviMask();
+    RegIndex r = 8;
+    for (auto _ : state) {
+        lvm.kill(mask);
+        lvm.define(r);
+        benchmark::DoNotOptimize(lvm.liveCount(
+            RegMask::firstN(isa::numIntRegs)));
+    }
+}
+BENCHMARK(BM_LvmKillDefine);
+
+void
+BM_LvmStackPushPop(benchmark::State &state)
+{
+    core::LvmStack stack(
+        static_cast<unsigned>(state.range(0)));
+    core::Lvm lvm;
+    for (auto _ : state) {
+        stack.push(lvm.snapshot());
+        benchmark::DoNotOptimize(stack.top());
+        benchmark::DoNotOptimize(stack.pop());
+    }
+}
+BENCHMARK(BM_LvmStackPushPop)->Arg(16)->Arg(64);
+
+void
+BM_RenamerRenameCommit(benchmark::State &state)
+{
+    core::Renamer renamer(
+        static_cast<unsigned>(state.range(0)));
+    RegIndex r = 8;
+    for (auto _ : state) {
+        auto rd = renamer.renameDest(r);
+        if (rd.prevPreg != invalidPhysReg)
+            renamer.freePhysReg(rd.prevPreg);
+        benchmark::DoNotOptimize(renamer.lookup(r));
+        r = 8 + (r + 1) % 8;
+    }
+}
+BENCHMARK(BM_RenamerRenameCommit)->Arg(40)->Arg(80);
+
+void
+BM_RenamerKillReclaim(benchmark::State &state)
+{
+    core::Renamer renamer(80);
+    for (auto _ : state) {
+        // kill t0..t2, then redefine them (the Fig. 4 cycle).
+        for (RegIndex r = 8; r < 11; ++r) {
+            PhysRegIndex prev = renamer.killMapping(r);
+            if (prev != invalidPhysReg)
+                renamer.freePhysReg(prev);
+        }
+        for (RegIndex r = 8; r < 11; ++r)
+            benchmark::DoNotOptimize(renamer.renameDest(r));
+        for (RegIndex r = 8; r < 11; ++r) {
+            PhysRegIndex prev = renamer.killMapping(r);
+            if (prev != invalidPhysReg)
+                renamer.freePhysReg(prev);
+        }
+        // restore mappings for the next iteration
+        for (RegIndex r = 8; r < 11; ++r)
+            benchmark::DoNotOptimize(renamer.renameDest(r));
+        for (RegIndex r = 8; r < 11; ++r) {
+            auto rd = renamer.renameDest(r);
+            renamer.freePhysReg(rd.prevPreg);
+        }
+    }
+}
+BENCHMARK(BM_RenamerKillReclaim);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams{"bm", 64 * 1024, 4, 64, 1});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false));
+        a += 64;
+        if (a > (1u << 20))
+            a = 0;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PredictorLookupUpdate(benchmark::State &state)
+{
+    predictor::BranchPredictor bp{predictor::PredictorParams{}};
+    Addr pc = 0;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(pc));
+        bp.update(pc, taken);
+        taken = !taken;
+        pc = (pc + 16) & 0xffff;
+    }
+}
+BENCHMARK(BM_PredictorLookupUpdate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Preemptive multithreading with DVI-aware context switches (§6).
+ *
+ * Runs two threads under the round-robin scheduler. At every
+ * preemption the switch-out path conceptually executes lvm-save +
+ * live-stores, so only registers the LVM marks live are saved; the
+ * switch-in path runs lvm-load + live-loads. The example prints the
+ * per-switch live-register histogram and the reduction versus a
+ * conventional save-everything switch.
+ */
+
+#include <cstdio>
+
+#include "compiler/compile.hh"
+#include "isa/registers.hh"
+#include "os/scheduler.hh"
+#include "stats/table.hh"
+#include "workload/benchmarks.hh"
+
+using namespace dvi;
+
+int
+main()
+{
+    // Two different programs sharing the machine.
+    workload::GeneratorParams p1 =
+        workload::benchmarkParams(workload::BenchmarkId::Perl);
+    p1.mainIters = 100;
+    workload::GeneratorParams p2 =
+        workload::benchmarkParams(workload::BenchmarkId::Li);
+    p2.mainIters = 100;
+
+    comp::Executable exe1 = comp::compile(workload::generate(p1));
+    comp::Executable exe2 = comp::compile(workload::generate(p2));
+
+    os::SchedulerOptions opts;
+    opts.quantum = 10000;
+    opts.maxTotalInsts = 400000;
+    os::Scheduler sched(opts);
+    sched.addThread("perl-like", exe1, arch::EmulatorOptions{});
+    sched.addThread("li-like", exe2, arch::EmulatorOptions{});
+    sched.run();
+
+    const os::SwitchStats &s = sched.stats();
+    std::printf("ran %llu instructions across %zu threads, %llu "
+                "preemptions\n\n",
+                static_cast<unsigned long long>(s.totalInsts),
+                sched.numThreads(),
+                static_cast<unsigned long long>(s.contextSwitches));
+
+    Table t("context-switch save/restore traffic");
+    t.setHeader({"class", "baseline", "with DVI", "reduction %"});
+    t.addRow({"integer regs",
+              Table::fmt(s.baselineIntSaveRestores),
+              Table::fmt(s.dviIntSaveRestores),
+              Table::fmt(s.intReductionPercent(), 1)});
+    t.addRow({"fp regs", Table::fmt(s.baselineFpSaveRestores),
+              Table::fmt(s.dviFpSaveRestores),
+              Table::fmt(s.fpReductionPercent(), 1)});
+    t.print();
+
+    std::printf("live integer registers at preemption: mean %.1f, "
+                "min %llu, max %llu (of %u saved)\n",
+                s.liveIntAtSwitch.mean(),
+                static_cast<unsigned long long>(
+                    s.liveIntAtSwitch.min()),
+                static_cast<unsigned long long>(
+                    s.liveIntAtSwitch.max()),
+                isa::contextSwitchSavedMask().count());
+
+    for (std::size_t i = 0; i < sched.numThreads(); ++i) {
+        const os::Thread &th = sched.thread(i);
+        std::printf("thread %-10s: %llu instructions%s\n",
+                    th.name().c_str(),
+                    static_cast<unsigned long long>(
+                        th.emu().stats().insts),
+                    th.finished() ? " (finished)" : "");
+    }
+    return 0;
+}

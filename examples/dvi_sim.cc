@@ -1,0 +1,193 @@
+/**
+ * @file
+ * dvi_sim — command-line driver over the public API.
+ *
+ * Usage:
+ *   dvi_sim [--benchmark NAME] [--edvi none|callsites|dense]
+ *           [--mode none|idvi|full] [--insts N] [--regfile N]
+ *           [--ports N] [--width N] [--disasm] [--oracle]
+ *
+ * Examples:
+ *   dvi_sim --benchmark perl --mode full --insts 200000
+ *   dvi_sim --benchmark li --mode none --regfile 40
+ *   dvi_sim --benchmark gcc --disasm | head -40
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/emulator.hh"
+#include "compiler/compile.hh"
+#include "harness/experiment.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "uarch/core.hh"
+#include "workload/benchmarks.hh"
+
+using namespace dvi;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--benchmark NAME] [--edvi "
+                 "none|callsites|dense]\n"
+                 "          [--mode none|idvi|full] [--insts N] "
+                 "[--regfile N]\n"
+                 "          [--ports N] [--width N] [--disasm] "
+                 "[--oracle]\n",
+                 argv0);
+    std::exit(2);
+}
+
+workload::BenchmarkId
+parseBenchmark(const std::string &name, const char *argv0)
+{
+    for (auto id : workload::allBenchmarks())
+        if (workload::benchmarkName(id) == name)
+            return id;
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    usage(argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workload::BenchmarkId bench = workload::BenchmarkId::Perl;
+    comp::EdviPolicy edvi = comp::EdviPolicy::CallSites;
+    harness::DviMode mode = harness::DviMode::Full;
+    std::uint64_t insts = 200000;
+    unsigned regfile = 80;
+    unsigned ports = 2;
+    unsigned width = 4;
+    bool disasm = false;
+    bool oracle = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--benchmark") {
+            bench = parseBenchmark(next(), argv[0]);
+        } else if (arg == "--edvi") {
+            const std::string v = next();
+            edvi = v == "none"        ? comp::EdviPolicy::None
+                   : v == "callsites" ? comp::EdviPolicy::CallSites
+                   : v == "dense"     ? comp::EdviPolicy::Dense
+                                      : (usage(argv[0]),
+                                         comp::EdviPolicy::None);
+        } else if (arg == "--mode") {
+            const std::string v = next();
+            mode = v == "none"   ? harness::DviMode::None
+                   : v == "idvi" ? harness::DviMode::Idvi
+                   : v == "full" ? harness::DviMode::Full
+                                 : (usage(argv[0]),
+                                    harness::DviMode::None);
+        } else if (arg == "--insts") {
+            insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--regfile") {
+            regfile = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--ports") {
+            ports = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--width") {
+            width = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (arg == "--oracle") {
+            oracle = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    const prog::Module mod = workload::generateBenchmark(bench);
+    const comp::Executable exe =
+        comp::compile(mod, comp::CompileOptions{edvi});
+
+    if (disasm) {
+        std::fputs(exe.disassemble(
+                        0, static_cast<int>(exe.code.size()))
+                       .c_str(),
+                   stdout);
+        return 0;
+    }
+
+    std::printf("benchmark %s: %zu procs, %zu insts (%llu kills), "
+                "%zu bytes\n",
+                workload::benchmarkName(bench).c_str(),
+                exe.procs.size(), exe.code.size(),
+                static_cast<unsigned long long>(exe.countKills()),
+                exe.textBytes());
+
+    if (oracle) {
+        arch::EmulatorOptions opts;
+        opts.lvmStackDepth = 16;
+        arch::Emulator emu(exe, opts);
+        emu.run(insts);
+        const arch::EmulatorStats &s = emu.stats();
+        Table t("functional oracle");
+        t.setHeader({"metric", "value"});
+        t.addRow({"instructions", Table::fmt(s.progInsts)});
+        t.addRow({"calls %", Table::fmt(
+                                 percent(s.calls, s.progInsts), 2)});
+        t.addRow({"mem %", Table::fmt(
+                               percent(s.memRefs, s.progInsts), 1)});
+        t.addRow({"saves+restores %",
+                  Table::fmt(percent(s.saves + s.restores,
+                                     s.progInsts),
+                             1)});
+        t.addRow({"eliminable s/r %",
+                  Table::fmt(percent(s.saveElimOracle +
+                                         s.restoreElimOracle,
+                                     s.saves + s.restores),
+                             1)});
+        t.addRow({"max call depth", Table::fmt(s.maxCallDepth)});
+        t.print();
+        return 0;
+    }
+
+    uarch::CoreConfig cfg;
+    cfg.setIssueWidth(width);
+    cfg.cachePorts = ports;
+    cfg.numPhysRegs = regfile;
+    cfg.maxInsts = insts;
+    cfg.dvi = harness::dviConfigFor(mode);
+    uarch::Core core(exe, cfg);
+    const uarch::CoreStats &s = core.run();
+
+    Table t("timing simulation (" + harness::dviModeName(mode) +
+            ")");
+    t.setHeader({"metric", "value"});
+    t.addRow({"cycles", Table::fmt(s.cycles)});
+    t.addRow({"instructions", Table::fmt(s.committedProgInsts)});
+    t.addRow({"IPC", Table::fmt(s.ipc(), 3)});
+    t.addRow({"saves eliminated",
+              Table::fmt(s.savesEliminated) + " / " +
+                  Table::fmt(s.savesSeen)});
+    t.addRow({"restores eliminated",
+              Table::fmt(s.restoresEliminated) + " / " +
+                  Table::fmt(s.restoresSeen)});
+    t.addRow({"branch mispredicts %",
+              Table::fmt(percent(s.branchMispredicts,
+                                 s.condBranches),
+                         2)});
+    t.addRow({"DL1 miss %", Table::fmt(
+                                percent(s.dl1Misses, s.dl1Accesses),
+                                2)});
+    t.addRow({"rename stall cycles",
+              Table::fmt(s.renameStallCycles)});
+    t.addRow({"mean pregs in use",
+              Table::fmt(s.pregsInUse.mean(), 1)});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical register file pressure with and without DVI (§4).
+ *
+ * Sweeps the integer physical register file size on one workload and
+ * shows how DVI's early reclamation keeps IPC near peak with far
+ * fewer registers, plus the occupancy statistics that explain why
+ * (killed architectural names hold no physical register).
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+#include "uarch/core.hh"
+
+using namespace dvi;
+
+int
+main()
+{
+    harness::BuiltBenchmark bench =
+        harness::buildBenchmark(workload::BenchmarkId::Gcc);
+    const std::uint64_t insts = 80000;
+
+    Table t("IPC and register-file occupancy vs. size (gcc-like "
+            "workload)");
+    t.setHeader({"pregs", "IPC no-DVI", "IPC DVI", "DVI gain %",
+                 "mean in use (DVI)", "p99 in use (DVI)"});
+
+    for (unsigned n = 34; n <= 80; n += 6) {
+        uarch::CoreConfig cfg;
+        cfg.numPhysRegs = n;
+        cfg.maxInsts = insts;
+
+        cfg.dvi = uarch::DviConfig::none();
+        uarch::Core base(bench.plain, cfg);
+        const double ipc_base = base.run().ipc();
+
+        cfg.dvi = uarch::DviConfig::full();
+        uarch::Core dvi_core(bench.edvi, cfg);
+        const uarch::CoreStats &ds = dvi_core.run();
+
+        t.addRow({Table::fmt(std::uint64_t(n)),
+                  Table::fmt(ipc_base, 3), Table::fmt(ds.ipc(), 3),
+                  Table::fmt(100.0 * (ds.ipc() / ipc_base - 1.0), 1),
+                  Table::fmt(ds.pregsInUse.mean(), 1),
+                  Table::fmt(ds.pregsInUse.percentile(0.99))});
+    }
+    t.print();
+    std::printf("The DVI column reaches its plateau with a much "
+                "smaller file: killed\narchitectural registers hold "
+                "no physical register, so renaming rarely\n"
+                "stalls (the paper's Fig. 5).\n");
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Functional (architectural) emulator and dynamic-liveness oracle.
+ *
+ * The emulator executes a linked Executable instruction by
+ * instruction and can hand each retired instruction to a timing model
+ * as a TraceRecord (execute-first, trace-driven simulation — the same
+ * structure as SimpleScalar's sim-outorder functional core).
+ *
+ * Alongside architectural state it maintains a *functional LVM*: the
+ * liveness the paper's hardware would track, fed by destination
+ * definitions, E-DVI kills, I-DVI call/return convention kills, and
+ * the LVM-Stack merge at returns. This yields:
+ *
+ *  - the dead-read detector (a read of a register the LVM believes
+ *    dead means the E-DVI in the binary is wrong — §7 "Errors in
+ *    E-DVI should be considered compiler errors");
+ *  - oracle counts of eliminable saves/restores (Fig. 9 is "a
+ *    property of the program and the amount of available DVI ...
+ *    independent of the processor configuration");
+ *  - live-register histograms at arbitrary preemption points
+ *    (Fig. 12).
+ */
+
+#ifndef DVI_ARCH_EMULATOR_HH
+#define DVI_ARCH_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/memory.hh"
+#include "base/reg_mask.hh"
+#include "base/types.hh"
+#include "compiler/executable.hh"
+#include "core/lvm.hh"
+#include "core/lvm_stack.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace arch
+{
+
+/** One retired instruction, as the timing model needs to see it. */
+struct TraceRecord
+{
+    isa::Instruction inst;
+    std::uint32_t pc = 0;       ///< instruction index
+    std::uint32_t nextPc = 0;   ///< actual successor (branch outcome)
+    Addr effAddr = 0;           ///< memory ops: effective address
+    bool taken = false;         ///< conditional branches
+};
+
+/** Emulator configuration. */
+struct EmulatorOptions
+{
+    bool trackLiveness = true;  ///< maintain the functional LVM
+    bool honorEdvi = true;      ///< LVM consumes kill instructions
+    bool honorIdvi = true;      ///< LVM consumes call/return I-DVI
+    /** LVM-Stack depth for the oracle; 0 = unbounded. */
+    unsigned lvmStackDepth = 0;
+    /** Panic on a read of a dead register (E-DVI soundness check). */
+    bool strictDeadReads = false;
+};
+
+/** Dynamic instruction mix and DVI oracle counters. */
+struct EmulatorStats
+{
+    std::uint64_t insts = 0;        ///< all retired (incl. kills)
+    std::uint64_t progInsts = 0;    ///< excluding kill annotations
+    std::uint64_t kills = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t memRefs = 0;      ///< all loads + stores
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t fpOps = 0;
+    std::uint64_t saves = 0;        ///< live-store instances
+    std::uint64_t restores = 0;     ///< live-load instances
+    /** Saves whose data register the LVM marks dead (eliminable). */
+    std::uint64_t saveElimOracle = 0;
+    /** Restores dead per the LVM-Stack snapshot (eliminable). */
+    std::uint64_t restoreElimOracle = 0;
+    std::uint64_t deadReads = 0;    ///< liveness violations seen
+    std::uint64_t maxCallDepth = 0;
+};
+
+/** Architectural emulator. See file comment. */
+class Emulator
+{
+  public:
+    Emulator(const comp::Executable &exe,
+             const EmulatorOptions &options = {});
+
+    /**
+     * Execute one instruction; fills *out when non-null. Returns
+     * false (without executing) once halted.
+     */
+    bool step(TraceRecord *out = nullptr);
+
+    /** Run up to maxInsts more instructions (0 = until halt). */
+    std::uint64_t run(std::uint64_t max_insts = 0);
+
+    bool halted() const { return halted_; }
+
+    /** @name Architectural state access @{ */
+    std::int64_t intReg(RegIndex r) const { return intRegs[r]; }
+    void setIntReg(RegIndex r, std::int64_t v);
+    double fpReg(RegIndex r) const { return fpRegs[r]; }
+    std::uint32_t pc() const { return pc_; }
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+    /** @} */
+
+    /** @name Liveness oracle @{ */
+    const core::Lvm &lvm() const { return lvm_; }
+    const core::LvmStack &lvmStack() const { return stack; }
+    /** Live FP registers (defs set, I-DVI at calls clears
+     * caller-saved FP). */
+    const RegMask &fpLive() const { return fpLive_; }
+    /** @} */
+
+    const EmulatorStats &stats() const { return stats_; }
+    const comp::Executable &executable() const { return exe; }
+
+    /**
+     * Digest of the program-visible result: return-value registers
+     * plus the global data region. Stack contents and return
+     * addresses are excluded so images with and without E-DVI
+     * compare equal (E-DVI shifts code addresses).
+     */
+    std::uint64_t resultHash() const;
+
+  private:
+    const isa::Instruction &fetch(std::uint32_t idx) const;
+    void checkRead(RegIndex r);
+
+    /** Owned copy: the emulator must outlive any caller temporary
+     * (code images are a few KB). */
+    const comp::Executable exe;
+    EmulatorOptions opts;
+
+    std::array<std::int64_t, isa::numIntRegs> intRegs{};
+    std::array<double, isa::numFpRegs> fpRegs{};
+    std::uint32_t pc_;
+    bool halted_ = false;
+    Memory mem;
+
+    core::Lvm lvm_;
+    core::LvmStack stack;
+    RegMask fpLive_;
+    std::uint64_t callDepth = 0;
+
+    EmulatorStats stats_;
+};
+
+} // namespace arch
+} // namespace dvi
+
+#endif // DVI_ARCH_EMULATOR_HH

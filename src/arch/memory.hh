@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse 64-bit-word memory for the functional emulator.
+ *
+ * The simulated machine is word-oriented: all data accesses are
+ * 8-byte aligned 64-bit words (the compiler only emits such
+ * accesses). Unwritten locations read as zero, which the workload
+ * generators rely on for zero-initialized global arrays.
+ */
+
+#ifndef DVI_ARCH_MEMORY_HH
+#define DVI_ARCH_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace dvi
+{
+namespace arch
+{
+
+/** Sparse word-addressed memory. */
+class Memory
+{
+  public:
+    std::int64_t
+    read(Addr addr) const
+    {
+        panic_if(addr % 8 != 0, "unaligned read at ", addr);
+        auto it = words.find(addr >> 3);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    void
+    write(Addr addr, std::int64_t value)
+    {
+        panic_if(addr % 8 != 0, "unaligned write at ", addr);
+        words[addr >> 3] = value;
+    }
+
+    std::size_t touchedWords() const { return words.size(); }
+
+    /** Iterate (wordAddr, value) pairs; unordered. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const auto &[w, v] : words)
+            f(w << 3, v);
+    }
+
+  private:
+    std::unordered_map<Addr, std::int64_t> words;
+};
+
+} // namespace arch
+} // namespace dvi
+
+#endif // DVI_ARCH_MEMORY_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Dynamically sized bit set used by the compiler's dataflow analyses
+ * (virtual register liveness, allocation interference).
+ */
+
+#ifndef DVI_BASE_DYN_BITSET_HH
+#define DVI_BASE_DYN_BITSET_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+
+/** Growable bit set over unsigned indices. */
+class DynBitset
+{
+  public:
+    DynBitset() = default;
+    explicit DynBitset(std::size_t nbits)
+        : words((nbits + 63) / 64, 0), nbits_(nbits)
+    {}
+
+    std::size_t size() const { return nbits_; }
+
+    void
+    resize(std::size_t nbits)
+    {
+        words.resize((nbits + 63) / 64, 0);
+        nbits_ = nbits;
+        trim();
+    }
+
+    void
+    set(std::size_t i)
+    {
+        panic_if(i >= nbits_, "DynBitset::set out of range");
+        words[i / 64] |= 1ull << (i % 64);
+    }
+
+    void
+    clear(std::size_t i)
+    {
+        panic_if(i >= nbits_, "DynBitset::clear out of range");
+        words[i / 64] &= ~(1ull << (i % 64));
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        panic_if(i >= nbits_, "DynBitset::test out of range");
+        return words[i / 64] & (1ull << (i % 64));
+    }
+
+    void
+    reset()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += std::popcount(w);
+        return n;
+    }
+
+    /** this |= other. Returns true if any bit changed. */
+    bool
+    orWith(const DynBitset &o)
+    {
+        panic_if(o.nbits_ != nbits_, "DynBitset size mismatch");
+        bool changed = false;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            std::uint64_t next = words[i] | o.words[i];
+            changed |= next != words[i];
+            words[i] = next;
+        }
+        return changed;
+    }
+
+    /** this &= other. */
+    void
+    andWith(const DynBitset &o)
+    {
+        panic_if(o.nbits_ != nbits_, "DynBitset size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= o.words[i];
+    }
+
+    /** this &= ~other. */
+    void
+    minusWith(const DynBitset &o)
+    {
+        panic_if(o.nbits_ != nbits_, "DynBitset size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= ~o.words[i];
+    }
+
+    /** True if this and other share any set bit. */
+    bool
+    intersects(const DynBitset &o) const
+    {
+        panic_if(o.nbits_ != nbits_, "DynBitset size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            if (words[i] & o.words[i])
+                return true;
+        return false;
+    }
+
+    bool operator==(const DynBitset &) const = default;
+
+    /** Invoke f(index) for every set bit, lowest first. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w) {
+                std::size_t bit =
+                    wi * 64 + std::countr_zero(w);
+                f(bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    void
+    trim()
+    {
+        if (nbits_ % 64 && !words.empty())
+            words.back() &= (1ull << (nbits_ % 64)) - 1;
+    }
+
+    std::vector<std::uint64_t> words;
+    std::size_t nbits_ = 0;
+};
+
+} // namespace dvi
+
+#endif // DVI_BASE_DYN_BITSET_HH

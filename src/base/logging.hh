@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger or core dump can inspect the state.
+ * fatal()  — the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef DVI_BASE_LOGGING_HH
+#define DVI_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dvi
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+#define panic(...)                                                         \
+    ::dvi::detail::panicImpl(__FILE__, __LINE__,                           \
+                             ::dvi::detail::composeMessage(__VA_ARGS__))
+
+#define fatal(...)                                                         \
+    ::dvi::detail::fatalImpl(__FILE__, __LINE__,                           \
+                             ::dvi::detail::composeMessage(__VA_ARGS__))
+
+#define warn(...)                                                          \
+    ::dvi::detail::warnImpl(::dvi::detail::composeMessage(__VA_ARGS__))
+
+#define inform(...)                                                        \
+    ::dvi::detail::informImpl(::dvi::detail::composeMessage(__VA_ARGS__))
+
+/** Assert an invariant; panics (simulator bug) when violated. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            panic(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+/** Reject a user-provided configuration; fatal when violated. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            fatal(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+} // namespace dvi
+
+#endif // DVI_BASE_LOGGING_HH

@@ -1,0 +1,24 @@
+#include "base/reg_mask.hh"
+
+#include <sstream>
+
+namespace dvi
+{
+
+std::string
+RegMask::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    forEach([&](RegIndex r) {
+        if (!first)
+            os << ", ";
+        os << "r" << int(r);
+        first = false;
+    });
+    os << "}";
+    return os.str();
+}
+
+} // namespace dvi

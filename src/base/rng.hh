@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic pieces of the workload generators and tests draw from
+ * this xorshift64* generator so that every experiment is exactly
+ * reproducible from its seed.
+ */
+
+#ifndef DVI_BASE_RNG_HH
+#define DVI_BASE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+
+/**
+ * xorshift64* PRNG. Small, fast, deterministic, and good enough for
+ * workload synthesis (we need reproducibility, not cryptography).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range with lo > hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        panic_if(v.empty(), "Rng::pick on empty vector");
+        return v[below(v.size())];
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace dvi
+
+#endif // DVI_BASE_RNG_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common scalar type aliases shared across the simulator.
+ */
+
+#ifndef DVI_BASE_TYPES_HH
+#define DVI_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace dvi
+{
+
+/** Byte address in the simulated machine's address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (program order). */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural register index (integer or FP bank). */
+using RegIndex = std::uint8_t;
+
+/** Physical register index in the rename file. */
+using PhysRegIndex = std::int16_t;
+
+/** Sentinel: architectural name currently bound to no physical reg. */
+constexpr PhysRegIndex invalidPhysReg = -1;
+
+} // namespace dvi
+
+#endif // DVI_BASE_TYPES_HH

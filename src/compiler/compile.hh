@@ -1,0 +1,62 @@
+/**
+ * @file
+ * IR-to-machine compilation: lowering, calling convention, E-DVI.
+ *
+ * The emitter performs, per procedure:
+ *  1. liveness analysis and register allocation (regalloc.hh);
+ *  2. frame layout: callee-saved save area, ra slot, spill slots,
+ *     locals;
+ *  3. prologue synthesis — saves of used callee-saved registers are
+ *     emitted as @c live-store so the hardware LVM scheme can squash
+ *     them (§5.1);
+ *  4. body lowering with spill traffic through reserved scratch
+ *     registers;
+ *  5. epilogue synthesis with @c live-load restores;
+ *  6. E-DVI insertion per the selected policy.
+ *
+ * E-DVI policies:
+ *  - None: no kill instructions (the paper's baseline binaries);
+ *  - CallSites: one kill of the dead callee-saved registers
+ *    immediately before every call (the paper's implementation, §2);
+ *  - Dense: CallSites plus a kill after every instruction at which an
+ *    allocatable register's value dies (the "high density of E-DVI"
+ *    the paper speculates about for register file optimization, §4.2
+ *    and §9).
+ */
+
+#ifndef DVI_COMPILER_COMPILE_HH
+#define DVI_COMPILER_COMPILE_HH
+
+#include "compiler/executable.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+/** How much explicit DVI to encode into the binary. */
+enum class EdviPolicy
+{
+    None,
+    CallSites,
+    Dense,
+};
+
+/** Compilation options. */
+struct CompileOptions
+{
+    EdviPolicy edvi = EdviPolicy::CallSites;
+};
+
+/**
+ * Compile and link a module. Panics on structurally invalid modules
+ * (run Module::validate first for a friendly error).
+ */
+Executable compile(const prog::Module &mod,
+                   const CompileOptions &options = {});
+
+} // namespace comp
+} // namespace dvi
+
+#endif // DVI_COMPILER_COMPILE_HH

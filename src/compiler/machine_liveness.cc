@@ -1,0 +1,174 @@
+#include "compiler/machine_liveness.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+RegMask
+machineDefs(const Instruction &inst)
+{
+    RegMask defs;
+    if (inst.isCall()) {
+        // Callee may clobber every caller-saved register; the call
+        // itself writes ra.
+        defs = isa::callerSavedMask();
+        defs.set(isa::regRa);
+        return defs;
+    }
+    if (inst.writesIntReg())
+        defs.set(inst.destIntReg());
+    return defs;
+}
+
+RegMask
+machineUses(const Instruction &inst)
+{
+    RegMask uses;
+    if (inst.isCall()) {
+        uses = isa::argMask();
+        uses.set(isa::regSp);
+        return uses;
+    }
+    if (inst.isReturn()) {
+        // The caller observes callee-saved registers, sp, and the
+        // return values; ret itself reads ra.
+        uses = isa::calleeSavedMask();
+        uses |= isa::returnValueMask();
+        uses.set(isa::regSp);
+        uses.set(isa::regRa);
+        return uses;
+    }
+    RegIndex srcs[2];
+    unsigned n = inst.srcIntRegs(srcs);
+    for (unsigned i = 0; i < n; ++i)
+        if (srcs[i] != isa::regZero)
+            uses.set(srcs[i]);
+    return uses;
+}
+
+MachineLiveness
+analyzeProcedure(const Executable &exe, int proc_index)
+{
+    const ProcInfo &pi =
+        exe.procs[static_cast<std::size_t>(proc_index)];
+    const int n = pi.end - pi.entry;
+    panic_if(n <= 0, "analyzeProcedure: empty procedure ", pi.name);
+
+    MachineLiveness ml;
+    ml.procIndex = proc_index;
+    ml.liveBefore.assign(static_cast<std::size_t>(n), RegMask{});
+    ml.liveAfter.assign(static_cast<std::size_t>(n), RegMask{});
+
+    auto inst_at = [&](int local) -> const Instruction & {
+        return exe.code[static_cast<std::size_t>(pi.entry + local)];
+    };
+
+    for (int i = 0; i < n; ++i)
+        if (inst_at(i).isSave())
+            ml.savedByProc.set(inst_at(i).saveRestoreReg());
+
+    // --- Discover basic-block leaders.
+    std::vector<bool> leader(static_cast<std::size_t>(n), false);
+    leader[0] = true;
+    for (int i = 0; i < n; ++i) {
+        const Instruction &inst = inst_at(i);
+        if (inst.isCondBranch() || inst.op == Opcode::Jump) {
+            const int t = inst.imm - pi.entry;
+            panic_if(t < 0 || t >= n,
+                     "branch escapes procedure ", pi.name);
+            leader[static_cast<std::size_t>(t)] = true;
+            if (i + 1 < n)
+                leader[static_cast<std::size_t>(i + 1)] = true;
+        } else if (inst.isCall() || inst.isReturn() ||
+                   inst.isHalt()) {
+            if (i + 1 < n)
+                leader[static_cast<std::size_t>(i + 1)] = true;
+        }
+    }
+
+    // Block starts (sorted) and lookup from local index to block.
+    std::vector<int> starts;
+    for (int i = 0; i < n; ++i)
+        if (leader[static_cast<std::size_t>(i)])
+            starts.push_back(i);
+    auto block_of = [&](int local) {
+        auto it =
+            std::upper_bound(starts.begin(), starts.end(), local);
+        return static_cast<int>(it - starts.begin()) - 1;
+    };
+    const int nblocks = static_cast<int>(starts.size());
+    auto block_end = [&](int b) {
+        return b + 1 < nblocks ? starts[static_cast<std::size_t>(b) + 1]
+                               : n;
+    };
+
+    // --- Successors per block.
+    auto successors = [&](int b) {
+        std::vector<int> succ;
+        const int last = block_end(b) - 1;
+        const Instruction &inst = inst_at(last);
+        if (inst.isCondBranch()) {
+            succ.push_back(block_of(inst.imm - pi.entry));
+            if (last + 1 < n)
+                succ.push_back(block_of(last + 1));
+        } else if (inst.op == Opcode::Jump) {
+            succ.push_back(block_of(inst.imm - pi.entry));
+        } else if (inst.isReturn() || inst.isHalt()) {
+            // no successors
+        } else if (last + 1 < n) {
+            succ.push_back(block_of(last + 1));
+        }
+        return succ;
+    };
+
+    // --- Backward dataflow over blocks.
+    std::vector<RegMask> live_in(static_cast<std::size_t>(nblocks));
+    std::vector<RegMask> live_out(static_cast<std::size_t>(nblocks));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = nblocks - 1; b >= 0; --b) {
+            RegMask out;
+            for (int s : successors(b))
+                out |= live_in[static_cast<std::size_t>(s)];
+            RegMask in = out;
+            for (int i = block_end(b) - 1;
+                 i >= starts[static_cast<std::size_t>(b)]; --i) {
+                in = in.minus(machineDefs(inst_at(i)));
+                in |= machineUses(inst_at(i));
+            }
+            if (!(out == live_out[static_cast<std::size_t>(b)]) ||
+                !(in == live_in[static_cast<std::size_t>(b)])) {
+                live_out[static_cast<std::size_t>(b)] = out;
+                live_in[static_cast<std::size_t>(b)] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // --- Per-instruction masks.
+    for (int b = 0; b < nblocks; ++b) {
+        RegMask cur = live_out[static_cast<std::size_t>(b)];
+        for (int i = block_end(b) - 1;
+             i >= starts[static_cast<std::size_t>(b)]; --i) {
+            ml.liveAfter[static_cast<std::size_t>(i)] = cur;
+            cur = cur.minus(machineDefs(inst_at(i)));
+            cur |= machineUses(inst_at(i));
+            ml.liveBefore[static_cast<std::size_t>(i)] = cur;
+        }
+    }
+    return ml;
+}
+
+} // namespace comp
+} // namespace dvi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical-register liveness analysis on linked machine code.
+ *
+ * The paper observes (§2) that because liveness is computed over
+ * physical registers, "E-DVI instructions can be added to an
+ * executable using a simple binary rewriting tool ... requires
+ * neither compiler nor program source code". This module is that
+ * analysis: it reconstructs each procedure's control-flow graph from
+ * the code image and runs a backward dataflow over RegMask sets.
+ *
+ * Interprocedural boundaries are modeled through the ABI:
+ *  - a call clobbers (defines) all caller-saved registers and ra, and
+ *    uses the argument registers and sp;
+ *  - a return uses the callee-saved registers, the return-value
+ *    registers, sp, and ra — forcing the callee-saved entry values of
+ *    an untouched register to stay live through the whole procedure,
+ *    while a procedure's *own* dead values in saved registers go dead
+ *    at the epilogue's live-load (which redefines the register).
+ */
+
+#ifndef DVI_COMPILER_MACHINE_LIVENESS_HH
+#define DVI_COMPILER_MACHINE_LIVENESS_HH
+
+#include <vector>
+
+#include "base/reg_mask.hh"
+#include "compiler/executable.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+/** Machine liveness for one procedure. */
+struct MachineLiveness
+{
+    int procIndex = 0;
+    /**
+     * liveBefore[i] / liveAfter[i]: registers live immediately
+     * before/after instruction (proc.entry + i).
+     */
+    std::vector<RegMask> liveBefore;
+    std::vector<RegMask> liveAfter;
+    /** Callee-saved registers this procedure saves in its prologue. */
+    RegMask savedByProc;
+};
+
+/** Registers defined (clobbered) by one machine instruction. */
+RegMask machineDefs(const isa::Instruction &inst);
+
+/** Registers used by one machine instruction. */
+RegMask machineUses(const isa::Instruction &inst);
+
+/** Analyze one procedure of an executable. */
+MachineLiveness analyzeProcedure(const Executable &exe, int proc_index);
+
+} // namespace comp
+} // namespace dvi
+
+#endif // DVI_COMPILER_MACHINE_LIVENESS_HH

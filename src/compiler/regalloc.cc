@@ -1,0 +1,179 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+using prog::IrInst;
+using prog::IrOp;
+using prog::noVReg;
+using prog::Procedure;
+using prog::VReg;
+
+RegIndex
+spillScratch0()
+{
+    return isa::regAt;
+}
+
+RegIndex
+spillScratch1()
+{
+    return isa::regK0;
+}
+
+Allocation
+allocateRegisters(const Procedure &proc, const Liveness &live)
+{
+    const std::size_t n = live.numVRegs;
+    const std::size_t nblocks = proc.blocks.size();
+
+    Allocation alloc;
+    alloc.locs.assign(n, VRegLoc{});
+    alloc.liveAcrossCall = DynBitset(n);
+
+    // Linearize: position of inst i in block b is base[b] + i.
+    alloc.blockPosBase.assign(nblocks, 0);
+    std::size_t pos = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        alloc.blockPosBase[b] = pos;
+        pos += proc.blocks[b].insts.size();
+    }
+    alloc.numPositions = pos;
+
+    // Occupancy: vreg v needs its register at position p if it is
+    // live after p, or p defines it (a dead def still writes).
+    alloc.occupancy.assign(n, DynBitset(alloc.numPositions));
+    std::vector<std::size_t> firstDef(n, alloc.numPositions);
+
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        auto after = liveAfterPerInst(proc, live, static_cast<int>(b));
+        const auto &insts = proc.blocks[b].insts;
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            const std::size_t p = alloc.blockPosBase[b] + i;
+            after[i].forEach(
+                [&](std::size_t v) { alloc.occupancy[v].set(p); });
+            if (VReg d = irDef(insts[i]); d != noVReg) {
+                alloc.occupancy[d].set(p);
+                firstDef[d] = std::min(firstDef[d], p);
+            }
+            if (insts[i].op == IrOp::Call) {
+                // The call's own result is defined *by* the call; it
+                // does not cross it.
+                DynBitset across = after[i];
+                if (VReg d = irDef(insts[i]); d != noVReg)
+                    across.clear(d);
+                across.forEach([&](std::size_t v) {
+                    alloc.liveAcrossCall.set(v);
+                });
+            }
+        }
+    }
+
+    // Parameters are defined at entry.
+    for (VReg pv : proc.params)
+        if (pv != noVReg)
+            firstDef[pv] = 0;
+    // A parameter that is live into the entry block occupies its
+    // register from position 0.
+    if (nblocks > 0) {
+        live.liveIn[0].forEach([&](std::size_t v) {
+            if (alloc.numPositions > 0)
+                alloc.occupancy[v].set(0);
+        });
+    }
+
+    // Candidate pools in allocation preference order.
+    std::vector<RegIndex> callee_pool;
+    isa::allocatableCalleeSaved().forEach(
+        [&](RegIndex r) { callee_pool.push_back(r); });
+    std::vector<RegIndex> caller_pool;
+    isa::allocatableCallerSaved().forEach([&](RegIndex r) {
+        if (r != spillScratch0() && r != spillScratch1())
+            caller_pool.push_back(r);
+    });
+
+    // Current occupancy per physical register.
+    std::vector<DynBitset> reg_occ(64, DynBitset(alloc.numPositions));
+
+    // Assign in first-definition order so earlier values get stable
+    // low-numbered registers (callers and callees then collide on the
+    // same s-registers, which is what makes cross-procedure DVI
+    // interesting).
+    std::vector<VReg> order;
+    for (VReg v = 1; v < n; ++v)
+        if (alloc.occupancy[v].any() ||
+            firstDef[v] < alloc.numPositions)
+            order.push_back(v);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VReg a, VReg b) {
+                         return firstDef[a] < firstDef[b];
+                     });
+
+    auto try_pool = [&](const std::vector<RegIndex> &pool,
+                        VReg v) -> int {
+        for (RegIndex r : pool) {
+            if (!reg_occ[r].intersects(alloc.occupancy[v]))
+                return r;
+        }
+        return -1;
+    };
+
+    // Cross-call values prefer a register that is not yet used at
+    // all before packing into one whose live ranges merely do not
+    // intersect. Spreading callee-saved allocations this way keeps
+    // values with disjoint lifetimes in distinct registers —
+    // precisely the situation where a register holds a dead value
+    // across some call sites and a live one across others (§5,
+    // Fig. 7) — and keeps register names aligned across procedures
+    // (every procedure's first cross-call value lands in s0).
+    auto try_pool_spread = [&](const std::vector<RegIndex> &pool,
+                               VReg v) -> int {
+        for (RegIndex r : pool) {
+            if (!reg_occ[r].any())
+                return r;
+        }
+        return try_pool(pool, v);
+    };
+
+    for (VReg v : order) {
+        const bool crosses = alloc.liveAcrossCall.test(v);
+        int r = -1;
+        if (crosses) {
+            // Must survive calls: callee-saved only; otherwise spill.
+            r = try_pool_spread(callee_pool, v);
+        } else {
+            r = try_pool(caller_pool, v);
+            if (r < 0)
+                r = try_pool(callee_pool, v);
+        }
+        VRegLoc loc;
+        loc.allocated = true;
+        if (r >= 0) {
+            loc.inReg = true;
+            loc.reg = static_cast<RegIndex>(r);
+            reg_occ[static_cast<std::size_t>(r)].orWith(
+                alloc.occupancy[v]);
+            if (isa::isCalleeSaved(loc.reg))
+                alloc.usedCalleeSaved.set(loc.reg);
+            else
+                alloc.usedCallerSaved.set(loc.reg);
+        } else {
+            loc.inReg = false;
+            loc.spillSlot =
+                static_cast<int>(alloc.numSpillSlots++);
+        }
+        alloc.locs[v] = loc;
+    }
+
+    return alloc;
+}
+
+} // namespace comp
+} // namespace dvi

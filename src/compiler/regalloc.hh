@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Global register allocation under the ABI caller/callee-saved split.
+ *
+ * The allocator implements the policy the paper's §5 describes for
+ * conventional compilers: values that are live across a call are
+ * placed in callee-saved registers (s0–s7); call-free temporaries are
+ * placed in caller-saved registers (t0–t9). Values that fit in
+ * neither pool spill to the stack frame; the emitter materializes
+ * spill traffic through reserved scratch registers.
+ *
+ * Interference is computed exactly from per-position liveness (the
+ * procedure is linearized in block-layout order), so allocation
+ * validity is easy to property-test: two virtual registers sharing a
+ * physical register never have overlapping occupancy.
+ */
+
+#ifndef DVI_COMPILER_REGALLOC_HH
+#define DVI_COMPILER_REGALLOC_HH
+
+#include <vector>
+
+#include "base/dyn_bitset.hh"
+#include "base/reg_mask.hh"
+#include "compiler/liveness.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+/** Where a virtual register lives after allocation. */
+struct VRegLoc
+{
+    bool allocated = false;  ///< false: vreg unused / never defined
+    bool inReg = false;      ///< true: physical register; false: spill
+    RegIndex reg = 0;
+    int spillSlot = -1;
+};
+
+/** Allocation result for one procedure. */
+struct Allocation
+{
+    std::vector<VRegLoc> locs;      ///< indexed by vreg
+    RegMask usedCalleeSaved;        ///< callee-saved regs assigned
+    RegMask usedCallerSaved;        ///< caller-saved regs assigned
+    unsigned numSpillSlots = 0;
+    DynBitset liveAcrossCall;       ///< per-vreg: crosses some call
+
+    /** Occupancy bitsets per vreg over linearized positions (for
+     * validity tests). */
+    std::vector<DynBitset> occupancy;
+
+    /** Linearized position of each (block, inst): posOf[block] base. */
+    std::vector<std::size_t> blockPosBase;
+    std::size_t numPositions = 0;
+};
+
+/** Scratch registers reserved for spill traffic (never allocated). */
+RegIndex spillScratch0();
+RegIndex spillScratch1();
+
+/** Allocate registers for a procedure. */
+Allocation allocateRegisters(const prog::Procedure &proc,
+                             const Liveness &live);
+
+} // namespace comp
+} // namespace dvi
+
+#endif // DVI_COMPILER_REGALLOC_HH

@@ -1,0 +1,90 @@
+#include "compiler/rewriter.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "compiler/machine_liveness.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+using isa::Instruction;
+
+Executable
+insertEdvi(const Executable &exe, RewriteStats *stats)
+{
+    RewriteStats local;
+
+    // Pass 1: decide, for every instruction index, the kill mask (if
+    // any) to splice in directly before it.
+    std::vector<RegMask> kill_before(exe.code.size());
+    for (std::size_t p = 0; p < exe.procs.size(); ++p) {
+        MachineLiveness ml =
+            analyzeProcedure(exe, static_cast<int>(p));
+        const ProcInfo &pi = exe.procs[p];
+        for (int i = pi.entry; i < pi.end; ++i) {
+            const Instruction &inst =
+                exe.code[static_cast<std::size_t>(i)];
+            if (!inst.isCall())
+                continue;
+            ++local.callSitesSeen;
+            // Already annotated? (idempotence)
+            if (i > pi.entry &&
+                exe.code[static_cast<std::size_t>(i - 1)].isKill())
+                continue;
+            const RegMask live = ml.liveAfter[static_cast<std::size_t>(
+                i - pi.entry)];
+            RegMask dead = ml.savedByProc.minus(live);
+            dead &= isa::allocatableCalleeSaved();
+            if (!dead.empty()) {
+                kill_before[static_cast<std::size_t>(i)] = dead;
+                ++local.killsInserted;
+                local.registersKilled += dead.count();
+            }
+        }
+    }
+
+    // Pass 2: relocate. newIndex[i] = position of old instruction i
+    // in the rewritten image.
+    std::vector<int> new_index(exe.code.size() + 1);
+    int shift = 0;
+    for (std::size_t i = 0; i < exe.code.size(); ++i) {
+        if (!kill_before[i].empty())
+            ++shift;
+        new_index[i] = static_cast<int>(i) + shift;
+    }
+    new_index[exe.code.size()] =
+        static_cast<int>(exe.code.size()) + shift;
+
+    Executable out;
+    out.name = exe.name;
+    out.globalBase = exe.globalBase;
+    out.globalWords = exe.globalWords;
+    out.code.reserve(exe.code.size() + static_cast<std::size_t>(shift));
+    for (std::size_t i = 0; i < exe.code.size(); ++i) {
+        if (!kill_before[i].empty())
+            out.code.push_back(Instruction::kill(kill_before[i]));
+        Instruction inst = exe.code[i];
+        if (inst.isCondBranch() || inst.op == isa::Opcode::Jump ||
+            inst.isCall())
+            inst.imm = new_index[static_cast<std::size_t>(inst.imm)];
+        out.code.push_back(inst);
+    }
+    for (const ProcInfo &pi : exe.procs) {
+        ProcInfo np = pi;
+        np.entry = new_index[static_cast<std::size_t>(pi.entry)];
+        np.end = new_index[static_cast<std::size_t>(pi.end)];
+        out.procs.push_back(np);
+    }
+    out.entry = new_index[static_cast<std::size_t>(exe.entry)];
+
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace comp
+} // namespace dvi

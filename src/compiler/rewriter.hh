@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary rewriting tool: adds E-DVI to an executable after the fact.
+ *
+ * Implements the paper's observation (§2) that E-DVI needs no source
+ * access: liveness is computed directly over the machine code
+ * (machine_liveness.hh) and a kill instruction is spliced in before
+ * every call whose procedure provably holds dead values in saved
+ * callee-saved registers. All control-transfer targets and the symbol
+ * table are relocated across the insertions.
+ */
+
+#ifndef DVI_COMPILER_REWRITER_HH
+#define DVI_COMPILER_REWRITER_HH
+
+#include "compiler/executable.hh"
+
+namespace dvi
+{
+namespace comp
+{
+
+/** Statistics from one rewriting pass. */
+struct RewriteStats
+{
+    std::uint64_t callSitesSeen = 0;
+    std::uint64_t killsInserted = 0;
+    std::uint64_t registersKilled = 0;  ///< total kill-mask bits
+};
+
+/**
+ * Produce a copy of `exe` with call-site E-DVI inserted. Safe to run
+ * on an executable that already contains kills (existing kill masks
+ * are honored by liveness as no-ops and duplicate kills before the
+ * same call are not inserted).
+ */
+Executable insertEdvi(const Executable &exe,
+                      RewriteStats *stats = nullptr);
+
+} // namespace comp
+} // namespace dvi
+
+#endif // DVI_COMPILER_REWRITER_HH

@@ -1,0 +1,115 @@
+#include "core/renamer.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace core
+{
+
+Renamer::Renamer(unsigned num_phys_regs) : numPhys(num_phys_regs)
+{
+    fatal_if(num_phys_regs < isa::numIntRegs + 1,
+             "physical register file of ", num_phys_regs,
+             " cannot hold the architectural state plus one rename");
+    map.resize(isa::numIntRegs);
+    isFree.assign(numPhys, false);
+    // Initial state: architectural register i in physical register i.
+    for (unsigned r = 0; r < isa::numIntRegs; ++r)
+        map[r] = static_cast<PhysRegIndex>(r);
+    for (unsigned p = isa::numIntRegs; p < numPhys; ++p) {
+        freeList.push_back(static_cast<PhysRegIndex>(p));
+        isFree[p] = true;
+    }
+}
+
+Renamer::RenamedDest
+Renamer::renameDest(RegIndex arch)
+{
+    panic_if(freeList.empty(),
+             "renameDest with empty free list (caller must stall)");
+    panic_if(arch >= isa::numIntRegs, "renameDest of bad arch reg");
+    RenamedDest out;
+    out.newPreg = freeList.back();
+    freeList.pop_back();
+    isFree[static_cast<std::size_t>(out.newPreg)] = false;
+    out.prevPreg = map[arch];
+    map[arch] = out.newPreg;
+    return out;
+}
+
+PhysRegIndex
+Renamer::killMapping(RegIndex arch)
+{
+    panic_if(arch >= isa::numIntRegs, "killMapping of bad arch reg");
+    PhysRegIndex prev = map[arch];
+    map[arch] = invalidPhysReg;
+    return prev;
+}
+
+void
+Renamer::freePhysReg(PhysRegIndex preg)
+{
+    panic_if(preg == invalidPhysReg, "freeing invalid phys reg");
+    panic_if(preg < 0 || preg >= static_cast<PhysRegIndex>(numPhys),
+             "freeing out-of-range phys reg ", preg);
+    panic_if(isFree[static_cast<std::size_t>(preg)],
+             "double free of phys reg ", preg);
+    for (unsigned r = 0; r < isa::numIntRegs; ++r)
+        panic_if(map[r] == preg,
+                 "freeing phys reg ", preg,
+                 " still mapped to arch reg ", r);
+    freeList.push_back(preg);
+    isFree[static_cast<std::size_t>(preg)] = true;
+}
+
+Renamer::Checkpoint
+Renamer::checkpoint() const
+{
+    return Checkpoint{map, freeList};
+}
+
+void
+Renamer::restore(const Checkpoint &cp)
+{
+    map = cp.map;
+    freeList = cp.freeList;
+    isFree.assign(numPhys, false);
+    for (PhysRegIndex p : freeList)
+        isFree[static_cast<std::size_t>(p)] = true;
+}
+
+unsigned
+Renamer::mappedCount() const
+{
+    unsigned n = 0;
+    for (PhysRegIndex p : map)
+        n += p != invalidPhysReg;
+    return n;
+}
+
+RegMask
+Renamer::unmappedArchRegs() const
+{
+    RegMask m;
+    for (unsigned r = 0; r < isa::numIntRegs; ++r)
+        if (map[r] == invalidPhysReg)
+            m.set(static_cast<RegIndex>(r));
+    return m;
+}
+
+void
+Renamer::checkConservation(std::size_t in_flight_held) const
+{
+    const std::size_t accounted =
+        freeList.size() + mappedCount() + in_flight_held;
+    panic_if(accounted != numPhys,
+             "physical register conservation violated: free=",
+             freeList.size(), " mapped=", mappedCount(),
+             " in-flight=", in_flight_held, " total=", numPhys);
+}
+
+} // namespace core
+} // namespace dvi

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MIPS R10000-style register renaming with DVI early reclamation.
+ *
+ * Conventional renaming frees the physical register previously mapped
+ * to an architectural name only when a newer instruction writing the
+ * same name commits. DVI adds a second reclamation path (§4, Fig. 4):
+ * a committed kill of architectural register r frees the physical
+ * register currently mapped to r and leaves r *unmapped*; the next
+ * definition of r then has no previous mapping to free. Because
+ * freeing is unrecoverable, the caller must only invoke the
+ * commit-side operations for instructions known to be
+ * non-speculative; the decode-side map updates are protected by
+ * checkpoints.
+ *
+ * The map table entry for an unmapped name is invalidPhysReg; reading
+ * an unmapped name is a program error (incorrect E-DVI — §7 "Errors
+ * in E-DVI should be considered compiler errors").
+ */
+
+#ifndef DVI_CORE_RENAMER_HH
+#define DVI_CORE_RENAMER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/reg_mask.hh"
+#include "base/types.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace core
+{
+
+/** Rename map + free list over one integer physical register file. */
+class Renamer
+{
+  public:
+    /**
+     * @param num_phys_regs total physical registers; must be at least
+     *        numIntRegs + 1 so one rename can always eventually
+     *        proceed (the paper sweeps sizes from 34).
+     */
+    explicit Renamer(unsigned num_phys_regs);
+
+    /** @name Decode-side (speculative) operations @{ */
+
+    /** Current mapping; invalidPhysReg if the name is unmapped. */
+    PhysRegIndex lookup(RegIndex arch) const { return map[arch]; }
+
+    bool hasFree() const { return !freeList.empty(); }
+    std::size_t freeCount() const { return freeList.size(); }
+
+    /**
+     * Allocate a new physical register for a destination write.
+     * Returns {newPreg, prevPreg}; prevPreg (possibly invalid) must
+     * be freed when the instruction commits. Panics when the free
+     * list is empty — callers must check hasFree() and stall.
+     */
+    struct RenamedDest
+    {
+        PhysRegIndex newPreg;
+        PhysRegIndex prevPreg;
+    };
+
+    RenamedDest renameDest(RegIndex arch);
+
+    /**
+     * Apply a DVI kill to one register: unmap it and return the
+     * previous mapping, which must be freed when the *killing*
+     * instruction commits (not before — §4.1: reclamation only when
+     * the DVI is known non-speculative). Returns invalidPhysReg when
+     * the name was already unmapped.
+     */
+    PhysRegIndex killMapping(RegIndex arch);
+
+    /** @} */
+
+    /** @name Commit-side (non-speculative) operations @{ */
+
+    /** Return a physical register to the free list. */
+    void freePhysReg(PhysRegIndex preg);
+
+    /** @} */
+
+    /** @name Speculation recovery @{ */
+    struct Checkpoint
+    {
+        std::vector<PhysRegIndex> map;
+        std::vector<PhysRegIndex> freeList;
+    };
+
+    Checkpoint checkpoint() const;
+    void restore(const Checkpoint &cp);
+    /** @} */
+
+    /** @name Introspection (tests, statistics) @{ */
+    unsigned numPhysRegs() const { return numPhys; }
+
+    /** Number of architectural names currently mapped. */
+    unsigned mappedCount() const;
+
+    /** Architectural names currently unmapped (killed, not yet
+     * redefined). */
+    RegMask unmappedArchRegs() const;
+
+    /**
+     * Invariant: every physical register is free, mapped, or owned by
+     * an in-flight instruction (pending destination or pending free).
+     * The caller supplies the in-flight count; panics on violation.
+     */
+    void checkConservation(std::size_t in_flight_held) const;
+    /** @} */
+
+  private:
+    unsigned numPhys;
+    std::vector<PhysRegIndex> map;       ///< arch -> phys
+    std::vector<PhysRegIndex> freeList;  ///< LIFO free stack
+    std::vector<bool> isFree;            ///< O(1) double-free check
+};
+
+} // namespace core
+} // namespace dvi
+
+#endif // DVI_CORE_RENAMER_HH

@@ -1,0 +1,83 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace harness
+{
+
+BuiltBenchmark
+buildBenchmark(workload::BenchmarkId id)
+{
+    BuiltBenchmark b;
+    b.id = id;
+    b.name = workload::benchmarkName(id);
+    const prog::Module mod = workload::generateBenchmark(id);
+    b.plain = comp::compile(
+        mod, comp::CompileOptions{comp::EdviPolicy::None});
+    b.edvi = comp::compile(
+        mod, comp::CompileOptions{comp::EdviPolicy::CallSites});
+    return b;
+}
+
+std::string
+dviModeName(DviMode mode)
+{
+    switch (mode) {
+      case DviMode::None: return "No DVI";
+      case DviMode::Idvi: return "I-DVI";
+      case DviMode::Full: return "E-DVI and I-DVI";
+    }
+    panic("bad DviMode");
+}
+
+const comp::Executable &
+exeFor(const BuiltBenchmark &b, DviMode mode)
+{
+    return mode == DviMode::Full ? b.edvi : b.plain;
+}
+
+uarch::DviConfig
+dviConfigFor(DviMode mode)
+{
+    switch (mode) {
+      case DviMode::None: return uarch::DviConfig::none();
+      case DviMode::Idvi: return uarch::DviConfig::idviOnly();
+      case DviMode::Full: return uarch::DviConfig::full();
+    }
+    panic("bad DviMode");
+}
+
+std::uint64_t
+benchInsts(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("DVI_BENCH_INSTS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+        warn("ignoring invalid DVI_BENCH_INSTS='", env, "'");
+    }
+    return fallback;
+}
+
+uarch::CoreStats
+runTiming(const comp::Executable &exe, uarch::CoreConfig cfg)
+{
+    uarch::Core core(exe, cfg);
+    return core.run();
+}
+
+arch::EmulatorStats
+runOracle(const comp::Executable &exe, std::uint64_t max_insts,
+          const arch::EmulatorOptions &opts)
+{
+    arch::Emulator emu(exe, opts);
+    emu.run(max_insts);
+    return emu.stats();
+}
+
+} // namespace harness
+} // namespace dvi

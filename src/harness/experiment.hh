@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared experiment plumbing for the bench binaries: benchmark
+ * construction (generate -> compile with and without E-DVI), DVI
+ * mode selection, run-length control, and oracle/timing runners.
+ */
+
+#ifndef DVI_HARNESS_EXPERIMENT_HH
+#define DVI_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/emulator.hh"
+#include "compiler/compile.hh"
+#include "compiler/executable.hh"
+#include "uarch/core.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace harness
+{
+
+/** A benchmark compiled both ways. */
+struct BuiltBenchmark
+{
+    workload::BenchmarkId id;
+    std::string name;
+    comp::Executable plain;  ///< no E-DVI (the paper's baselines)
+    comp::Executable edvi;   ///< call-site E-DVI
+};
+
+/** Generate and compile one benchmark. */
+BuiltBenchmark buildBenchmark(workload::BenchmarkId id);
+
+/** The three DVI configurations of Fig. 5/6/12. */
+enum class DviMode
+{
+    None,  ///< baseline: no DVI at all, plain binary
+    Idvi,  ///< I-DVI only: plain binary, convention kills
+    Full,  ///< E-DVI + I-DVI: annotated binary, all sources
+};
+
+std::string dviModeName(DviMode mode);
+
+/** Binary appropriate for a DVI mode. */
+const comp::Executable &exeFor(const BuiltBenchmark &b, DviMode mode);
+
+/** Hardware DVI knobs for a mode. */
+uarch::DviConfig dviConfigFor(DviMode mode);
+
+/**
+ * Per-run dynamic instruction budget: DVI_BENCH_INSTS from the
+ * environment, else the default. Benches report shapes, not absolute
+ * time, so modest budgets (1e5–1e6) already reproduce the paper's
+ * relative results.
+ */
+std::uint64_t benchInsts(std::uint64_t fallback = 300000);
+
+/** Run the timing model. */
+uarch::CoreStats runTiming(const comp::Executable &exe,
+                           uarch::CoreConfig cfg);
+
+/** Run the functional oracle for up to maxInsts instructions. */
+arch::EmulatorStats runOracle(const comp::Executable &exe,
+                              std::uint64_t max_insts,
+                              const arch::EmulatorOptions &opts = {});
+
+} // namespace harness
+} // namespace dvi
+
+#endif // DVI_HARNESS_EXPERIMENT_HH

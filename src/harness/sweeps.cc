@@ -1,0 +1,41 @@
+#include "harness/sweeps.hh"
+
+namespace dvi
+{
+namespace harness
+{
+
+RegfileSweep
+runRegfileSweep(const std::vector<unsigned> &sizes,
+                const std::vector<DviMode> &modes,
+                std::uint64_t max_insts)
+{
+    RegfileSweep sweep;
+    sweep.sizes = sizes;
+    sweep.modes = modes;
+    sweep.meanIpc.assign(modes.size(),
+                         std::vector<double>(sizes.size(), 0.0));
+
+    std::vector<BuiltBenchmark> benches;
+    for (auto id : workload::allBenchmarks())
+        benches.push_back(buildBenchmark(id));
+
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            double sum = 0.0;
+            for (const auto &b : benches) {
+                uarch::CoreConfig cfg;
+                cfg.dvi = dviConfigFor(modes[m]);
+                cfg.numPhysRegs = sizes[s];
+                cfg.maxInsts = max_insts;
+                sum += runTiming(exeFor(b, modes[m]), cfg).ipc();
+            }
+            sweep.meanIpc[m][s] =
+                sum / static_cast<double>(benches.size());
+        }
+    }
+    return sweep;
+}
+
+} // namespace harness
+} // namespace dvi

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reusable parameter sweeps shared by the Fig. 5 and Fig. 6 benches.
+ */
+
+#ifndef DVI_HARNESS_SWEEPS_HH
+#define DVI_HARNESS_SWEEPS_HH
+
+#include <map>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace dvi
+{
+namespace harness
+{
+
+/** Result of the register-file size sweep (Fig. 5's data). */
+struct RegfileSweep
+{
+    std::vector<unsigned> sizes;
+    std::vector<DviMode> modes;
+    /** meanIpc[mode index][size index]: unweighted mean over the
+     * benchmark suite (the paper's "average workload"). */
+    std::vector<std::vector<double>> meanIpc;
+};
+
+/**
+ * Run the Fig. 5 sweep: mean IPC over all benchmarks as a function
+ * of physical register file size, per DVI mode.
+ */
+RegfileSweep runRegfileSweep(const std::vector<unsigned> &sizes,
+                             const std::vector<DviMode> &modes,
+                             std::uint64_t max_insts);
+
+} // namespace harness
+} // namespace dvi
+
+#endif // DVI_HARNESS_SWEEPS_HH

@@ -1,0 +1,54 @@
+#include "isa/encoding.hh"
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace isa
+{
+
+namespace
+{
+
+// Field layout (bit offsets within the 64-bit simulation word).
+constexpr unsigned opShift = 0;   // 8 bits
+constexpr unsigned rdShift = 8;   // 6 bits
+constexpr unsigned rs1Shift = 14; // 6 bits
+constexpr unsigned rs2Shift = 20; // 6 bits
+constexpr unsigned immShift = 26; // 32 bits
+
+} // namespace
+
+std::uint64_t
+encode(const Instruction &inst)
+{
+    std::uint64_t w = 0;
+    w |= static_cast<std::uint64_t>(inst.op) << opShift;
+    w |= static_cast<std::uint64_t>(inst.rd & 0x3f) << rdShift;
+    w |= static_cast<std::uint64_t>(inst.rs1 & 0x3f) << rs1Shift;
+    w |= static_cast<std::uint64_t>(inst.rs2 & 0x3f) << rs2Shift;
+    w |= static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(inst.imm))
+         << immShift;
+    return w;
+}
+
+Instruction
+decode(std::uint64_t word)
+{
+    Instruction inst;
+    auto op_field = (word >> opShift) & 0xff;
+    panic_if(op_field >=
+                 static_cast<std::uint64_t>(Opcode::NumOpcodes),
+             "decode: invalid opcode field ", op_field);
+    inst.op = static_cast<Opcode>(op_field);
+    inst.rd = static_cast<RegIndex>((word >> rdShift) & 0x3f);
+    inst.rs1 = static_cast<RegIndex>((word >> rs1Shift) & 0x3f);
+    inst.rs2 = static_cast<RegIndex>((word >> rs2Shift) & 0x3f);
+    inst.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>((word >> immShift) & 0xffffffffull));
+    return inst;
+}
+
+} // namespace isa
+} // namespace dvi

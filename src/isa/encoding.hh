@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary encoding of instructions.
+ *
+ * The architectural encoding is 4 bytes per instruction (MIPS-style
+ * fixed width); branch displacements are PC-relative and fit in 16
+ * bits, kill masks occupy the 26 non-opcode bits as the paper suggests
+ * (§2: "a subset of the non-opcode bits as a kill mask").
+ *
+ * The *simulation* encoding implemented here is a lossless 64-bit
+ * packing of the decoded Instruction struct: absolute 32-bit targets
+ * are kept so the binary rewriter (compiler/rewriter.hh) can splice
+ * instructions without a relocation pass. Static code-size accounting
+ * always uses Instruction::sizeBytes (= 4).
+ */
+
+#ifndef DVI_ISA_ENCODING_HH
+#define DVI_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace dvi
+{
+namespace isa
+{
+
+/** Pack an instruction into a 64-bit simulation word. */
+std::uint64_t encode(const Instruction &inst);
+
+/** Inverse of encode(); panics on an invalid opcode field. */
+Instruction decode(std::uint64_t word);
+
+} // namespace isa
+} // namespace dvi
+
+#endif // DVI_ISA_ENCODING_HH

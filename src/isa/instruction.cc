@@ -1,0 +1,404 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace isa
+{
+
+Instruction
+Instruction::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+Instruction
+Instruction::alu(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    panic_if(op != Opcode::Add && op != Opcode::Sub &&
+                 op != Opcode::Mul && op != Opcode::Div &&
+                 op != Opcode::And && op != Opcode::Or &&
+                 op != Opcode::Xor && op != Opcode::Slt &&
+                 op != Opcode::Sll && op != Opcode::Srl,
+             "alu() with non reg-reg opcode");
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+Instruction::aluImm(Opcode op, RegIndex rd, RegIndex rs1,
+                    std::int32_t imm)
+{
+    panic_if(op != Opcode::Addi && op != Opcode::Andi &&
+                 op != Opcode::Ori && op != Opcode::Xori &&
+                 op != Opcode::Slti,
+             "aluImm() with non reg-imm opcode");
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::lui(RegIndex rd, std::int32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::Lui;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::load(RegIndex rd, RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::store(RegIndex value, RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.rs1 = base;
+    i.rs2 = value;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::liveLoad(RegIndex rd, RegIndex base, std::int32_t disp)
+{
+    Instruction i = load(rd, base, disp);
+    i.op = Opcode::LiveLoad;
+    return i;
+}
+
+Instruction
+Instruction::liveStore(RegIndex value, RegIndex base, std::int32_t disp)
+{
+    Instruction i = store(value, base, disp);
+    i.op = Opcode::LiveStore;
+    return i;
+}
+
+Instruction
+Instruction::fadd(RegIndex fd, RegIndex fs1, RegIndex fs2)
+{
+    Instruction i;
+    i.op = Opcode::Fadd;
+    i.rd = fd;
+    i.rs1 = fs1;
+    i.rs2 = fs2;
+    return i;
+}
+
+Instruction
+Instruction::fmul(RegIndex fd, RegIndex fs1, RegIndex fs2)
+{
+    Instruction i = fadd(fd, fs1, fs2);
+    i.op = Opcode::Fmul;
+    return i;
+}
+
+Instruction
+Instruction::fload(RegIndex fd, RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Fload;
+    i.rd = fd;
+    i.rs1 = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::fstore(RegIndex fvalue, RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Fstore;
+    i.rs1 = base;
+    i.rs2 = fvalue;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::branch(Opcode op, RegIndex rs1, RegIndex rs2,
+                    std::int32_t target)
+{
+    panic_if(op != Opcode::Beq && op != Opcode::Bne &&
+                 op != Opcode::Blt && op != Opcode::Bge,
+             "branch() with non-branch opcode");
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::jump(std::int32_t target)
+{
+    Instruction i;
+    i.op = Opcode::Jump;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::call(std::int32_t target)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.rd = regRa;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::ret()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    i.rs1 = regRa;
+    return i;
+}
+
+Instruction
+Instruction::kill(RegMask mask)
+{
+    panic_if(mask.raw() >> numIntRegs,
+             "kill mask names nonexistent registers");
+    Instruction i;
+    i.op = Opcode::Kill;
+    i.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(mask.raw()));
+    return i;
+}
+
+Instruction
+Instruction::lvmSave(RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::LvmSave;
+    i.rs1 = base;
+    i.imm = disp;
+    return i;
+}
+
+Instruction
+Instruction::lvmLoad(RegIndex base, std::int32_t disp)
+{
+    Instruction i;
+    i.op = Opcode::LvmLoad;
+    i.rs1 = base;
+    i.imm = disp;
+    return i;
+}
+
+bool
+Instruction::isCondBranch() const
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge;
+}
+
+bool
+Instruction::isLoad() const
+{
+    return op == Opcode::Load || op == Opcode::LiveLoad ||
+           op == Opcode::Fload || op == Opcode::LvmLoad;
+}
+
+bool
+Instruction::isStore() const
+{
+    return op == Opcode::Store || op == Opcode::LiveStore ||
+           op == Opcode::Fstore || op == Opcode::LvmSave;
+}
+
+bool
+Instruction::writesIntReg() const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Lui:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesFpReg() const
+{
+    return op == Opcode::Fadd || op == Opcode::Fmul ||
+           op == Opcode::Fload;
+}
+
+unsigned
+Instruction::srcIntRegs(RegIndex out[2]) const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::Fload:
+      case Opcode::Ret:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        out[0] = rs1;
+        return 1;
+      case Opcode::Store:
+      case Opcode::LiveStore:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Fstore:
+        out[0] = rs1; // base address only; data is FP
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+unsigned
+Instruction::srcFpRegs(RegIndex out[2]) const
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Fstore:
+        out[0] = rs2;
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+RegIndex
+Instruction::saveRestoreReg() const
+{
+    if (op == Opcode::LiveStore)
+        return rs2;
+    if (op == Opcode::LiveLoad)
+        return rd;
+    panic("saveRestoreReg() on non save/restore instruction");
+}
+
+FuClass
+Instruction::fuClass() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Kill:
+        return FuClass::None;
+      case Opcode::Mul:
+      case Opcode::Div:
+        return FuClass::IntMulDiv;
+      case Opcode::Fadd:
+        return FuClass::FpAlu;
+      case Opcode::Fmul:
+        return FuClass::FpMulDiv;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::LiveLoad:
+      case Opcode::LiveStore:
+      case Opcode::Fload:
+      case Opcode::Fstore:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        return FuClass::MemPort;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jump:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return FuClass::Branch;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+Instruction::execLatency() const
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Div:
+        return 12;
+      case Opcode::Fadd:
+        return 2;
+      case Opcode::Fmul:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+} // namespace isa
+} // namespace dvi

@@ -1,0 +1,174 @@
+#include "isa/registers.hh"
+
+#include <array>
+
+namespace dvi
+{
+namespace isa
+{
+
+namespace
+{
+
+const std::array<const char *, numIntRegs> intNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+} // namespace
+
+RegMask
+calleeSavedMask()
+{
+    RegMask m;
+    for (RegIndex r = 16; r <= 23; ++r)
+        m.set(r);
+    m.set(regFp);
+    return m;
+}
+
+RegMask
+callerSavedMask()
+{
+    RegMask m;
+    m.set(regAt);
+    m.set(regV0);
+    m.set(regV1);
+    for (RegIndex r = regA0; r <= regA3; ++r)
+        m.set(r);
+    for (RegIndex r = 8; r <= 15; ++r)
+        m.set(r);
+    m.set(24);
+    m.set(25);
+    m.set(regRa);
+    return m;
+}
+
+RegMask
+idviMask()
+{
+    RegMask m;
+    m.set(regAt);
+    for (RegIndex r = 8; r <= 15; ++r)
+        m.set(r);
+    m.set(24);
+    m.set(25);
+    return m;
+}
+
+RegMask
+idviCallMask()
+{
+    return idviMask() | returnValueMask();
+}
+
+RegMask
+idviReturnMask()
+{
+    return idviMask() | argMask();
+}
+
+RegMask
+argMask()
+{
+    RegMask m;
+    for (RegIndex r = regA0; r <= regA3; ++r)
+        m.set(r);
+    return m;
+}
+
+RegMask
+returnValueMask()
+{
+    return RegMask{regV0, regV1};
+}
+
+RegMask
+allocatableCalleeSaved()
+{
+    RegMask m;
+    for (RegIndex r = 16; r <= 23; ++r)
+        m.set(r);
+    return m;
+}
+
+RegMask
+allocatableCallerSaved()
+{
+    RegMask m;
+    for (RegIndex r = 8; r <= 15; ++r)
+        m.set(r);
+    m.set(24);
+    m.set(25);
+    return m;
+}
+
+RegMask
+contextSwitchSavedMask()
+{
+    RegMask m = RegMask::firstN(numIntRegs);
+    m.clear(regZero);
+    m.clear(regK0);
+    m.clear(regK1);
+    return m;
+}
+
+RegMask
+abiEntryLiveMask()
+{
+    RegMask m = argMask();
+    m.set(regZero);
+    m.set(regSp);
+    m.set(regGp);
+    m.set(regRa);
+    return m;
+}
+
+RegMask
+fpCallerSavedMask()
+{
+    RegMask m;
+    for (RegIndex r = 0; r < 20; ++r)
+        m.set(r);
+    return m;
+}
+
+RegMask
+fpCalleeSavedMask()
+{
+    RegMask m;
+    for (RegIndex r = 20; r < numFpRegs; ++r)
+        m.set(r);
+    return m;
+}
+
+bool
+isCalleeSaved(RegIndex r)
+{
+    return calleeSavedMask().test(r);
+}
+
+bool
+isCallerSaved(RegIndex r)
+{
+    return callerSavedMask().test(r);
+}
+
+std::string
+intRegName(RegIndex r)
+{
+    if (r < numIntRegs)
+        return intNames[r];
+    return "r?" + std::to_string(int(r));
+}
+
+std::string
+fpRegName(RegIndex r)
+{
+    return "f" + std::to_string(int(r));
+}
+
+} // namespace isa
+} // namespace dvi

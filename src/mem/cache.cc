@@ -1,0 +1,107 @@
+#include "mem/cache.hh"
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace mem
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    fatal_if(params_.lineBytes == 0 || params_.assoc == 0,
+             "cache ", params_.name, ": bad geometry");
+    const std::size_t nlines = params_.sizeBytes / params_.lineBytes;
+    fatal_if(nlines % params_.assoc != 0,
+             "cache ", params_.name,
+             ": size not divisible by associativity");
+    numSets_ = static_cast<unsigned>(nlines / params_.assoc);
+    fatal_if(numSets_ == 0, "cache ", params_.name, ": zero sets");
+    lines.assign(nlines, Line{});
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    (void)is_write;  // write-allocate: same tag behavior as reads
+    ++tick;
+    const Addr la = lineAddr(addr);
+    const unsigned set = static_cast<unsigned>(la % numSets_);
+    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == la) {
+            base[w].lastUse = tick;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    // Fill: choose invalid way, else LRU.
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = la;
+    victim->lastUse = tick;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr la = lineAddr(addr);
+    const unsigned set = static_cast<unsigned>(la % numSets_);
+    const Line *base =
+        &lines[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == la)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    hits_ = 0;
+    misses_ = 0;
+    tick = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheParams &il1,
+                                 const CacheParams &dl1,
+                                 const CacheParams &l2,
+                                 unsigned mem_latency)
+    : il1_(il1), dl1_(dl1), l2_(l2), memLatency_(mem_latency)
+{}
+
+unsigned
+MemoryHierarchy::instAccess(Addr addr)
+{
+    if (il1_.access(addr, false))
+        return il1_.params().hitLatency;
+    if (l2_.access(addr, false))
+        return l2_.params().hitLatency;
+    return memLatency_;
+}
+
+unsigned
+MemoryHierarchy::dataAccess(Addr addr, bool is_write)
+{
+    if (dl1_.access(addr, is_write))
+        return dl1_.params().hitLatency;
+    if (l2_.access(addr, is_write))
+        return l2_.params().hitLatency;
+    return memLatency_;
+}
+
+} // namespace mem
+} // namespace dvi

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement.
+ *
+ * Timing-directed tag model: the cache tracks hits and misses and
+ * reports access latency, but data flows through the functional
+ * emulator (trace-driven simulation). Writes allocate (write-allocate,
+ * write-back approximation for latency purposes).
+ */
+
+#ifndef DVI_MEM_CACHE_HH
+#define DVI_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace dvi
+{
+namespace mem
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    /** Hit latency in cycles (total, not additive). */
+    unsigned hitLatency = 1;
+};
+
+/** Tag array of one cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access a byte address for read or write; returns true on hit.
+     * A miss fills the line (replacing LRU).
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** True without side effects. */
+    bool probe(Addr addr) const;
+
+    const CacheParams &params() const { return params_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    double
+    missRate() const
+    {
+        const std::uint64_t a = accesses();
+        return a == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(a);
+    }
+
+    unsigned numSets() const { return numSets_; }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;  ///< LRU timestamp
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines;  ///< numSets_ x assoc
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t tick = 0;
+};
+
+/**
+ * Two-level hierarchy: an L1 backed by a shared L2 backed by memory.
+ * Returns total access latency for one reference.
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const CacheParams &il1, const CacheParams &dl1,
+                    const CacheParams &l2, unsigned mem_latency);
+
+    /** Instruction-side access; returns latency in cycles. */
+    unsigned instAccess(Addr addr);
+
+    /** Data-side access; returns latency in cycles. */
+    unsigned dataAccess(Addr addr, bool is_write);
+
+    Cache &il1() { return il1_; }
+    Cache &dl1() { return dl1_; }
+    Cache &l2() { return l2_; }
+    unsigned memLatency() const { return memLatency_; }
+
+  private:
+    Cache il1_;
+    Cache dl1_;
+    Cache l2_;
+    unsigned memLatency_;
+};
+
+} // namespace mem
+} // namespace dvi
+
+#endif // DVI_MEM_CACHE_HH

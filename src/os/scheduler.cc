@@ -1,0 +1,87 @@
+#include "os/scheduler.hh"
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace os
+{
+
+Thread::Thread(std::string name, const comp::Executable &exe,
+               const arch::EmulatorOptions &options)
+    : name_(std::move(name)),
+      emu_(std::make_unique<arch::Emulator>(exe, options))
+{}
+
+Scheduler::Scheduler(const SchedulerOptions &options) : opts(options) {}
+
+std::size_t
+Scheduler::addThread(std::string name, const comp::Executable &exe,
+                     const arch::EmulatorOptions &emu_options)
+{
+    threads.push_back(std::make_unique<Thread>(
+        std::move(name), exe, emu_options));
+    return threads.size() - 1;
+}
+
+void
+Scheduler::accountSwitchOut(Thread &t)
+{
+    const RegMask saved_set = isa::contextSwitchSavedMask();
+    const unsigned live_int = t.emu().lvm().liveCount(saved_set);
+    const unsigned live_fp = static_cast<unsigned>(
+        t.emu().fpLive().count());
+
+    stats_.baselineIntSaveRestores += saved_set.count();
+    stats_.dviIntSaveRestores += live_int;
+    stats_.baselineFpSaveRestores += isa::numFpRegs;
+    stats_.dviFpSaveRestores += live_fp;
+    stats_.liveIntAtSwitch.record(live_int);
+
+    // lvm-save into the thread control block (§6.1).
+    t.storedLvm = t.emu().lvm().snapshot();
+    t.storedFpLive = t.emu().fpLive();
+}
+
+void
+Scheduler::accountSwitchIn(Thread &t)
+{
+    if (!t.everRan) {
+        t.everRan = true;
+        return;  // first dispatch restores nothing
+    }
+    const RegMask saved_set = isa::contextSwitchSavedMask();
+    stats_.baselineIntSaveRestores += saved_set.count();
+    stats_.dviIntSaveRestores += (t.storedLvm & saved_set).count();
+    stats_.baselineFpSaveRestores += isa::numFpRegs;
+    stats_.dviFpSaveRestores += t.storedFpLive.count();
+}
+
+void
+Scheduler::run()
+{
+    fatal_if(threads.empty(), "scheduler has no threads");
+    bool any_live = true;
+    while (any_live) {
+        any_live = false;
+        for (auto &tp : threads) {
+            Thread &t = *tp;
+            if (t.finished())
+                continue;
+            accountSwitchIn(t);
+            stats_.totalInsts += t.emu().run(opts.quantum);
+            if (!t.finished()) {
+                any_live = true;
+                ++stats_.contextSwitches;
+                accountSwitchOut(t);
+            }
+            if (opts.maxTotalInsts &&
+                stats_.totalInsts >= opts.maxTotalInsts)
+                return;
+        }
+    }
+}
+
+} // namespace os
+} // namespace dvi

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Threading substrate: preemptive round-robin scheduling over
+ * functional emulators, with DVI-aware context-switch accounting
+ * (§6 of the paper).
+ *
+ * A context switch must preserve the architectural register state.
+ * The baseline switch saves and restores every integer register the
+ * ABI requires. With DVI, the switch-out code is written with
+ * live-store instructions and an lvm-save, so only registers the LVM
+ * marks live are actually saved; switch-in runs lvm-load first and
+ * live-loads restore only those same registers. Because preemption
+ * points are arbitrary, no static technique can do this (§6:
+ * "Preemptive switches are not amenable to such static analysis").
+ *
+ * The scheduler models the switch cost in bookkeeping (counted
+ * registers) rather than by injecting switch code into the
+ * instruction stream, matching the paper's evaluation metric: "the
+ * percentage reduction in the average number of integer register
+ * saves and restores executed at context switches."
+ */
+
+#ifndef DVI_OS_SCHEDULER_HH
+#define DVI_OS_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/emulator.hh"
+#include "stats/histogram.hh"
+
+namespace dvi
+{
+namespace os
+{
+
+/** A schedulable thread: an emulator plus its control block. */
+class Thread
+{
+  public:
+    Thread(std::string name, const comp::Executable &exe,
+           const arch::EmulatorOptions &options);
+
+    const std::string &name() const { return name_; }
+    arch::Emulator &emu() { return *emu_; }
+    const arch::Emulator &emu() const { return *emu_; }
+    bool finished() const { return emu_->halted(); }
+
+    /** Thread control block: the LVM stored by lvm-save. */
+    RegMask storedLvm;
+    RegMask storedFpLive;
+    bool everRan = false;
+
+  private:
+    std::string name_;
+    std::unique_ptr<arch::Emulator> emu_;
+};
+
+/** Scheduler configuration. */
+struct SchedulerOptions
+{
+    /** Timeslice in retired instructions (preemption quantum). */
+    std::uint64_t quantum = 20000;
+    /** Stop after this many total instructions (0 = run all threads
+     * to completion). */
+    std::uint64_t maxTotalInsts = 0;
+};
+
+/** Context-switch save/restore accounting. */
+struct SwitchStats
+{
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t totalInsts = 0;
+
+    /** Integer registers: baseline saves+restores vs. DVI. */
+    std::uint64_t baselineIntSaveRestores = 0;
+    std::uint64_t dviIntSaveRestores = 0;
+
+    /** Floating-point registers. */
+    std::uint64_t baselineFpSaveRestores = 0;
+    std::uint64_t dviFpSaveRestores = 0;
+
+    /** Live integer registers observed at each switch-out. */
+    Histogram liveIntAtSwitch;
+
+    double
+    intReductionPercent() const
+    {
+        return baselineIntSaveRestores == 0
+                   ? 0.0
+                   : 100.0 *
+                         (1.0 - static_cast<double>(
+                                    dviIntSaveRestores) /
+                                    static_cast<double>(
+                                        baselineIntSaveRestores));
+    }
+
+    double
+    fpReductionPercent() const
+    {
+        return baselineFpSaveRestores == 0
+                   ? 0.0
+                   : 100.0 *
+                         (1.0 - static_cast<double>(
+                                    dviFpSaveRestores) /
+                                    static_cast<double>(
+                                        baselineFpSaveRestores));
+    }
+};
+
+/** Preemptive round-robin scheduler. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SchedulerOptions &options = {});
+
+    /** Add a thread running the executable; returns its index. */
+    std::size_t addThread(std::string name,
+                          const comp::Executable &exe,
+                          const arch::EmulatorOptions &emu_options);
+
+    /** Run until every thread halts (or the instruction cap). */
+    void run();
+
+    const SwitchStats &stats() const { return stats_; }
+    std::size_t numThreads() const { return threads.size(); }
+    const Thread &thread(std::size_t i) const { return *threads[i]; }
+
+  private:
+    void accountSwitchOut(Thread &t);
+    void accountSwitchIn(Thread &t);
+
+    SchedulerOptions opts;
+    std::vector<std::unique_ptr<Thread>> threads;
+    SwitchStats stats_;
+};
+
+} // namespace os
+} // namespace dvi
+
+#endif // DVI_OS_SCHEDULER_HH

@@ -1,0 +1,94 @@
+#include "predictor/branch_predictor.hh"
+
+namespace dvi
+{
+namespace predictor
+{
+
+BranchPredictor::BranchPredictor(const PredictorParams &params)
+    : params_(params), gshare(params.gshareEntries),
+      bimod(params.bimodEntries), chooser(params.chooserEntries)
+{}
+
+std::size_t
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    const std::uint64_t mask = (1ull << params_.historyBits) - 1;
+    return static_cast<std::size_t>((pc ^ (history & mask)));
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    const bool use_gshare =
+        chooser.predict(static_cast<std::size_t>(pc));
+    return use_gshare ? gshare.predict(gshareIndex(pc))
+                      : bimod.predict(static_cast<std::size_t>(pc));
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    ++lookups_;
+    const bool g = gshare.predict(gshareIndex(pc));
+    const bool b = bimod.predict(static_cast<std::size_t>(pc));
+    const bool used_g = chooser.predict(static_cast<std::size_t>(pc));
+    const bool predicted = used_g ? g : b;
+    if (predicted != taken)
+        ++mispredicts_;
+    // Chooser trains toward whichever component was right (no update
+    // when they agree).
+    if (g != b)
+        chooser.update(static_cast<std::size_t>(pc), g == taken);
+    gshare.update(gshareIndex(pc), taken);
+    bimod.update(static_cast<std::size_t>(pc), taken);
+    history = (history << 1) | (taken ? 1 : 0);
+}
+
+bool
+Btb::lookup(Addr pc, Addr *target) const
+{
+    const Entry &e = table[pc % table.size()];
+    if (e.valid && e.pc == pc) {
+        ++hits_;
+        *target = e.target;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Btb::insert(Addr pc, Addr target)
+{
+    Entry &e = table[pc % table.size()];
+    e.valid = true;
+    e.pc = pc;
+    e.target = target;
+}
+
+void
+ReturnAddressStack::push(Addr ret_addr)
+{
+    if (count == stack.size()) {
+        ++overflows_;
+    } else {
+        ++count;
+    }
+    stack[top] = ret_addr;
+    top = (top + 1) % static_cast<unsigned>(stack.size());
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (count == 0)
+        return 0;
+    --count;
+    top = (top + static_cast<unsigned>(stack.size()) - 1) %
+          static_cast<unsigned>(stack.size());
+    return stack[top];
+}
+
+} // namespace predictor
+} // namespace dvi

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Branch prediction: combining (gshare/bimodal) predictor, BTB, and a
+ * return address stack — the Fig. 2 configuration ("16-bit history,
+ * BTB, 256K entry combinational gshare/bimod").
+ */
+
+#ifndef DVI_PREDICTOR_BRANCH_PREDICTOR_HH
+#define DVI_PREDICTOR_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace dvi
+{
+namespace predictor
+{
+
+/** Predictor configuration. */
+struct PredictorParams
+{
+    unsigned historyBits = 16;      ///< gshare global history length
+    std::size_t gshareEntries = 1u << 16;
+    std::size_t bimodEntries = 1u << 14;
+    std::size_t chooserEntries = 1u << 14;
+    std::size_t btbEntries = 4096;  ///< direct-mapped BTB
+    unsigned rasEntries = 8;        ///< return address stack depth
+};
+
+/** Two-bit saturating counter table. */
+class CounterTable
+{
+  public:
+    explicit CounterTable(std::size_t entries, std::uint8_t init = 1)
+        : table(entries, init)
+    {}
+
+    bool predict(std::size_t idx) const { return table[idx % table.size()] >= 2; }
+
+    void
+    update(std::size_t idx, bool taken)
+    {
+        std::uint8_t &c = table[idx % table.size()];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+  private:
+    std::vector<std::uint8_t> table;
+};
+
+/**
+ * Combining predictor: a chooser selects between gshare and bimodal
+ * per branch; both components train on every outcome.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorParams &params);
+
+    /** Predict the direction of a conditional branch at pc. */
+    bool predict(Addr pc) const;
+
+    /** Train with the actual outcome and update global history. */
+    void update(Addr pc, bool taken);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    double
+    accuracy() const
+    {
+        return lookups_ == 0
+                   ? 1.0
+                   : 1.0 - static_cast<double>(mispredicts_) /
+                               static_cast<double>(lookups_);
+    }
+
+  private:
+    std::size_t gshareIndex(Addr pc) const;
+
+    PredictorParams params_;
+    CounterTable gshare;
+    CounterTable bimod;
+    CounterTable chooser;
+    std::uint64_t history = 0;
+    std::uint64_t lookups_ = 0;  ///< counted per trained branch
+    std::uint64_t mispredicts_ = 0;
+};
+
+/** Direct-mapped branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(std::size_t entries) : table(entries) {}
+
+    /** Returns true and sets *target on hit. */
+    bool lookup(Addr pc, Addr *target) const;
+
+    void insert(Addr pc, Addr target);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+
+    std::vector<Entry> table;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+/** Return address stack (circular; overwrites on overflow). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries)
+        : stack(entries, 0)
+    {}
+
+    void push(Addr ret_addr);
+
+    /** Pop a prediction; returns 0 when empty (forces mispredict). */
+    Addr pop();
+
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::vector<Addr> stack;
+    unsigned top = 0;      ///< next push slot
+    unsigned count = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace predictor
+} // namespace dvi
+
+#endif // DVI_PREDICTOR_BRANCH_PREDICTOR_HH

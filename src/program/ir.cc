@@ -1,0 +1,285 @@
+#include "program/ir.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace prog
+{
+
+std::vector<int>
+Procedure::successors(int block) const
+{
+    const auto &bb = blocks[static_cast<std::size_t>(block)];
+    const int next = block + 1;
+    const bool has_next =
+        next < static_cast<int>(blocks.size());
+
+    if (bb.insts.empty())
+        return has_next ? std::vector<int>{next} : std::vector<int>{};
+
+    const IrInst &last = bb.insts.back();
+    switch (last.op) {
+      case IrOp::Jump:
+        return {last.target};
+      case IrOp::Beq:
+      case IrOp::Bne:
+      case IrOp::Blt:
+      case IrOp::Bge:
+        if (has_next && last.target != next)
+            return {last.target, next};
+        return {last.target};
+      case IrOp::Ret:
+      case IrOp::Halt:
+        return {};
+      default:
+        return has_next ? std::vector<int>{next} : std::vector<int>{};
+    }
+}
+
+std::size_t
+Procedure::instCount() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks)
+        n += b.insts.size();
+    return n;
+}
+
+std::string
+Module::validate() const
+{
+    std::ostringstream err;
+    if (procs.empty())
+        return "module has no procedures";
+    if (mainIndex < 0 || mainIndex >= static_cast<int>(procs.size()))
+        return "mainIndex out of range";
+
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        const Procedure &p = procs[pi];
+        if (p.blocks.empty()) {
+            err << "proc " << p.name << ": no blocks";
+            return err.str();
+        }
+        if (p.params.size() > 4) {
+            err << "proc " << p.name << ": more than 4 parameters";
+            return err.str();
+        }
+        for (std::size_t bi = 0; bi < p.blocks.size(); ++bi) {
+            const auto &bb = p.blocks[bi];
+            for (std::size_t ii = 0; ii < bb.insts.size(); ++ii) {
+                const IrInst &inst = bb.insts[ii];
+                if (inst.isTerminator() &&
+                    ii + 1 != bb.insts.size()) {
+                    err << "proc " << p.name << " block " << bi
+                        << ": terminator not last";
+                    return err.str();
+                }
+                if ((inst.isCondBranch() || inst.op == IrOp::Jump) &&
+                    (inst.target < 0 ||
+                     inst.target >=
+                         static_cast<int>(p.blocks.size()))) {
+                    err << "proc " << p.name << " block " << bi
+                        << ": branch target out of range";
+                    return err.str();
+                }
+                if (inst.op == IrOp::Call) {
+                    if (inst.callee < 0 ||
+                        inst.callee >=
+                            static_cast<int>(procs.size())) {
+                        err << "proc " << p.name << " block " << bi
+                            << ": callee out of range";
+                        return err.str();
+                    }
+                    if (inst.args.size() >
+                        procs[static_cast<std::size_t>(inst.callee)]
+                            .params.size()) {
+                        err << "proc " << p.name << " block " << bi
+                            << ": too many call arguments for "
+                            << procs[static_cast<std::size_t>(
+                                         inst.callee)]
+                                   .name;
+                        return err.str();
+                    }
+                }
+            }
+            // A block that does not end in a terminator must have a
+            // following block to fall into.
+            const bool terminated =
+                !bb.insts.empty() && bb.insts.back().isTerminator();
+            if (!terminated && bi + 1 == p.blocks.size()) {
+                err << "proc " << p.name
+                    << ": final block falls off the end";
+                return err.str();
+            }
+        }
+    }
+    return "";
+}
+
+IrInst
+irAlu(IrOp op, VReg dst, VReg src1, VReg src2)
+{
+    IrInst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = src2;
+    return i;
+}
+
+IrInst
+irAluImm(IrOp op, VReg dst, VReg src1, std::int32_t imm)
+{
+    IrInst i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.imm = imm;
+    return i;
+}
+
+IrInst
+irLoadImm(VReg dst, std::int32_t imm)
+{
+    IrInst i;
+    i.op = IrOp::LoadImm;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+IrInst
+irLoad(VReg dst, VReg base, std::int32_t disp)
+{
+    IrInst i;
+    i.op = IrOp::Load;
+    i.dst = dst;
+    i.src1 = base;
+    i.imm = disp;
+    return i;
+}
+
+IrInst
+irStore(VReg value, VReg base, std::int32_t disp)
+{
+    IrInst i;
+    i.op = IrOp::Store;
+    i.src1 = value;
+    i.src2 = base;
+    i.imm = disp;
+    return i;
+}
+
+IrInst
+irLoadStack(VReg dst, std::int32_t slot)
+{
+    IrInst i;
+    i.op = IrOp::LoadStack;
+    i.dst = dst;
+    i.imm = slot;
+    return i;
+}
+
+IrInst
+irStoreStack(VReg value, std::int32_t slot)
+{
+    IrInst i;
+    i.op = IrOp::StoreStack;
+    i.src1 = value;
+    i.imm = slot;
+    return i;
+}
+
+IrInst
+irFadd(RegIndex fd, RegIndex fs1, RegIndex fs2)
+{
+    IrInst i;
+    i.op = IrOp::Fadd;
+    i.fd = fd;
+    i.fs1 = fs1;
+    i.fs2 = fs2;
+    return i;
+}
+
+IrInst
+irFmul(RegIndex fd, RegIndex fs1, RegIndex fs2)
+{
+    IrInst i = irFadd(fd, fs1, fs2);
+    i.op = IrOp::Fmul;
+    return i;
+}
+
+IrInst
+irFloadStack(RegIndex fd, std::int32_t slot)
+{
+    IrInst i;
+    i.op = IrOp::FloadStack;
+    i.fd = fd;
+    i.imm = slot;
+    return i;
+}
+
+IrInst
+irFstoreStack(RegIndex fs, std::int32_t slot)
+{
+    IrInst i;
+    i.op = IrOp::FstoreStack;
+    i.fs1 = fs;
+    i.imm = slot;
+    return i;
+}
+
+IrInst
+irBranch(IrOp op, VReg src1, VReg src2, int targetBlock)
+{
+    IrInst i;
+    i.op = op;
+    i.src1 = src1;
+    i.src2 = src2;
+    i.target = targetBlock;
+    return i;
+}
+
+IrInst
+irJump(int targetBlock)
+{
+    IrInst i;
+    i.op = IrOp::Jump;
+    i.target = targetBlock;
+    return i;
+}
+
+IrInst
+irCall(int callee, std::vector<VReg> args, VReg dst)
+{
+    panic_if(args.size() > 4, "irCall with more than 4 arguments");
+    IrInst i;
+    i.op = IrOp::Call;
+    i.callee = callee;
+    i.args = std::move(args);
+    i.dst = dst;
+    return i;
+}
+
+IrInst
+irRet(VReg value)
+{
+    IrInst i;
+    i.op = IrOp::Ret;
+    i.src1 = value;
+    return i;
+}
+
+IrInst
+irHalt()
+{
+    IrInst i;
+    i.op = IrOp::Halt;
+    return i;
+}
+
+} // namespace prog
+} // namespace dvi

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Mid-level program representation consumed by the compiler.
+ *
+ * Programs are modules of procedures; each procedure is a control-flow
+ * graph of basic blocks over an unbounded set of virtual registers.
+ * The workload generators (src/workload) build this IR, the compiler
+ * (src/compiler) lowers it to the machine ISA — computing liveness,
+ * allocating registers under the ABI's caller/callee-saved split,
+ * synthesizing live-store/live-load prologues and epilogues, and
+ * optionally inserting E-DVI kill instructions.
+ *
+ * Conventions:
+ *  - Virtual registers are 1-based; 0 (noVReg) means "absent".
+ *  - Block 0 is the procedure entry; blocks are laid out in index
+ *    order and a conditional branch falls through to the next block.
+ *  - The last instruction of every block must be a terminator
+ *    (branch/jump/ret/halt) unless the block falls through.
+ *  - Floating-point operands are physical f-registers directly; FP
+ *    pressure is light in the integer workloads under study so FP
+ *    values are not register-allocated.
+ */
+
+#ifndef DVI_PROGRAM_IR_HH
+#define DVI_PROGRAM_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace dvi
+{
+namespace prog
+{
+
+/** Virtual register id; 1-based. */
+using VReg = std::uint32_t;
+
+/** Absent virtual register. */
+constexpr VReg noVReg = 0;
+
+/** IR operations. */
+enum class IrOp : std::uint8_t
+{
+    // Register-register arithmetic: dst = src1 op src2.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Slt,
+    Sll,
+    Srl,
+    // Register-immediate: dst = src1 op imm.
+    AddImm,
+    AndImm,
+    OrImm,
+    XorImm,
+    SltImm,
+    // dst = imm (any 32-bit constant).
+    LoadImm,
+    // Memory: address = src-base + imm displacement (bytes).
+    Load,   ///< dst = mem[src1 + imm]
+    Store,  ///< mem[src2 + imm] = src1
+    // Procedure-local stack slots (8-byte words, slot index in imm).
+    LoadStack,   ///< dst = local slot imm
+    StoreStack,  ///< local slot imm = src1
+    // Floating point on physical f-registers.
+    Fadd,        ///< fd = fs1 + fs2
+    Fmul,        ///< fd = fs1 * fs2
+    FloadStack,  ///< fd = local slot imm
+    FstoreStack, ///< local slot imm = fs1
+    // Control.
+    Beq,  ///< if (src1 == src2) goto block target
+    Bne,
+    Blt,
+    Bge,
+    Jump,  ///< goto block target
+    Call,  ///< dst = callee(args...) ; dst optional
+    Ret,   ///< return src1 (src1 optional)
+    Halt,  ///< terminate the program (main only)
+};
+
+/** One IR instruction. See IrOp for operand conventions. */
+struct IrInst
+{
+    IrOp op;
+    VReg dst = noVReg;
+    VReg src1 = noVReg;
+    VReg src2 = noVReg;
+    std::int32_t imm = 0;
+    int target = -1;           ///< destination block (branches)
+    int callee = -1;           ///< procedure index (Call)
+    std::vector<VReg> args;    ///< up to 4 argument vregs (Call)
+    RegIndex fd = 0;           ///< FP destination (F-ops)
+    RegIndex fs1 = 0;          ///< FP source 1
+    RegIndex fs2 = 0;          ///< FP source 2
+
+    bool
+    isTerminator() const
+    {
+        return op == IrOp::Beq || op == IrOp::Bne || op == IrOp::Blt ||
+               op == IrOp::Bge || op == IrOp::Jump || op == IrOp::Ret ||
+               op == IrOp::Halt;
+    }
+
+    bool
+    isCondBranch() const
+    {
+        return op == IrOp::Beq || op == IrOp::Bne || op == IrOp::Blt ||
+               op == IrOp::Bge;
+    }
+};
+
+/** A straight-line run of IR instructions. */
+struct BasicBlock
+{
+    std::vector<IrInst> insts;
+};
+
+/** A procedure: CFG over virtual registers. */
+struct Procedure
+{
+    std::string name;
+    std::vector<VReg> params;  ///< vregs bound to a0..a3 at entry
+    std::vector<BasicBlock> blocks;
+    unsigned numLocalSlots = 0;  ///< 8-byte local stack words
+    VReg nextVReg = 1;
+
+    /** Allocate a fresh virtual register. */
+    VReg newVReg() { return nextVReg++; }
+
+    /** Append a new empty block; returns its index. */
+    int
+    newBlock()
+    {
+        blocks.emplace_back();
+        return static_cast<int>(blocks.size()) - 1;
+    }
+
+    /** Append an instruction to a block. */
+    void
+    emit(int block, IrInst inst)
+    {
+        blocks[static_cast<std::size_t>(block)].insts.push_back(
+            std::move(inst));
+    }
+
+    /**
+     * CFG successors of a block, derived from its final instruction
+     * (empty or non-terminated blocks fall through).
+     */
+    std::vector<int> successors(int block) const;
+
+    /** Total IR instruction count. */
+    std::size_t instCount() const;
+};
+
+/** A whole program. */
+struct Module
+{
+    std::string name;
+    std::vector<Procedure> procs;
+    int mainIndex = 0;
+
+    /** Byte address where the global data region starts. */
+    static constexpr Addr globalBase = 0x10000000;
+
+    /** Size of the global data region in 8-byte words. */
+    unsigned globalWords = 0;
+
+    /**
+     * Validate structural invariants (terminators, branch targets,
+     * callee indices, argument counts). Returns an error description
+     * or the empty string when valid.
+     */
+    std::string validate() const;
+};
+
+/** @name IR construction helpers @{ */
+IrInst irAlu(IrOp op, VReg dst, VReg src1, VReg src2);
+IrInst irAluImm(IrOp op, VReg dst, VReg src1, std::int32_t imm);
+IrInst irLoadImm(VReg dst, std::int32_t imm);
+IrInst irLoad(VReg dst, VReg base, std::int32_t disp);
+IrInst irStore(VReg value, VReg base, std::int32_t disp);
+IrInst irLoadStack(VReg dst, std::int32_t slot);
+IrInst irStoreStack(VReg value, std::int32_t slot);
+IrInst irFadd(RegIndex fd, RegIndex fs1, RegIndex fs2);
+IrInst irFmul(RegIndex fd, RegIndex fs1, RegIndex fs2);
+IrInst irFloadStack(RegIndex fd, std::int32_t slot);
+IrInst irFstoreStack(RegIndex fs, std::int32_t slot);
+IrInst irBranch(IrOp op, VReg src1, VReg src2, int targetBlock);
+IrInst irJump(int targetBlock);
+IrInst irCall(int callee, std::vector<VReg> args, VReg dst = noVReg);
+IrInst irRet(VReg value = noVReg);
+IrInst irHalt();
+/** @} */
+
+} // namespace prog
+} // namespace dvi
+
+#endif // DVI_PROGRAM_IR_HH

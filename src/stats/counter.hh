@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named scalar statistic counters.
+ */
+
+#ifndef DVI_STATS_COUNTER_HH
+#define DVI_STATS_COUNTER_HH
+
+#include <cstdint>
+
+namespace dvi
+{
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() : value_(0) {}
+
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t by) { value_ += by; return *this; }
+
+  private:
+    std::uint64_t value_;
+};
+
+/**
+ * Ratio of two counters as a percentage; 0 when the denominator is 0.
+ */
+inline double
+percent(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+}
+
+/** Plain ratio; 0 when the denominator is 0. */
+inline double
+ratio(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0 : static_cast<double>(part) /
+                                  static_cast<double>(whole);
+}
+
+} // namespace dvi
+
+#endif // DVI_STATS_COUNTER_HH

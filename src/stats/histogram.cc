@@ -1,0 +1,75 @@
+#include "stats/histogram.hh"
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t weight)
+{
+    if (value >= counts.size())
+        counts.resize(value + 1, 0);
+    counts[value] += weight;
+    totalSamples += weight;
+    totalSum += value * weight;
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    for (std::size_t v = 0; v < counts.size(); ++v)
+        if (counts[v])
+            return v;
+    return 0;
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    for (std::size_t v = counts.size(); v > 0; --v)
+        if (counts[v - 1])
+            return v - 1;
+    return 0;
+}
+
+double
+Histogram::mean() const
+{
+    return totalSamples == 0
+               ? 0.0
+               : static_cast<double>(totalSum) /
+                     static_cast<double>(totalSamples);
+}
+
+std::uint64_t
+Histogram::percentile(double frac) const
+{
+    panic_if(frac < 0.0 || frac > 1.0, "percentile frac out of [0,1]");
+    if (totalSamples == 0)
+        return 0;
+    const double target = frac * static_cast<double>(totalSamples);
+    std::uint64_t seen = 0;
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+        seen += counts[v];
+        if (static_cast<double>(seen) >= target && counts[v] > 0)
+            return v;
+    }
+    return max();
+}
+
+std::uint64_t
+Histogram::countAt(std::uint64_t value) const
+{
+    return value < counts.size() ? counts[value] : 0;
+}
+
+void
+Histogram::reset()
+{
+    counts.clear();
+    totalSamples = 0;
+    totalSum = 0;
+}
+
+} // namespace dvi

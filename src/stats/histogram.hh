@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Integer-valued sample histogram with summary statistics.
+ *
+ * Used for live-register counts at context switches (Fig. 12),
+ * physical-register occupancy, and LVM-Stack depth distributions.
+ */
+
+#ifndef DVI_STATS_HISTOGRAM_HH
+#define DVI_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dvi
+{
+
+/** Histogram over non-negative integer samples. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one sample of the given value. */
+    void record(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t samples() const { return totalSamples; }
+    std::uint64_t sum() const { return totalSum; }
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    double mean() const;
+
+    /**
+     * Smallest value v such that at least frac of all samples are
+     * <= v. frac in [0, 1].
+     */
+    std::uint64_t percentile(double frac) const;
+
+    /** Count of samples with exactly this value. */
+    std::uint64_t countAt(std::uint64_t value) const;
+
+    /** Largest recorded value (bucket vector extent). */
+    std::size_t buckets() const { return counts.size(); }
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalSamples = 0;
+    std::uint64_t totalSum = 0;
+};
+
+} // namespace dvi
+
+#endif // DVI_STATS_HISTOGRAM_HH

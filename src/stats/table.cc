@@ -1,0 +1,105 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    panic_if(!body.empty(), "Table::setHeader after rows were added");
+    header = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(header.empty(), "Table::addRow before setHeader");
+    panic_if(cells.size() != header.size(),
+             "Table row has ", cells.size(), " cells, expected ",
+             header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::fmt(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column (labels), right-align data.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << "\n";
+    };
+
+    emit_row(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << row[c];
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+    return os.str();
+}
+
+} // namespace dvi

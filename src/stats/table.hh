@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-width text table formatter.
+ *
+ * Every bench binary reports its figure or table through this class so
+ * the output layout mirrors the paper's tables and is diffable between
+ * runs.
+ */
+
+#ifndef DVI_STATS_TABLE_HH
+#define DVI_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dvi
+{
+
+/** Column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Define the header row. Must be called before addRow. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row; must match the header's column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string fmt(std::uint64_t value);
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string renderCsv() const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace dvi
+
+#endif // DVI_STATS_TABLE_HH

@@ -1,0 +1,549 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace uarch
+{
+
+using isa::FuClass;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+constexpr Cycle infiniteCycle = ~0ull;
+
+Addr
+pcBytes(std::uint32_t pc)
+{
+    return static_cast<Addr>(pc) * Instruction::sizeBytes;
+}
+
+} // namespace
+
+Core::Core(const comp::Executable &exe, const CoreConfig &config)
+    : exe(exe), cfg(config),
+      emu(exe,
+          arch::EmulatorOptions{/*trackLiveness=*/false, true, true, 0,
+                                false}),
+      renamer(cfg.numPhysRegs), lvm(isa::abiEntryLiveMask()),
+      lvmStack_(cfg.dvi.lvmStackDepth),
+      pregReadyAt(cfg.numPhysRegs, 0),
+      fpWriterSeq(isa::numFpRegs, 0),
+      memsys(cfg.il1, cfg.dl1, cfg.l2, cfg.memLatency),
+      bpred(cfg.bp), btb(cfg.bp.btbEntries), ras(cfg.bp.rasEntries)
+{}
+
+RegMask
+Core::effectiveKillMask(const Instruction &inst) const
+{
+    if (inst.isKill() && cfg.dvi.useEdvi)
+        return inst.killMask();
+    if (inst.isCall() && cfg.dvi.useIdvi)
+        return isa::idviCallMask();
+    if (inst.isReturn() && cfg.dvi.useIdvi)
+        return isa::idviReturnMask();
+    return RegMask{};
+}
+
+void
+Core::applyKillToRenamer(RegMask mask, WindowEntry &entry)
+{
+    if (!cfg.dvi.earlyReclaim)
+        return;
+    mask.forEach([&](RegIndex r) {
+        PhysRegIndex prev = renamer.killMapping(r);
+        if (prev != invalidPhysReg)
+            entry.killFrees.push_back(prev);
+    });
+}
+
+bool
+Core::nextTraceRecord()
+{
+    if (tracePending)
+        return true;
+    if (cfg.maxInsts &&
+        stats_.fetchedInsts - stats_.fetchedKills >= cfg.maxInsts)
+        return false;
+    if (!emu.step(&pending))
+        return false;
+    tracePending = true;
+    return true;
+}
+
+void
+Core::doFetch()
+{
+    if (fetchBlocked || now < fetchAvailCycle) {
+        ++stats_.fetchBlockedCycles;
+        return;
+    }
+    unsigned fetched = 0;
+    while (fetched < cfg.fetchWidth &&
+           fetchQueue.size() < cfg.fetchQueueSize) {
+        if (!nextTraceRecord())
+            break;
+
+        // Model the I-cache at line granularity.
+        const Addr pcb = pcBytes(pending.pc);
+        const Addr line = pcb / cfg.il1.lineBytes;
+        if (line != lastFetchLine) {
+            const unsigned lat = memsys.instAccess(pcb);
+            lastFetchLine = line;
+            if (lat > cfg.il1.hitLatency) {
+                // Line arrives later; resume fetch then.
+                fetchAvailCycle = now + lat;
+                break;
+            }
+        }
+
+        FetchedInst fi;
+        fi.tr = pending;
+        tracePending = false;
+        const Instruction &inst = fi.tr.inst;
+        ++stats_.fetchedInsts;
+        if (inst.isKill())
+            ++stats_.fetchedKills;
+
+        bool stop_group = false;
+        if (inst.isCondBranch()) {
+            ++stats_.condBranches;
+            const bool pred = bpred.predict(pcb);
+            const bool actual = fi.tr.taken;
+            if (pred) {
+                Addr tgt = 0;
+                if (!btb.lookup(pcb, &tgt)) {
+                    // Direction says taken but no target: one-cycle
+                    // bubble while decode computes it.
+                    fetchAvailCycle = now + 2;
+                    ++stats_.btbMissBubbles;
+                }
+            }
+            if (actual)
+                btb.insert(pcb, pcBytes(fi.tr.nextPc));
+            if (pred != actual) {
+                fi.mispredicted = true;
+                fetchBlocked = true;
+                ++stats_.branchMispredicts;
+            }
+            stop_group = pred || actual || fi.mispredicted;
+        } else if (inst.isCall()) {
+            ras.push(pcBytes(fi.tr.pc + 1));
+            stop_group = true;
+        } else if (inst.isReturn()) {
+            const Addr pred_tgt = ras.pop();
+            if (pred_tgt != pcBytes(fi.tr.nextPc)) {
+                fi.mispredicted = true;
+                fetchBlocked = true;
+                ++stats_.rasMispredicts;
+            }
+            stop_group = true;
+        } else if (inst.op == Opcode::Jump) {
+            stop_group = true;
+        }
+
+        fetchQueue.push_back(fi);
+        ++fetched;
+        if (stop_group)
+            break;
+    }
+}
+
+void
+Core::dispatchKill(const arch::TraceRecord &tr)
+{
+    WindowEntry e;
+    e.tr = tr;
+    e.seq = nextSeq++;
+    e.noExec = true;
+    e.state = EntryState::Done;
+    e.doneCycle = now;
+    lvm.kill(tr.inst.killMask());
+    applyKillToRenamer(tr.inst.killMask(), e);
+    window.push_back(std::move(e));
+}
+
+void
+Core::doDispatch()
+{
+    unsigned dispatched = 0;
+    bool counted_window_stall = false;
+    bool counted_rename_stall = false;
+
+    while (dispatched < cfg.decodeWidth && !fetchQueue.empty()) {
+        FetchedInst &fi = fetchQueue.front();
+        const Instruction &inst = fi.tr.inst;
+
+        // --- E-DVI kill annotations.
+        if (inst.isKill()) {
+            if (cfg.dvi.useEdvi) {
+                if (window.size() >= cfg.windowSize) {
+                    if (!counted_window_stall) {
+                        ++stats_.windowFullCycles;
+                        counted_window_stall = true;
+                    }
+                    break;
+                }
+                dispatchKill(fi.tr);
+            }
+            ++stats_.decodedInsts;
+            fetchQueue.pop_front();
+            ++dispatched;
+            continue;
+        }
+
+        // --- Dead save: squash at decode (LVM scheme, §5.2).
+        if (inst.isSave() && cfg.dvi.elimSaves &&
+            !lvm.isLive(inst.saveRestoreReg())) {
+            ++stats_.savesSeen;
+            ++stats_.savesEliminated;
+            ++stats_.committedProgInsts;
+            ++stats_.decodedInsts;
+            fetchQueue.pop_front();
+            ++dispatched;
+            continue;
+        }
+
+        // --- Dead restore: squash using the LVM-Stack snapshot.
+        if (inst.isRestore() && cfg.dvi.elimRestores &&
+            !lvmStack_.top().test(inst.saveRestoreReg())) {
+            ++stats_.restoresSeen;
+            ++stats_.restoresEliminated;
+            ++stats_.committedProgInsts;
+            ++stats_.decodedInsts;
+            fetchQueue.pop_front();
+            ++dispatched;
+            continue;
+        }
+
+        // --- Normal dispatch path.
+        if (window.size() >= cfg.windowSize) {
+            if (!counted_window_stall) {
+                ++stats_.windowFullCycles;
+                counted_window_stall = true;
+            }
+            break;
+        }
+        if (inst.writesIntReg() && !renamer.hasFree()) {
+            if (!counted_rename_stall) {
+                ++stats_.renameStallCycles;
+                counted_rename_stall = true;
+            }
+            break;
+        }
+
+        WindowEntry e;
+        e.tr = fi.tr;
+        e.seq = nextSeq++;
+        e.mispredicted = fi.mispredicted;
+        e.isLoad = inst.isLoad();
+        e.isStore = inst.isStore();
+        e.noExec = inst.fuClass() == FuClass::None;
+
+        if (inst.isSave())
+            ++stats_.savesSeen;
+        if (inst.isRestore())
+            ++stats_.restoresSeen;
+
+        // Rename integer sources. An unmapped (killed) source reads
+        // an arbitrary value — legal only for dead data (§7
+        // "Meaning of precise program state"); it is always ready.
+        RegIndex srcs[2];
+        e.numSrcs = inst.srcIntRegs(srcs);
+        for (unsigned i = 0; i < e.numSrcs; ++i)
+            e.srcPregs[i] = renamer.lookup(srcs[i]);
+
+        RegIndex fp_srcs[2];
+        e.numFpSrcs = inst.srcFpRegs(fp_srcs);
+        for (unsigned i = 0; i < e.numFpSrcs; ++i)
+            e.fpSrcSeqs[i] = fpWriterSeq[fp_srcs[i]];
+
+        // I-DVI and the LVM-Stack at procedure boundaries (§2, §5.2).
+        if (inst.isCall()) {
+            lvmStack_.push(lvm.snapshot());
+            if (cfg.dvi.useIdvi) {
+                lvm.kill(isa::idviCallMask());
+                applyKillToRenamer(isa::idviCallMask(), e);
+            }
+        } else if (inst.isReturn()) {
+            const RegMask snapshot = lvmStack_.pop();
+            lvm.mergeFrom(snapshot, isa::calleeSavedMask());
+            if (cfg.dvi.useIdvi) {
+                lvm.kill(isa::idviReturnMask());
+                applyKillToRenamer(isa::idviReturnMask(), e);
+            }
+        }
+
+        if (inst.writesIntReg()) {
+            const auto rd = renamer.renameDest(inst.destIntReg());
+            e.hasDest = true;
+            e.destPreg = rd.newPreg;
+            e.prevPreg = rd.prevPreg;
+            pregReadyAt[static_cast<std::size_t>(rd.newPreg)] =
+                infiniteCycle;
+            lvm.define(inst.destIntReg());
+        }
+        if (inst.writesFpReg()) {
+            e.hasFpDest = true;
+            e.fpDest = inst.rd;
+            fpWriterSeq[e.fpDest] = e.seq;
+        }
+
+        if (e.noExec) {
+            e.state = EntryState::Done;
+            e.doneCycle = now;
+        }
+
+        window.push_back(std::move(e));
+        fetchQueue.pop_front();
+        ++stats_.decodedInsts;
+        ++dispatched;
+    }
+}
+
+bool
+Core::operandsReady(const WindowEntry &e) const
+{
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const PhysRegIndex p = e.srcPregs[i];
+        if (p != invalidPhysReg &&
+            pregReadyAt[static_cast<std::size_t>(p)] > now)
+            return false;
+    }
+    for (unsigned i = 0; i < e.numFpSrcs; ++i) {
+        const InstSeqNum producer = e.fpSrcSeqs[i];
+        if (producer == 0)
+            continue;
+        // A producer no longer in the window has committed.
+        for (const auto &o : window) {
+            if (o.seq == producer) {
+                if (o.state != EntryState::Done)
+                    return false;
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Core::doIssue()
+{
+    unsigned issued = 0;
+    unsigned alu_free = cfg.intAlus;
+    unsigned muldiv_free = cfg.intMulDivs;
+    unsigned fp_free = cfg.fpAlus;
+    unsigned fpmul_free = cfg.fpMulDivs;
+
+    // Loads may not pass stores whose address is still unknown.
+    InstSeqNum oldest_unissued_store = ~0ull;
+    for (const auto &e : window) {
+        if (e.isStore && e.state == EntryState::Waiting) {
+            oldest_unissued_store = e.seq;
+            break;
+        }
+    }
+
+    for (std::size_t wi = 0;
+         wi < window.size() && issued < cfg.issueWidth; ++wi) {
+        WindowEntry &e = window[wi];
+        if (e.state != EntryState::Waiting)
+            continue;
+        if (!operandsReady(e))
+            continue;
+
+        unsigned latency = e.tr.inst.execLatency();
+
+        if (e.isLoad) {
+            if (e.seq > oldest_unissued_store)
+                continue;
+            // Store-to-load forwarding from the youngest older store
+            // to the same address whose data is available.
+            bool forwarded = false;
+            for (std::size_t oj = wi; oj > 0; --oj) {
+                const WindowEntry &o = window[oj - 1];
+                if (o.isStore && o.state != EntryState::Waiting &&
+                    o.tr.effAddr == e.tr.effAddr) {
+                    forwarded = true;
+                    break;
+                }
+            }
+            if (forwarded) {
+                latency = 1;
+                ++stats_.loadForwards;
+            } else {
+                if (portsUsedThisCycle >= cfg.cachePorts)
+                    continue;
+                ++portsUsedThisCycle;
+                latency = memsys.dataAccess(e.tr.effAddr, false);
+                ++stats_.loadsExecuted;
+            }
+        } else if (e.isStore) {
+            latency = 1;  // address/data capture; port used at commit
+        } else {
+            switch (e.tr.inst.fuClass()) {
+              case FuClass::IntAlu:
+              case FuClass::Branch:
+                if (alu_free == 0)
+                    continue;
+                --alu_free;
+                break;
+              case FuClass::IntMulDiv:
+                if (muldiv_free == 0 || alu_free == 0)
+                    continue;
+                --muldiv_free;
+                --alu_free;
+                break;
+              case FuClass::FpAlu:
+                if (fp_free == 0)
+                    continue;
+                --fp_free;
+                break;
+              case FuClass::FpMulDiv:
+                if (fpmul_free == 0 || fp_free == 0)
+                    continue;
+                --fpmul_free;
+                --fp_free;
+                break;
+              case FuClass::None:
+              case FuClass::MemPort:
+                break;
+            }
+        }
+
+        e.state = EntryState::Issued;
+        e.doneCycle = now + latency;
+        if (e.hasDest)
+            pregReadyAt[static_cast<std::size_t>(e.destPreg)] =
+                e.doneCycle;
+        ++issued;
+    }
+}
+
+void
+Core::doComplete()
+{
+    for (auto &e : window) {
+        if (e.state == EntryState::Issued && e.doneCycle <= now) {
+            e.state = EntryState::Done;
+            if (e.mispredicted && fetchBlocked) {
+                fetchBlocked = false;
+                fetchAvailCycle =
+                    std::max(fetchAvailCycle, e.doneCycle + 1);
+            }
+        }
+    }
+}
+
+void
+Core::doCommit()
+{
+    unsigned committed = 0;
+    while (committed < cfg.commitWidth && !window.empty()) {
+        WindowEntry &e = window.front();
+        if (e.state != EntryState::Done)
+            break;
+        if (e.isStore) {
+            // The architectural write needs a cache port.
+            if (portsUsedThisCycle >= cfg.cachePorts)
+                break;
+            ++portsUsedThisCycle;
+            memsys.dataAccess(e.tr.effAddr, true);
+            ++stats_.storesExecuted;
+        }
+        if (e.hasDest && e.prevPreg != invalidPhysReg)
+            renamer.freePhysReg(e.prevPreg);
+        for (PhysRegIndex p : e.killFrees)
+            renamer.freePhysReg(p);
+        if (e.tr.inst.isCondBranch())
+            bpred.update(pcBytes(e.tr.pc), e.tr.taken);
+        if (e.tr.inst.isKill())
+            ++stats_.committedKills;
+        else
+            ++stats_.committedProgInsts;
+        lastCommitCycle = now;
+        window.pop_front();
+        ++committed;
+    }
+}
+
+std::size_t
+Core::inFlightHeld() const
+{
+    std::size_t held = 0;
+    for (const auto &e : window) {
+        if (e.hasDest && e.prevPreg != invalidPhysReg)
+            ++held;
+        held += e.killFrees.size();
+    }
+    return held;
+}
+
+const CoreStats &
+Core::run()
+{
+    bool trace_done = false;
+    while (true) {
+        portsUsedThisCycle = 0;
+        doComplete();
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+
+        if ((now & 63) == 0) {
+            stats_.pregsInUse.record(cfg.numPhysRegs -
+                                     renamer.freeCount());
+            stats_.liveRegs.record(
+                lvm.liveCount(RegMask::firstN(isa::numIntRegs)));
+        }
+        if ((now & 1023) == 0)
+            renamer.checkConservation(inFlightHeld());
+
+        ++now;
+        stats_.cycles = now;
+
+        if (!trace_done && !nextTraceRecord())
+            trace_done = true;
+        if (trace_done && window.empty() && fetchQueue.empty() &&
+            !tracePending)
+            break;
+        if (!window.empty() && now - lastCommitCycle > 100000) {
+            const WindowEntry &h = window.front();
+            std::fprintf(stderr,
+                         "DEADLOCK head: seq=%llu op=%s pc=%u "
+                         "srcs=%d:[%d,%d] ready=[%llu,%llu] "
+                         "isLoad=%d isStore=%d fpsrcs=%u now=%llu\n",
+                         (unsigned long long)h.seq,
+                         h.tr.inst.toString().c_str(), h.tr.pc,
+                         h.numSrcs, (int)h.srcPregs[0],
+                         (int)h.srcPregs[1],
+                         h.numSrcs > 0 && h.srcPregs[0] >= 0
+                             ? (unsigned long long)pregReadyAt[h.srcPregs[0]] : 0ull,
+                         h.numSrcs > 1 && h.srcPregs[1] >= 0
+                             ? (unsigned long long)pregReadyAt[h.srcPregs[1]] : 0ull,
+                         (int)h.isLoad, (int)h.isStore, h.numFpSrcs,
+                         (unsigned long long)now);
+            panic("core deadlock");
+        }
+        if (cfg.maxCycles && now >= cfg.maxCycles)
+            break;
+    }
+
+    stats_.il1Misses = memsys.il1().misses();
+    stats_.dl1Misses = memsys.dl1().misses();
+    stats_.dl1Accesses = memsys.dl1().accesses();
+    stats_.l2Misses = memsys.l2().misses();
+    return stats_;
+}
+
+} // namespace uarch
+} // namespace dvi

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Trace-driven out-of-order core with the paper's three DVI hooks.
+ *
+ * Pipeline: fetch (I-cache, combining branch predictor, BTB, RAS) →
+ * decode/rename/dispatch (LVM update, save/restore squashing, R10000
+ * renaming with DVI kills) → issue (unified window, functional
+ * units, cache ports, load/store ordering with store-to-load
+ * forwarding) → complete → in-order commit (physical register
+ * reclamation, including DVI early reclamation; store writeback
+ * through a cache port; predictor training).
+ *
+ * The instruction stream is the correct execution path produced by
+ * the functional emulator; a mispredicted branch stalls fetch until
+ * it resolves rather than fetching wrong-path instructions (see
+ * DESIGN.md §2 for why this substitution preserves the penalty).
+ *
+ * DVI hooks, mapped to the paper:
+ *  - §4.1: a kill (explicit or implied by call/return) unmaps the
+ *    architectural register at rename; the previous mapping is freed
+ *    when the killing instruction commits (never speculatively).
+ *  - §5.2 LVM scheme: a live-store whose data register is dead in
+ *    the LVM is squashed at decode — it consumes fetch/decode
+ *    bandwidth but no window entry, issue slot, cache port, or
+ *    commit slot.
+ *  - §5.2 LVM-Stack scheme: calls push LVM snapshots; a live-load
+ *    dead in the top snapshot is squashed the same way; returns pop
+ *    and merge the snapshot's callee-saved bits back into the LVM.
+ */
+
+#ifndef DVI_UARCH_CORE_HH
+#define DVI_UARCH_CORE_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "arch/emulator.hh"
+#include "core/lvm.hh"
+#include "core/lvm_stack.hh"
+#include "core/renamer.hh"
+#include "mem/cache.hh"
+#include "predictor/branch_predictor.hh"
+#include "uarch/core_config.hh"
+#include "uarch/core_stats.hh"
+
+namespace dvi
+{
+namespace uarch
+{
+
+/** Trace-driven out-of-order core. */
+class Core
+{
+  public:
+    Core(const comp::Executable &exe, const CoreConfig &config);
+
+    /** Run to completion (or configured limits); returns stats. */
+    const CoreStats &run();
+
+    const CoreStats &stats() const { return stats_; }
+    const core::LvmStack &lvmStack() const { return lvmStack_; }
+    const arch::Emulator &emulator() const { return emu; }
+
+  private:
+    enum class EntryState : std::uint8_t
+    {
+        Waiting,
+        Issued,
+        Done,
+    };
+
+    /** One unified-window (RUU) entry. */
+    struct WindowEntry
+    {
+        arch::TraceRecord tr;
+        InstSeqNum seq = 0;
+        EntryState state = EntryState::Waiting;
+        Cycle doneCycle = 0;
+
+        bool hasDest = false;
+        PhysRegIndex destPreg = invalidPhysReg;
+        PhysRegIndex prevPreg = invalidPhysReg;
+        /** Mappings a committed DVI kill releases. */
+        std::vector<PhysRegIndex> killFrees;
+
+        unsigned numSrcs = 0;
+        PhysRegIndex srcPregs[2] = {invalidPhysReg, invalidPhysReg};
+        /** FP dependencies: sequence numbers of the producing
+         * writers (0 = no in-flight producer). FP registers are not
+         * renamed (the paper's experiments target the integer file),
+         * so readiness must track the *writer*, not the register —
+         * an instruction like fmul f6,f5,f6 must not wait on its own
+         * pending write. */
+        unsigned numFpSrcs = 0;
+        InstSeqNum fpSrcSeqs[2] = {0, 0};
+        bool hasFpDest = false;
+        RegIndex fpDest = 0;
+
+        bool isLoad = false;
+        bool isStore = false;
+        bool noExec = false;       ///< kill: completes at dispatch
+        bool mispredicted = false; ///< resolution unblocks fetch
+    };
+
+    /** A fetched instruction waiting for decode. */
+    struct FetchedInst
+    {
+        arch::TraceRecord tr;
+        bool mispredicted = false;
+    };
+
+    void doCommit();
+    void doComplete();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    bool nextTraceRecord();
+    void dispatchKill(const arch::TraceRecord &tr);
+    RegMask effectiveKillMask(const isa::Instruction &inst) const;
+    void applyKillToRenamer(RegMask mask, WindowEntry &entry);
+    bool operandsReady(const WindowEntry &e) const;
+    std::size_t inFlightHeld() const;
+
+    /** Owned copy, for the same lifetime-safety reason as
+     * arch::Emulator. */
+    const comp::Executable exe;
+    CoreConfig cfg;
+    CoreStats stats_;
+
+    arch::Emulator emu;
+    bool tracePending = false;
+    arch::TraceRecord pending;
+
+    core::Renamer renamer;
+    core::Lvm lvm;
+    core::LvmStack lvmStack_;
+    std::vector<Cycle> pregReadyAt;
+    /** Last dispatched writer of each architectural FP register. */
+    std::vector<InstSeqNum> fpWriterSeq;
+
+    mem::MemoryHierarchy memsys;
+    predictor::BranchPredictor bpred;
+    predictor::Btb btb;
+    predictor::ReturnAddressStack ras;
+
+    std::deque<FetchedInst> fetchQueue;
+    std::deque<WindowEntry> window;
+
+    Cycle now = 0;
+    InstSeqNum nextSeq = 1;
+
+    bool fetchBlocked = false;       ///< mispredict: wait for resolve
+    InstSeqNum fetchBlockedOn = 0;
+    Cycle fetchAvailCycle = 0;       ///< I-cache miss / redirect
+    Addr lastFetchLine = ~0ull;
+
+    unsigned portsUsedThisCycle = 0;
+    Cycle lastCommitCycle = 0;
+};
+
+} // namespace uarch
+} // namespace dvi
+
+#endif // DVI_UARCH_CORE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Statistics harvested from one timing-simulation run.
+ */
+
+#ifndef DVI_UARCH_CORE_STATS_HH
+#define DVI_UARCH_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "stats/histogram.hh"
+
+namespace dvi
+{
+namespace uarch
+{
+
+/** Counters of one core run. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+
+    std::uint64_t fetchedInsts = 0;   ///< includes kill annotations
+    std::uint64_t fetchedKills = 0;
+    std::uint64_t decodedInsts = 0;
+
+    /** Committed *program* instructions — kills excluded, squashed
+     * saves/restores included (§3 "Significance of Results"). */
+    std::uint64_t committedProgInsts = 0;
+    std::uint64_t committedKills = 0;
+
+    std::uint64_t savesSeen = 0;       ///< decoded live-stores
+    std::uint64_t restoresSeen = 0;    ///< decoded live-loads
+    std::uint64_t savesEliminated = 0;
+    std::uint64_t restoresEliminated = 0;
+
+    std::uint64_t loadsExecuted = 0;   ///< D-cache-visible loads
+    std::uint64_t storesExecuted = 0;
+    std::uint64_t loadForwards = 0;    ///< store-to-load forwards
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t rasMispredicts = 0;
+    std::uint64_t btbMissBubbles = 0;
+
+    std::uint64_t renameStallCycles = 0;
+    std::uint64_t windowFullCycles = 0;
+    std::uint64_t fetchBlockedCycles = 0;
+
+    std::uint64_t il1Misses = 0;
+    std::uint64_t dl1Misses = 0;
+    std::uint64_t dl1Accesses = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** Sampled physical-register-file occupancy (mapped + in
+     * flight). */
+    Histogram pregsInUse;
+
+    /** Sampled live architectural registers (LVM population). */
+    Histogram liveRegs;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(committedProgInsts) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+} // namespace uarch
+} // namespace dvi
+
+#endif // DVI_UARCH_CORE_STATS_HH

@@ -1,0 +1,189 @@
+#include "workload/benchmarks.hh"
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace workload
+{
+
+std::vector<BenchmarkId>
+allBenchmarks()
+{
+    return {BenchmarkId::Compress, BenchmarkId::Go, BenchmarkId::Ijpeg,
+            BenchmarkId::Li,       BenchmarkId::Vortex,
+            BenchmarkId::Perl,     BenchmarkId::Gcc};
+}
+
+std::vector<BenchmarkId>
+saveRestoreBenchmarks()
+{
+    // Fig. 9/10 report "the six benchmarks that exhibit significant
+    // save and restore activity" (compress is dropped).
+    return {BenchmarkId::Li,   BenchmarkId::Ijpeg, BenchmarkId::Gcc,
+            BenchmarkId::Perl, BenchmarkId::Vortex, BenchmarkId::Go};
+}
+
+std::string
+benchmarkName(BenchmarkId id)
+{
+    switch (id) {
+      case BenchmarkId::Compress: return "compress";
+      case BenchmarkId::Go: return "go";
+      case BenchmarkId::Ijpeg: return "ijpeg";
+      case BenchmarkId::Li: return "li";
+      case BenchmarkId::Vortex: return "vortex";
+      case BenchmarkId::Perl: return "perl";
+      case BenchmarkId::Gcc: return "gcc";
+    }
+    panic("unknown benchmark id");
+}
+
+GeneratorParams
+benchmarkParams(BenchmarkId id)
+{
+    GeneratorParams p;
+    p.name = benchmarkName(id);
+    switch (id) {
+      case BenchmarkId::Compress:
+        // Tight compression kernel: few procedures, long loops, low
+        // call density, moderate memory traffic.
+        p.seed = 0xc0301;
+        p.numProcs = 8;
+        p.segmentsPerProc = 3;
+        p.workPerSegment = 24;
+        p.callProb = 0.35;
+        p.leafFraction = 0.40;
+        p.fanout = 4;
+        p.calleeValues = 2;
+        p.longLivedFraction = 0.60;
+        p.memFraction = 0.36;
+        p.fpFraction = 0.02;
+        p.loopProb = 0.50;
+        p.loopItersLo = 4;
+        p.loopItersHi = 16;
+        p.condProb = 0.15;
+        break;
+      case BenchmarkId::Go:
+        // Branchy game-tree evaluation; values genuinely live across
+        // calls, so little DVI opportunity (the paper's weakest
+        // benchmark for elimination).
+        p.seed = 0x60;
+        p.numProcs = 30;
+        p.segmentsPerProc = 4;
+        p.workPerSegment = 12;
+        p.callProb = 0.55;
+        p.leafFraction = 0.20;
+        p.fanout = 6;
+        p.calleeValues = 4;
+        p.longLivedFraction = 0.80;
+        p.memFraction = 0.26;
+        p.loopProb = 0.25;
+        p.loopItersLo = 2;
+        p.loopItersHi = 6;
+        p.condProb = 0.35;
+        break;
+      case BenchmarkId::Ijpeg:
+        // Image kernels: long predictable loops, a little FP.
+        p.seed = 0x1395;
+        p.numProcs = 12;
+        p.segmentsPerProc = 3;
+        p.workPerSegment = 20;
+        p.callProb = 0.40;
+        p.leafFraction = 0.35;
+        p.fanout = 5;
+        p.calleeValues = 3;
+        p.longLivedFraction = 0.65;
+        p.memFraction = 0.30;
+        p.fpFraction = 0.05;
+        p.loopProb = 0.50;
+        p.loopItersLo = 6;
+        p.loopItersHi = 20;
+        p.condProb = 0.10;
+        break;
+      case BenchmarkId::Li:
+        // Lisp interpreter: tiny procedures, very high call density,
+        // deep recursion (stresses the LVM-Stack depth).
+        p.seed = 0x11;
+        p.numProcs = 20;
+        p.segmentsPerProc = 4;
+        p.workPerSegment = 5;
+        p.callProb = 0.85;
+        p.leafFraction = 0.10;
+        p.fanout = 8;
+        p.calleeValues = 5;
+        p.longLivedFraction = 0.20;
+        p.memFraction = 0.30;
+        p.loopProb = 0.15;
+        p.loopItersLo = 2;
+        p.loopItersHi = 4;
+        p.condProb = 0.20;
+        p.recursionDepth = 24;
+        break;
+      case BenchmarkId::Vortex:
+        // Object database: many procedures, heavy memory traffic.
+        p.seed = 0x40e7;
+        p.numProcs = 40;
+        p.segmentsPerProc = 4;
+        p.workPerSegment = 8;
+        p.callProb = 0.70;
+        p.leafFraction = 0.15;
+        p.fanout = 16;
+        p.calleeValues = 4;
+        p.longLivedFraction = 0.35;
+        p.memFraction = 0.40;
+        p.loopProb = 0.20;
+        p.loopItersLo = 2;
+        p.loopItersHi = 5;
+        p.condProb = 0.20;
+        break;
+      case BenchmarkId::Perl:
+        // Interpreter dispatch: high call density and mostly
+        // short-lived cross-call values — the paper's best benchmark
+        // for save/restore elimination (74.6%).
+        p.seed = 0x9e71;
+        p.numProcs = 25;
+        p.segmentsPerProc = 5;
+        p.workPerSegment = 8;
+        p.callProb = 0.80;
+        p.leafFraction = 0.10;
+        p.fanout = 12;
+        p.calleeValues = 6;
+        p.longLivedFraction = 0.05;
+        p.memFraction = 0.36;
+        p.loopProb = 0.15;
+        p.loopItersLo = 2;
+        p.loopItersHi = 5;
+        p.condProb = 0.25;
+        p.recursionDepth = 8;
+        break;
+      case BenchmarkId::Gcc:
+        // Compiler passes: many procedures, moderate-high call
+        // density, mixed liveness.
+        p.seed = 0x6cc;
+        p.numProcs = 50;
+        p.segmentsPerProc = 5;
+        p.workPerSegment = 8;
+        p.callProb = 0.70;
+        p.leafFraction = 0.10;
+        p.fanout = 18;
+        p.calleeValues = 5;
+        p.longLivedFraction = 0.15;
+        p.memFraction = 0.30;
+        p.loopProb = 0.20;
+        p.loopItersLo = 2;
+        p.loopItersHi = 6;
+        p.condProb = 0.30;
+        break;
+    }
+    return p;
+}
+
+prog::Module
+generateBenchmark(BenchmarkId id)
+{
+    return generate(benchmarkParams(id));
+}
+
+} // namespace workload
+} // namespace dvi

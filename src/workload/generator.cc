@@ -1,0 +1,578 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace dvi
+{
+namespace workload
+{
+
+using prog::IrInst;
+using prog::IrOp;
+using prog::Module;
+using prog::noVReg;
+using prog::Procedure;
+using prog::VReg;
+
+namespace
+{
+
+/** Per-procedure generation context. */
+class ProcGen
+{
+  public:
+    ProcGen(Module &mod, int proc_idx, const GeneratorParams &p,
+            Rng &rng, bool is_leaf, bool is_recursive)
+        : mod(mod), proc(mod.procs[static_cast<std::size_t>(proc_idx)]),
+          procIdx(proc_idx), params(p), rng(rng), leaf(is_leaf),
+          recursive(is_recursive),
+          segments_(is_leaf ? 1 : p.segmentsPerProc),
+          poolCap(is_leaf ? 12 : 6)
+    {}
+
+    void
+    build()
+    {
+        cur = proc.newBlock();
+        emitEntry();
+
+        // Recursive procedures branch to the exit on depth < 1; the
+        // exit block index is known only after the body is built, so
+        // remember the branch for patching.
+        int patch_block = -1;
+        std::size_t patch_inst = 0;
+        if (recursive) {
+            VReg one = proc.newVReg();
+            proc.emit(cur, prog::irLoadImm(one, 1));
+            proc.emit(cur, prog::irBranch(IrOp::Blt, proc.params[0],
+                                          one, 0));
+            patch_block = cur;
+            patch_inst =
+                proc.blocks[static_cast<std::size_t>(cur)].insts.size() -
+                1;
+            cur = proc.newBlock();
+        }
+
+        for (unsigned s = 0; s < segments_; ++s)
+            emitSegment(s, segments_);
+
+        // The last body block falls through into the exit block.
+        const int exit_block = proc.newBlock();
+        cur = exit_block;
+        if (patch_block >= 0)
+            proc.blocks[static_cast<std::size_t>(patch_block)]
+                .insts[patch_inst]
+                .target = exit_block;
+        emitExit();
+    }
+
+  private:
+    void
+    emitEntry()
+    {
+        // Seed the temp pool from parameters and constants. The pool
+        // is segment-scoped (reset in each segment prelude), so these
+        // die before the first call and stay caller-saved.
+        for (VReg pv : proc.params)
+            temps.push_back(pv);
+        while (temps.size() < 3) {
+            VReg t = proc.newVReg();
+            proc.emit(cur, prog::irLoadImm(
+                               t, static_cast<std::int32_t>(
+                                      rng.range(1, 1000))));
+            temps.push_back(t);
+        }
+
+        // Cross-call value plan. Three kinds of callee-saved
+        // candidates (§5 / Fig. 4 of the paper):
+        //  - long:  live across every call (never eliminable — the
+        //           paper's caller1);
+        //  - early: defined up front, dead after the first call
+        //           cluster (dead at all later call sites — the
+        //           paper's caller2);
+        //  - late:  defined just before the *last* call cluster; the
+        //           register's prologue-saved entry value is dead at
+        //           every earlier call site (the Fig. 4
+        //           "unmapped-between-kill-and-redefinition" window).
+        // Early values are all born in segment 0 so they overlap and
+        // take distinct registers; early+late pairs may share a
+        // register, which only merges their (still gappy) windows.
+        // The type split is deterministic (not sampled) so that every
+        // procedure — in particular a dynamically dominant recursive
+        // one — carries the configured mix.
+        if (leaf)
+            return;
+        const unsigned segments = segments_;
+        const unsigned n_long = static_cast<unsigned>(
+            static_cast<double>(params.calleeValues) *
+                params.longLivedFraction +
+            0.5);
+        for (unsigned j = 0; j < params.calleeValues; ++j) {
+            unsigned def_seg, last_seg;
+            if (j < n_long) {
+                def_seg = 0;
+                last_seg = segments - 1;
+            } else if (segments >= 2 && (j - n_long) % 2 == 1) {
+                def_seg = segments - 1;  // late birth
+                last_seg = segments - 1;
+            } else {
+                def_seg = 0;  // early death
+                last_seg = 0;
+            }
+            VReg v = noVReg;
+            if (def_seg == 0) {
+                v = proc.newVReg();
+                proc.emit(cur, prog::irAluImm(
+                                   IrOp::AddImm, v, pickTemp(),
+                                   static_cast<std::int32_t>(
+                                       rng.range(1, 64))));
+            }
+            longLived.push_back({v, def_seg, last_seg});
+        }
+    }
+
+    /**
+     * Rematerialize the segment-local constants: the zero used by
+     * compares, the shift amount, and the global-region base
+     * pointer. Real compilers rematerialize such constants rather
+     * than keeping them in registers across calls; defining them per
+     * segment keeps them out of the callee-saved pool so they do not
+     * pin registers live at call sites.
+     */
+    void
+    emitSegmentPrelude(unsigned seg)
+    {
+        // Temps never outlive a segment's call: the pool is rebuilt
+        // here, so the only values crossing calls are the controlled
+        // long-lived set (plus call results consumed before the next
+        // call). This mirrors compiled code, where temporaries around
+        // a call sit in caller-saved registers.
+        if (seg > 0) {
+            temps.clear();
+            for (unsigned i = 0; i < 2; ++i) {
+                VReg t = proc.newVReg();
+                proc.emit(cur,
+                          prog::irLoadImm(
+                              t, static_cast<std::int32_t>(
+                                     rng.range(1, 1000))));
+                temps.push_back(t);
+            }
+        }
+        zeroV = proc.newVReg();
+        proc.emit(cur, prog::irLoadImm(zeroV, 0));
+        threeV = proc.newVReg();
+        proc.emit(cur, prog::irLoadImm(threeV, 3));
+        baseV = proc.newVReg();
+        const std::int32_t region =
+            static_cast<std::int32_t>(Module::globalBase) +
+            static_cast<std::int32_t>(
+                rng.below(std::max(1u, params.globalWords - 128)) *
+                8);
+        proc.emit(cur, prog::irLoadImm(baseV, region));
+
+        // Birth of late cross-call values scheduled for this segment.
+        for (auto &lv : longLived) {
+            if (lv.defSeg == seg && lv.v == noVReg) {
+                lv.v = proc.newVReg();
+                proc.emit(cur, prog::irAluImm(
+                                   IrOp::AddImm, lv.v, pickTemp(),
+                                   static_cast<std::int32_t>(
+                                       rng.range(1, 64))));
+            }
+        }
+    }
+
+    void
+    emitSegment(unsigned seg, unsigned segments)
+    {
+        emitSegmentPrelude(seg);
+        const bool in_loop = rng.chance(params.loopProb);
+        VReg counter = noVReg;
+        int header = -1;
+        if (in_loop) {
+            counter = proc.newVReg();
+            proc.emit(cur, prog::irLoadImm(
+                               counter,
+                               static_cast<std::int32_t>(rng.range(
+                                   params.loopItersLo,
+                                   params.loopItersHi))));
+            header = proc.newBlock();
+            cur = header;
+        }
+
+        emitWork(counter);
+
+        if (rng.chance(params.condProb))
+            emitDiamond();
+
+        if (in_loop) {
+            proc.emit(cur, prog::irAluImm(IrOp::AddImm, counter,
+                                          counter, -1));
+            proc.emit(cur, prog::irBranch(IrOp::Bne, counter, zeroV,
+                                          header));
+            cur = proc.newBlock();
+        }
+
+        // The first and last segments always call (so early-death and
+        // late-birth values reliably cross a call); middle segments
+        // call with the configured probability.
+        const bool force_call =
+            !leaf && (seg == 0 || seg + 1 == segments);
+        if (!leaf && (force_call || rng.chance(params.callProb)))
+            emitCall(seg);
+
+        // Keep every cross-call value alive through this segment's
+        // call while its window [defSeg, lastSeg] is open: a use
+        // *after* the call makes it live across the call
+        // (callee-saved) and dead outside the window. The use is a
+        // store to a stack local — it reads only the value itself,
+        // so it adds no other cross-call liveness.
+        for (const auto &lv : longLived) {
+            if (lv.v != noVReg && lv.defSeg <= seg &&
+                seg <= lv.lastSeg) {
+                proc.emit(cur, prog::irStoreStack(
+                                   lv.v,
+                                   static_cast<std::int32_t>(
+                                       rng.below(std::max(
+                                           1u, proc.numLocalSlots)))));
+            }
+        }
+        (void)segments;
+    }
+
+    void
+    emitWork(VReg loop_counter)
+    {
+        // Leaves are single-segment utility routines with real
+        // register pressure: enough simultaneously live temporaries
+        // to overflow the caller-saved pool into callee-saved
+        // registers, so they save registers like compiled leaf
+        // functions do (their elimination is then decided entirely
+        // by the *caller's* liveness — the paper's Fig. 7 scenario).
+        const unsigned n =
+            leaf ? std::max(16u, params.workPerSegment)
+                 : params.workPerSegment;
+        for (unsigned i = 0; i < n; ++i) {
+            const double roll = rng.uniform();
+            if (roll < params.memFraction) {
+                emitMemOp(loop_counter);
+            } else if (roll < params.memFraction + params.fpFraction) {
+                emitFpOp();
+            } else {
+                emitAluOp();
+            }
+        }
+    }
+
+    void
+    emitAluOp()
+    {
+        static const IrOp ops[] = {IrOp::Add, IrOp::Sub, IrOp::Mul,
+                                   IrOp::And, IrOp::Or,  IrOp::Xor,
+                                   IrOp::Slt, IrOp::Div};
+        const IrOp op = ops[rng.below(sizeof(ops) / sizeof(ops[0]))];
+        VReg t = proc.newVReg();
+        proc.emit(cur, prog::irAlu(op, t, pickTemp(), pickTemp()));
+        addTemp(t);
+    }
+
+    void
+    emitMemOp(VReg loop_counter)
+    {
+        const bool use_stack =
+            proc.numLocalSlots > 0 && rng.chance(0.3);
+        const bool is_store = rng.chance(0.45);
+        if (use_stack) {
+            const std::int32_t slot = static_cast<std::int32_t>(
+                rng.below(proc.numLocalSlots));
+            if (is_store) {
+                proc.emit(cur, prog::irStoreStack(pickTemp(), slot));
+            } else {
+                VReg t = proc.newVReg();
+                proc.emit(cur, prog::irLoadStack(t, slot));
+                addTemp(t);
+            }
+            return;
+        }
+        // Global access: either a fixed displacement (locality) or a
+        // strided address from the loop counter.
+        VReg base = baseV;
+        std::int32_t disp =
+            static_cast<std::int32_t>(rng.below(64) * 8);
+        if (loop_counter != noVReg && rng.chance(0.5)) {
+            VReg offs = proc.newVReg();
+            proc.emit(cur, prog::irAlu(IrOp::Sll, offs, loop_counter,
+                                       threeV));
+            VReg addr = proc.newVReg();
+            proc.emit(cur, prog::irAlu(IrOp::Add, addr, baseV, offs));
+            base = addr;
+            disp = 0;
+        }
+        if (is_store) {
+            proc.emit(cur, prog::irStore(pickTemp(), base, disp));
+        } else {
+            VReg t = proc.newVReg();
+            proc.emit(cur, prog::irLoad(t, base, disp));
+            addTemp(t);
+        }
+    }
+
+    void
+    emitFpOp()
+    {
+        const RegIndex fd = static_cast<RegIndex>(rng.below(8));
+        const RegIndex fa = static_cast<RegIndex>(rng.below(8));
+        const RegIndex fb = static_cast<RegIndex>(rng.below(8));
+        if (rng.chance(0.5))
+            proc.emit(cur, prog::irFadd(fd, fa, fb));
+        else
+            proc.emit(cur, prog::irFmul(fd, fa, fb));
+        if (proc.numLocalSlots > 0 && rng.chance(0.25)) {
+            const std::int32_t slot = static_cast<std::int32_t>(
+                rng.below(proc.numLocalSlots));
+            proc.emit(cur, prog::irFstoreStack(fd, slot));
+        }
+    }
+
+    void
+    emitDiamond()
+    {
+        // if (t == 0) { else-arm } else { then-arm }; biased: temps
+        // are rarely zero, so the branch is predictably not-taken.
+        VReg t = pickTemp();
+        const int then_b = static_cast<int>(proc.blocks.size());
+        proc.newBlock();
+        const int else_b = proc.newBlock();
+        const int join_b = proc.newBlock();
+        proc.emit(cur, prog::irBranch(IrOp::Beq, t, zeroV, else_b));
+        cur = then_b;
+        // Arms only read the shared pool (no new shared defs).
+        VReg a = proc.newVReg();
+        proc.emit(cur, prog::irAlu(IrOp::Xor, a, pickTemp(),
+                                   pickTemp()));
+        proc.emit(cur, prog::irStore(a, baseV, 8));
+        proc.emit(cur, prog::irJump(join_b));
+        cur = else_b;
+        VReg b = proc.newVReg();
+        proc.emit(cur, prog::irAlu(IrOp::Or, b, pickTemp(),
+                                   pickTemp()));
+        proc.emit(cur, prog::irStore(b, baseV, 16));
+        cur = join_b;
+    }
+
+    void
+    emitCall(unsigned seg)
+    {
+        (void)seg;
+        int callee;
+        std::vector<VReg> args;
+        // At most one self-call site per procedure: recursion depth
+        // is then linear in the depth argument (an li-style
+        // interpreter walk), not an exponential tree.
+        if (recursive && !selfCallEmitted) {
+            selfCallEmitted = true;
+            // Self-call with depth-1.
+            callee = procIdx;
+            VReg d = proc.newVReg();
+            proc.emit(cur, prog::irAluImm(IrOp::AddImm, d,
+                                          proc.params[0], -1));
+            args.push_back(d);
+            for (std::size_t a = 1; a < proc.params.size(); ++a)
+                args.push_back(pickTemp());
+        } else {
+            const int lo = procIdx + 1;
+            const int hi =
+                std::min<int>(static_cast<int>(mod.procs.size()) - 1,
+                              procIdx + static_cast<int>(params.fanout));
+            if (lo > hi)
+                return;  // deepest procedure: nothing to call
+            callee = static_cast<int>(
+                rng.range(lo, hi));
+            const auto &callee_params =
+                mod.procs[static_cast<std::size_t>(callee)].params;
+            for (std::size_t a = 0; a < callee_params.size(); ++a)
+                args.push_back(pickTemp());
+        }
+        VReg result = proc.newVReg();
+        proc.emit(cur, prog::irCall(callee, std::move(args), result));
+        addTemp(result);
+    }
+
+    void
+    emitExit()
+    {
+        if (isMain()) {
+            proc.emit(cur, prog::irHalt());
+        } else {
+            // The return value is computed in the exit block itself
+            // (valid on every path, including the recursion base
+            // case) so it does not stay live across the body's calls.
+            VReg rv = proc.newVReg();
+            proc.emit(cur, prog::irLoadStack(
+                               rv, static_cast<std::int32_t>(rng.below(
+                                       std::max(1u,
+                                                proc.numLocalSlots)))));
+            proc.emit(cur, prog::irRet(rv));
+        }
+    }
+
+    bool isMain() const { return procIdx == mod.mainIndex; }
+
+    VReg
+    pickTemp()
+    {
+        return rng.pick(temps);
+    }
+
+    void
+    addTemp(VReg t)
+    {
+        // Bounded pool: replace a random old temp once warm. For
+        // non-leaf procedures the cap keeps simultaneous live
+        // temporaries within the caller-saved register budget so
+        // temps do not overflow into (and pin) callee-saved
+        // registers; leaves use a larger cap (see emitWork).
+        if (temps.size() >= poolCap)
+            temps[rng.below(temps.size())] = t;
+        else
+            temps.push_back(t);
+    }
+
+    Module &mod;
+    Procedure &proc;
+    int procIdx;
+    const GeneratorParams &params;
+    Rng &rng;
+    bool leaf;
+    bool recursive;
+    unsigned segments_;
+    std::size_t poolCap;
+
+    int cur = 0;
+    bool selfCallEmitted = false;
+    VReg zeroV = noVReg;
+    VReg threeV = noVReg;
+    VReg baseV = noVReg;
+    std::vector<VReg> temps;
+
+    /** A cross-call value and its live window in segments. */
+    struct CrossCallValue
+    {
+        VReg v;
+        unsigned defSeg;
+        unsigned lastSeg;
+    };
+    std::vector<CrossCallValue> longLived;
+};
+
+/** Main is built separately: a big counted loop over the root
+ * procedures. */
+void
+buildMain(Module &mod, const GeneratorParams &params, Rng &rng)
+{
+    Procedure &main = mod.procs[0];
+    int cur = main.newBlock();
+
+    VReg zero = main.newVReg();
+    main.emit(cur, prog::irLoadImm(zero, 0));
+    VReg counter = main.newVReg();
+    main.emit(cur, prog::irLoadImm(
+                       counter, static_cast<std::int32_t>(
+                                    params.mainIters)));
+    VReg acc = main.newVReg();
+    main.emit(cur, prog::irLoadImm(acc, 1));
+
+    const int loop = main.newBlock();
+    cur = loop;
+    // Call up to three root procedures per iteration.
+    const unsigned roots =
+        std::min<unsigned>(3, static_cast<unsigned>(
+                                  mod.procs.size() - 1));
+    for (unsigned r = 1; r <= roots; ++r) {
+        std::vector<VReg> args;
+        const auto &callee_params = mod.procs[r].params;
+        for (std::size_t a = 0; a < callee_params.size(); ++a) {
+            if (a == 0 && params.recursionDepth > 0 && r == 1) {
+                // Root call into the recursive procedure: depth.
+                VReg d = main.newVReg();
+                main.emit(cur, prog::irLoadImm(
+                                   d, static_cast<std::int32_t>(
+                                          params.recursionDepth)));
+                args.push_back(d);
+            } else {
+                args.push_back(a % 2 == 0 ? acc : counter);
+            }
+        }
+        VReg res = main.newVReg();
+        main.emit(cur, prog::irCall(static_cast<int>(r),
+                                    std::move(args), res));
+        // Accumulate in place: acc stays one virtual register so it
+        // is defined before the loop on the first iteration.
+        main.emit(cur, prog::irAlu(IrOp::Add, acc, acc, res));
+    }
+    // Publish the running accumulator (program-visible result).
+    VReg gbase = main.newVReg();
+    main.emit(cur, prog::irLoadImm(
+                       gbase, static_cast<std::int32_t>(
+                                  Module::globalBase)));
+    main.emit(cur, prog::irStore(acc, gbase, 0));
+    main.emit(cur,
+              prog::irAluImm(IrOp::AddImm, counter, counter, -1));
+    main.emit(cur, prog::irBranch(IrOp::Bne, counter, zero, loop));
+
+    cur = main.newBlock();
+    main.emit(cur, prog::irHalt());
+    (void)rng;
+}
+
+} // namespace
+
+Module
+generate(const GeneratorParams &params)
+{
+    fatal_if(params.numProcs == 0, "generator needs >= 1 procedure");
+    Rng rng(params.seed);
+
+    Module mod;
+    mod.name = params.name;
+    mod.globalWords = params.globalWords;
+    mod.mainIndex = 0;
+
+    // Main + numProcs procedures. Parameter counts decided up front
+    // so call sites know the signatures.
+    mod.procs.resize(params.numProcs + 1);
+    mod.procs[0].name = "main";
+    for (unsigned p = 1; p <= params.numProcs; ++p) {
+        Procedure &proc = mod.procs[p];
+        proc.name = "proc" + std::to_string(p);
+        proc.numLocalSlots = params.localSlots;
+        const unsigned nparams =
+            1 + static_cast<unsigned>(rng.below(2));
+        for (unsigned a = 0; a < nparams; ++a)
+            proc.params.push_back(proc.newVReg());
+    }
+
+    const bool has_recursive = params.recursionDepth > 0;
+    for (unsigned p = 1; p <= params.numProcs; ++p) {
+        const bool is_recursive = has_recursive && p == 1;
+        // Deepest procedures are necessarily leaves.
+        const bool is_leaf =
+            !is_recursive &&
+            (p == params.numProcs || rng.chance(params.leafFraction));
+        ProcGen gen(mod, static_cast<int>(p), params, rng, is_leaf,
+                    is_recursive);
+        gen.build();
+    }
+    buildMain(mod, params, rng);
+
+    const std::string err = mod.validate();
+    panic_if(!err.empty(), "generated module invalid: ", err);
+    return mod;
+}
+
+} // namespace workload
+} // namespace dvi

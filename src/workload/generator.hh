@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic program generator.
+ *
+ * Emits IR modules whose procedures follow the structure that makes
+ * DVI interesting (see §5 / Fig. 7 of the paper): a procedure defines
+ * a set of long-lived values early, then executes a sequence of
+ * "segments" — work plus (usually) a call. Each long-lived value is
+ * given a last-use segment; values that die early are precisely the
+ * caller2-style registers that are callee-saved (they cross at least
+ * one call) yet dead at later call sites, so the E-DVI pass kills
+ * them and the hardware squashes the callee's saves and restores of
+ * those registers.
+ *
+ * Procedures call strictly higher-indexed procedures (a DAG), except
+ * an optional self-recursive procedure with a bounded depth argument
+ * (deep recursion exercises the LVM-Stack). All loops are counted;
+ * programs provably terminate.
+ */
+
+#ifndef DVI_WORKLOAD_GENERATOR_HH
+#define DVI_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace workload
+{
+
+/** Tunable workload shape; see benchmarks.hh for how each knob maps
+ * to program behavior. */
+struct GeneratorParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    unsigned numProcs = 16;        ///< callable procedures (excl. main)
+    unsigned segmentsPerProc = 4;  ///< call-site clusters per procedure
+    unsigned workPerSegment = 10;  ///< ALU/mem ops per segment
+    double callProb = 0.8;         ///< P(segment contains a call)
+    double leafFraction = 0.3;     ///< P(procedure makes no calls)
+    unsigned fanout = 8;           ///< callees drawn from (i, i+fanout]
+
+    unsigned calleeValues = 3;     ///< long-lived values per procedure
+    /** P(a long-lived value stays live across all the procedure's
+     * calls); the rest die after the first segment. */
+    double longLivedFraction = 0.5;
+
+    double memFraction = 0.30;     ///< loads+stores among work ops
+    double fpFraction = 0.0;       ///< FP ops among work ops
+    double loopProb = 0.3;         ///< P(segment body is a counted loop)
+    unsigned loopItersLo = 2;
+    unsigned loopItersHi = 8;
+    double condProb = 0.2;         ///< P(segment contains a diamond)
+
+    /** Depth argument for the designated recursive procedure
+     * (0: none). */
+    unsigned recursionDepth = 0;
+
+    unsigned mainIters = 1u << 20; ///< top-level loop (bench harness
+                                   ///< caps runs by instruction count)
+    unsigned globalWords = 4096;   ///< global data region size
+    unsigned localSlots = 4;       ///< per-procedure stack locals
+};
+
+/** Generate a module from the parameters (deterministic in seed). */
+prog::Module generate(const GeneratorParams &params);
+
+} // namespace workload
+} // namespace dvi
+
+#endif // DVI_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for base utilities: RegMask, DynBitset, Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/dyn_bitset.hh"
+#include "base/reg_mask.hh"
+#include "base/rng.hh"
+
+namespace dvi
+{
+namespace
+{
+
+TEST(RegMask, StartsEmpty)
+{
+    RegMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.count(), 0u);
+    for (RegIndex r = 0; r < 64; ++r)
+        EXPECT_FALSE(m.test(r));
+}
+
+TEST(RegMask, SetClearTest)
+{
+    RegMask m;
+    m.set(3);
+    m.set(17);
+    m.set(63);
+    EXPECT_TRUE(m.test(3));
+    EXPECT_TRUE(m.test(17));
+    EXPECT_TRUE(m.test(63));
+    EXPECT_FALSE(m.test(4));
+    EXPECT_EQ(m.count(), 3u);
+    m.clear(17);
+    EXPECT_FALSE(m.test(17));
+    EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(RegMask, AssignMirrorsSetAndClear)
+{
+    RegMask m;
+    m.assign(5, true);
+    EXPECT_TRUE(m.test(5));
+    m.assign(5, false);
+    EXPECT_FALSE(m.test(5));
+}
+
+TEST(RegMask, InitializerListConstruction)
+{
+    RegMask m{1, 2, 30};
+    EXPECT_EQ(m.count(), 3u);
+    EXPECT_TRUE(m.test(30));
+}
+
+TEST(RegMask, FirstN)
+{
+    EXPECT_EQ(RegMask::firstN(0).count(), 0u);
+    EXPECT_EQ(RegMask::firstN(32).count(), 32u);
+    EXPECT_EQ(RegMask::firstN(64).count(), 64u);
+    EXPECT_TRUE(RegMask::firstN(32).test(31));
+    EXPECT_FALSE(RegMask::firstN(32).test(32));
+}
+
+TEST(RegMask, SetOperations)
+{
+    RegMask a{1, 2, 3};
+    RegMask b{3, 4};
+    EXPECT_EQ((a | b).count(), 4u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_TRUE((a & b).test(3));
+    EXPECT_EQ(a.minus(b), (RegMask{1, 2}));
+    EXPECT_EQ((a ^ b), (RegMask{1, 2, 4}));
+}
+
+TEST(RegMask, ForEachVisitsAscending)
+{
+    RegMask m{9, 1, 40};
+    std::vector<int> seen;
+    m.forEach([&](RegIndex r) { seen.push_back(r); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 9, 40}));
+}
+
+TEST(RegMask, ToString)
+{
+    EXPECT_EQ((RegMask{2, 5}).toString(), "{r2, r5}");
+    EXPECT_EQ(RegMask{}.toString(), "{}");
+}
+
+TEST(RegMaskDeath, OutOfRangePanics)
+{
+    RegMask m;
+    EXPECT_DEATH(m.set(64), "out of range");
+    EXPECT_DEATH((void)m.test(64), "out of range");
+}
+
+TEST(DynBitset, SetTestClear)
+{
+    DynBitset b(130);
+    EXPECT_EQ(b.size(), 130u);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_EQ(b.count(), 3u);
+    b.clear(64);
+    EXPECT_FALSE(b.test(64));
+}
+
+TEST(DynBitset, OrWithReportsChange)
+{
+    DynBitset a(70), b(70);
+    b.set(69);
+    EXPECT_TRUE(a.orWith(b));
+    EXPECT_FALSE(a.orWith(b));  // already contained
+    EXPECT_TRUE(a.test(69));
+}
+
+TEST(DynBitset, MinusAndIntersects)
+{
+    DynBitset a(100), b(100);
+    a.set(10);
+    a.set(20);
+    b.set(20);
+    EXPECT_TRUE(a.intersects(b));
+    a.minusWith(b);
+    EXPECT_FALSE(a.test(20));
+    EXPECT_TRUE(a.test(10));
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DynBitset, AndWith)
+{
+    DynBitset a(10), b(10);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    a.andWith(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_TRUE(a.test(2));
+}
+
+TEST(DynBitset, ForEach)
+{
+    DynBitset b(200);
+    b.set(3);
+    b.set(150);
+    std::vector<std::size_t> seen;
+    b.forEach([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{3, 150}));
+}
+
+TEST(DynBitset, EqualityAndReset)
+{
+    DynBitset a(40), b(40);
+    a.set(5);
+    EXPECT_FALSE(a == b);
+    a.reset();
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a.any());
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        differ |= a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all residues reachable
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngDeath, PickEmptyPanics)
+{
+    Rng rng(1);
+    std::vector<int> empty;
+    EXPECT_DEATH((void)rng.pick(empty), "empty");
+}
+
+} // namespace
+} // namespace dvi

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Compiler/emitter tests: prologue/epilogue structure, E-DVI
+ * placement and policies, linking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "isa/registers.hh"
+#include "test_programs.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace comp
+{
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+TEST(Compile, TinyProgramLinks)
+{
+    Executable exe = compile(testprog::sumProgram(10));
+    EXPECT_GT(exe.code.size(), 0u);
+    EXPECT_EQ(exe.procs.size(), 1u);
+    EXPECT_EQ(exe.entry, exe.procs[0].entry);
+    EXPECT_EQ(exe.textBytes(), exe.code.size() * 4);
+    // main ends with halt somewhere.
+    bool has_halt = false;
+    for (const auto &inst : exe.code)
+        has_halt |= inst.isHalt();
+    EXPECT_TRUE(has_halt);
+}
+
+TEST(Compile, PrologueAndEpilogueStructure)
+{
+    Executable exe = compile(testprog::fig7Program());
+    // callee: saves one callee-saved reg with live-store, saves ra
+    // (it calls helper), restores in reverse with live-load, ret.
+    const int ci = 3;
+    const ProcInfo &pi = exe.procs[ci];
+    const Instruction &first = exe.code[pi.entry];
+    EXPECT_EQ(first.op, Opcode::Addi);  // sp adjust
+    EXPECT_EQ(first.rd, isa::regSp);
+    EXPECT_LT(first.imm, 0);
+
+    const Instruction &save = exe.code[pi.entry + 1];
+    ASSERT_TRUE(save.isSave());
+    EXPECT_EQ(save.saveRestoreReg(), 16);  // s0 (spread policy)
+
+    // ra save is a *plain* store (never eliminable).
+    const Instruction &ra_save = exe.code[pi.entry + 2];
+    EXPECT_EQ(ra_save.op, Opcode::Store);
+    EXPECT_EQ(ra_save.rs2, isa::regRa);
+
+    // Last instruction: ret; before it sp restore; before that the
+    // live-load restore mirror of the save.
+    const Instruction &last = exe.code[pi.end - 1];
+    EXPECT_TRUE(last.isReturn());
+    const Instruction &sp_restore = exe.code[pi.end - 2];
+    EXPECT_EQ(sp_restore.rd, isa::regSp);
+    EXPECT_GT(sp_restore.imm, 0);
+    const Instruction &restore = exe.code[pi.end - 3];
+    ASSERT_TRUE(restore.isRestore());
+    EXPECT_EQ(restore.saveRestoreReg(), 16);
+    // Save and restore use the same frame slot.
+    EXPECT_EQ(restore.imm, save.imm);
+}
+
+TEST(Compile, LeafProcedureSkipsRaSave)
+{
+    Executable exe = compile(testprog::fig7Program());
+    const ProcInfo &helper = exe.procs[4];
+    for (int i = helper.entry; i < helper.end; ++i) {
+        const Instruction &inst = exe.code[i];
+        EXPECT_FALSE(inst.op == Opcode::Store &&
+                     inst.rs2 == isa::regRa);
+    }
+}
+
+TEST(Compile, EdviKillPlacedImmediatelyBeforeCall)
+{
+    Executable exe = compile(
+        testprog::fig7Program(),
+        CompileOptions{EdviPolicy::CallSites});
+    // Every kill is immediately followed by a call.
+    for (std::size_t i = 0; i < exe.code.size(); ++i) {
+        if (exe.code[i].isKill()) {
+            ASSERT_LT(i + 1, exe.code.size());
+            EXPECT_TRUE(exe.code[i + 1].isCall())
+                << "kill at " << i << " not followed by call";
+        }
+    }
+    EXPECT_GT(exe.countKills(), 0u);
+}
+
+TEST(Compile, KillMasksAreCalleeSavedOnly)
+{
+    for (auto id : workload::allBenchmarks()) {
+        Executable exe =
+            compile(workload::generateBenchmark(id),
+                    CompileOptions{EdviPolicy::CallSites});
+        for (const auto &inst : exe.code) {
+            if (inst.isKill()) {
+                EXPECT_TRUE(inst.killMask()
+                                .minus(isa::allocatableCalleeSaved())
+                                .empty())
+                    << workload::benchmarkName(id);
+            }
+        }
+    }
+}
+
+TEST(Compile, NonePolicyEmitsNoKills)
+{
+    Executable exe = compile(testprog::fig7Program(),
+                             CompileOptions{EdviPolicy::None});
+    EXPECT_EQ(exe.countKills(), 0u);
+}
+
+TEST(Compile, DensePolicyEmitsAtLeastCallSiteKills)
+{
+    const prog::Module mod =
+        workload::generateBenchmark(workload::BenchmarkId::Gcc);
+    Executable calls =
+        compile(mod, CompileOptions{EdviPolicy::CallSites});
+    Executable dense =
+        compile(mod, CompileOptions{EdviPolicy::Dense});
+    EXPECT_GE(dense.countKills(), calls.countKills());
+    EXPECT_GT(dense.countKills(), 0u);
+}
+
+TEST(Compile, BranchAndCallTargetsInRange)
+{
+    for (auto id : workload::allBenchmarks()) {
+        Executable exe =
+            compile(workload::generateBenchmark(id),
+                    CompileOptions{EdviPolicy::CallSites});
+        for (const auto &inst : exe.code) {
+            if (inst.isCondBranch() || inst.op == Opcode::Jump ||
+                inst.isCall()) {
+                EXPECT_GE(inst.imm, 0);
+                EXPECT_LT(inst.imm,
+                          static_cast<std::int32_t>(
+                              exe.code.size()));
+            }
+        }
+    }
+}
+
+TEST(Compile, CallTargetsAreProcedureEntries)
+{
+    Executable exe = compile(testprog::factorialProgram(5));
+    for (const auto &inst : exe.code) {
+        if (inst.isCall()) {
+            bool is_entry = false;
+            for (const auto &pi : exe.procs)
+                is_entry |= pi.entry == inst.imm;
+            EXPECT_TRUE(is_entry);
+        }
+    }
+}
+
+TEST(Compile, ProcOfResolvesExtents)
+{
+    Executable exe = compile(testprog::fig7Program());
+    for (std::size_t p = 0; p < exe.procs.size(); ++p) {
+        EXPECT_EQ(exe.procOf(exe.procs[p].entry),
+                  static_cast<int>(p));
+        EXPECT_EQ(exe.procOf(exe.procs[p].end - 1),
+                  static_cast<int>(p));
+    }
+    EXPECT_EQ(exe.procOf(-1), -1);
+}
+
+TEST(Compile, SaveRestoreCountsBalance)
+{
+    // Static live-stores equal static live-loads (every prologue
+    // save has an epilogue restore).
+    for (auto id : workload::allBenchmarks()) {
+        Executable exe =
+            compile(workload::generateBenchmark(id));
+        std::uint64_t saves = 0, restores = 0;
+        for (const auto &inst : exe.code) {
+            saves += inst.isSave();
+            restores += inst.isRestore();
+        }
+        EXPECT_EQ(saves, restores) << workload::benchmarkName(id);
+    }
+}
+
+TEST(Compile, DisassembleProducesText)
+{
+    Executable exe = compile(testprog::sumProgram(3));
+    const std::string text = exe.disassemble(0, 5);
+    EXPECT_NE(text.find("main:"), std::string::npos);
+    EXPECT_NE(text.find("0:"), std::string::npos);
+}
+
+TEST(CompileDeath, InvalidModulePanics)
+{
+    prog::Module bad;
+    EXPECT_DEATH((void)compile(bad), "invalid module");
+}
+
+} // namespace
+} // namespace comp
+} // namespace dvi

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the paper's hardware structures: the LVM (§4.1),
+ * the LVM-Stack (§5.2), and the DVI-extended renamer (§4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "core/lvm.hh"
+#include "core/lvm_stack.hh"
+#include "core/renamer.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace core
+{
+namespace
+{
+
+TEST(Lvm, StartsConservativelyLive)
+{
+    Lvm lvm;
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+        EXPECT_TRUE(lvm.isLive(r));
+}
+
+TEST(Lvm, KillAndDefine)
+{
+    Lvm lvm;
+    lvm.kill(RegMask{8, 9});
+    EXPECT_FALSE(lvm.isLive(8));
+    EXPECT_FALSE(lvm.isLive(9));
+    EXPECT_TRUE(lvm.isLive(10));
+    lvm.define(8);
+    EXPECT_TRUE(lvm.isLive(8));
+}
+
+TEST(Lvm, LiveCountWithinSubset)
+{
+    Lvm lvm;
+    lvm.kill(isa::idviMask());
+    EXPECT_EQ(lvm.liveCount(isa::idviMask()), 0u);
+    EXPECT_EQ(lvm.liveCount(isa::calleeSavedMask()),
+              isa::calleeSavedMask().count());
+}
+
+TEST(Lvm, MergeFromOnlyTouchesMaskedBits)
+{
+    // The return-time merge (§5.2 step 4): callee-saved bits come
+    // from the popped snapshot, everything else keeps its current
+    // value (the return value register must stay live!).
+    Lvm lvm;
+    lvm.kill(RegMask{16, 17, isa::regV0});
+    RegMask snapshot = RegMask::firstN(isa::numIntRegs);  // all live
+    lvm.mergeFrom(snapshot, isa::calleeSavedMask());
+    EXPECT_TRUE(lvm.isLive(16));
+    EXPECT_TRUE(lvm.isLive(17));
+    EXPECT_FALSE(lvm.isLive(isa::regV0));  // untouched by merge
+
+    // And the reverse: dead snapshot bits override live ones.
+    Lvm lvm2;
+    lvm2.mergeFrom(RegMask{}, isa::calleeSavedMask());
+    EXPECT_FALSE(lvm2.isLive(16));
+    EXPECT_TRUE(lvm2.isLive(8));
+}
+
+TEST(Lvm, SnapshotRestore)
+{
+    Lvm lvm;
+    lvm.kill(RegMask{20});
+    RegMask saved = lvm.snapshot();
+    lvm.define(20);
+    lvm.kill(RegMask{21});
+    lvm.restore(saved);
+    EXPECT_FALSE(lvm.isLive(20));
+    EXPECT_TRUE(lvm.isLive(21));
+}
+
+TEST(LvmStack, LifoOrder)
+{
+    LvmStack stack(4);
+    stack.push(RegMask{1});
+    stack.push(RegMask{2});
+    EXPECT_EQ(stack.top(), RegMask{2});
+    EXPECT_EQ(stack.pop(), RegMask{2});
+    EXPECT_EQ(stack.pop(), RegMask{1});
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(LvmStack, UnderflowIsAllLive)
+{
+    LvmStack stack(4);
+    EXPECT_EQ(stack.pop(), LvmStack::allLive());
+    EXPECT_EQ(stack.top(), LvmStack::allLive());
+    EXPECT_EQ(stack.underflows(), 1u);
+}
+
+TEST(LvmStack, OverflowDropsOldest)
+{
+    LvmStack stack(2);
+    stack.push(RegMask{1});
+    stack.push(RegMask{2});
+    stack.push(RegMask{3});  // evicts {1}
+    EXPECT_EQ(stack.overflows(), 1u);
+    EXPECT_EQ(stack.pop(), RegMask{3});
+    EXPECT_EQ(stack.pop(), RegMask{2});
+    // The dropped frame's pop underflows to the conservative value.
+    EXPECT_EQ(stack.pop(), LvmStack::allLive());
+}
+
+TEST(LvmStack, UnboundedDepthNeverOverflows)
+{
+    LvmStack stack(0);
+    for (unsigned i = 0; i < 1000; ++i)
+        stack.push(RegMask{static_cast<RegIndex>(i % 32)});
+    EXPECT_EQ(stack.overflows(), 0u);
+    EXPECT_EQ(stack.size(), 1000u);
+}
+
+TEST(LvmStack, CheckpointRestore)
+{
+    LvmStack stack(8);
+    stack.push(RegMask{1});
+    stack.push(RegMask{2});
+    auto cp = stack.checkpoint();
+    stack.pop();
+    stack.push(RegMask{9});
+    stack.restore(cp);
+    EXPECT_EQ(stack.size(), 2u);
+    EXPECT_EQ(stack.top(), RegMask{2});
+}
+
+TEST(LvmStack, CountsPushesAndPops)
+{
+    LvmStack stack(4);
+    stack.push(RegMask{});
+    stack.pop();
+    stack.pop();
+    EXPECT_EQ(stack.pushes(), 1u);
+    EXPECT_EQ(stack.pops(), 2u);
+    EXPECT_EQ(stack.underflows(), 1u);
+}
+
+TEST(Renamer, InitialStateMapsArchitecturalRegisters)
+{
+    Renamer r(40);
+    EXPECT_EQ(r.mappedCount(), isa::numIntRegs);
+    EXPECT_EQ(r.freeCount(), 40u - isa::numIntRegs);
+    for (RegIndex a = 0; a < isa::numIntRegs; ++a)
+        EXPECT_EQ(r.lookup(a), static_cast<PhysRegIndex>(a));
+    EXPECT_TRUE(r.unmappedArchRegs().empty());
+    r.checkConservation(0);
+}
+
+TEST(Renamer, RenameTracksPreviousMapping)
+{
+    Renamer r(40);
+    auto rd = r.renameDest(5);
+    EXPECT_EQ(rd.prevPreg, 5);
+    EXPECT_EQ(r.lookup(5), rd.newPreg);
+    EXPECT_NE(rd.newPreg, 5);
+    // Commit: free the previous mapping.
+    r.freePhysReg(rd.prevPreg);
+    r.checkConservation(0);
+}
+
+TEST(Renamer, KillUnmapsAndNextDefineHasNoPrev)
+{
+    // The Fig. 4 sequence: kill r1, later redefine r1. The kill's
+    // commit frees the old mapping; the redefinition frees nothing.
+    Renamer r(40);
+    PhysRegIndex prev = r.killMapping(1);
+    EXPECT_EQ(prev, 1);
+    EXPECT_EQ(r.lookup(1), invalidPhysReg);
+    EXPECT_TRUE(r.unmappedArchRegs().test(1));
+    r.freePhysReg(prev);  // kill commits
+
+    auto rd = r.renameDest(1);
+    EXPECT_EQ(rd.prevPreg, invalidPhysReg);  // nothing to free later
+    EXPECT_EQ(r.lookup(1), rd.newPreg);
+    r.checkConservation(0);
+}
+
+TEST(Renamer, KillOfUnmappedReturnsInvalid)
+{
+    Renamer r(40);
+    r.freePhysReg(r.killMapping(3));
+    EXPECT_EQ(r.killMapping(3), invalidPhysReg);
+}
+
+TEST(Renamer, ExhaustsFreeList)
+{
+    Renamer r(34);  // 2 spare
+    EXPECT_TRUE(r.hasFree());
+    auto a = r.renameDest(1);
+    auto b = r.renameDest(2);
+    EXPECT_FALSE(r.hasFree());
+    // Commits release them again.
+    r.freePhysReg(a.prevPreg);
+    r.freePhysReg(b.prevPreg);
+    EXPECT_EQ(r.freeCount(), 2u);
+    r.checkConservation(0);
+}
+
+TEST(Renamer, EarlyReclamationShrinksMappedState)
+{
+    // DVI's point (§4): killing registers lets the file hold fewer
+    // live mappings than architectural registers.
+    Renamer r(36);
+    isa::idviMask().forEach([&](RegIndex a) {
+        PhysRegIndex p = r.killMapping(a);
+        ASSERT_NE(p, invalidPhysReg);
+        r.freePhysReg(p);
+    });
+    EXPECT_EQ(r.mappedCount(),
+              isa::numIntRegs - isa::idviMask().count());
+    EXPECT_EQ(r.freeCount(), 4u + isa::idviMask().count());
+    r.checkConservation(0);
+}
+
+TEST(Renamer, CheckpointRestoreEqualsSavedState)
+{
+    Renamer r(48);
+    Rng rng(77);
+    // Random warm-up.
+    std::vector<PhysRegIndex> pending;
+    for (int i = 0; i < 10; ++i) {
+        auto rd =
+            r.renameDest(static_cast<RegIndex>(rng.range(1, 31)));
+        if (rd.prevPreg != invalidPhysReg)
+            pending.push_back(rd.prevPreg);
+    }
+    auto cp = r.checkpoint();
+    std::vector<PhysRegIndex> before;
+    for (RegIndex a = 0; a < isa::numIntRegs; ++a)
+        before.push_back(r.lookup(a));
+    const auto free_before = r.freeCount();
+
+    // Speculative wrong-path work...
+    for (int i = 0; i < 6 && r.hasFree(); ++i)
+        r.renameDest(static_cast<RegIndex>(rng.range(1, 31)));
+    r.killMapping(16);
+
+    // ...recovered.
+    r.restore(cp);
+    for (RegIndex a = 0; a < isa::numIntRegs; ++a)
+        EXPECT_EQ(r.lookup(a), before[a]) << int(a);
+    EXPECT_EQ(r.freeCount(), free_before);
+    r.checkConservation(pending.size());
+}
+
+TEST(RenamerDeath, DoubleFreePanics)
+{
+    Renamer r(40);
+    auto rd = r.renameDest(4);
+    r.freePhysReg(rd.prevPreg);
+    EXPECT_DEATH(r.freePhysReg(rd.prevPreg), "double free");
+}
+
+TEST(RenamerDeath, FreeingMappedRegisterPanics)
+{
+    Renamer r(40);
+    EXPECT_DEATH(r.freePhysReg(5), "still mapped");
+}
+
+TEST(RenamerDeath, RenameWithEmptyFreeListPanics)
+{
+    Renamer r(33);
+    r.renameDest(1);
+    EXPECT_DEATH(r.renameDest(2), "empty free list");
+}
+
+TEST(RenamerDeath, TooSmallFileIsFatal)
+{
+    EXPECT_DEATH(Renamer r(32), "architectural state");
+}
+
+TEST(RenamerDeath, ConservationViolationDetected)
+{
+    Renamer r(40);
+    (void)r.renameDest(7);  // one preg held by "in-flight" inst
+    EXPECT_DEATH(r.checkConservation(0), "conservation");
+}
+
+/**
+ * Property: a random interleaving of rename/kill/commit operations
+ * conserves physical registers at every step.
+ */
+class RenamerPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RenamerPropertyTest, RandomOpsConserveRegisters)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const unsigned nphys = 34 + static_cast<unsigned>(rng.below(60));
+    Renamer r(nphys);
+    std::vector<PhysRegIndex> pending;
+
+    for (int step = 0; step < 3000; ++step) {
+        const double roll = rng.uniform();
+        if (roll < 0.5 && r.hasFree()) {
+            auto rd = r.renameDest(
+                static_cast<RegIndex>(rng.range(1, 31)));
+            if (rd.prevPreg != invalidPhysReg)
+                pending.push_back(rd.prevPreg);
+        } else if (roll < 0.7) {
+            PhysRegIndex p = r.killMapping(
+                static_cast<RegIndex>(rng.range(1, 31)));
+            if (p != invalidPhysReg)
+                pending.push_back(p);
+        } else if (!pending.empty()) {
+            // Commit the oldest pending free.
+            r.freePhysReg(pending.front());
+            pending.erase(pending.begin());
+        }
+        r.checkConservation(pending.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenamerPropertyTest,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace core
+} // namespace dvi

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The central correctness properties of DVI (§7 of the paper):
+ *
+ *  1. E-DVI never changes architectural results — binaries with and
+ *     without kill annotations execute the same program-order
+ *     instruction stream (modulo the kills themselves) and produce
+ *     identical results.
+ *  2. E-DVI is *sound*: no executed instruction ever reads a
+ *     register the liveness oracle believes dead ("Errors in E-DVI
+ *     should be considered compiler errors").
+ *  3. The binary rewriter's E-DVI is equivalent to the compiler's.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "compiler/compile.hh"
+#include "compiler/machine_liveness.hh"
+#include "compiler/rewriter.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace
+{
+
+constexpr std::uint64_t runLen = 60000;
+
+class EdviInvarianceTest
+    : public ::testing::TestWithParam<workload::BenchmarkId>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        mod = workload::generateBenchmark(GetParam());
+        plain = comp::compile(
+            mod, comp::CompileOptions{comp::EdviPolicy::None});
+        edvi = comp::compile(
+            mod, comp::CompileOptions{comp::EdviPolicy::CallSites});
+    }
+
+    prog::Module mod;
+    comp::Executable plain;
+    comp::Executable edvi;
+};
+
+TEST_P(EdviInvarianceTest, LockstepExecutionMatches)
+{
+    arch::Emulator a(plain);
+    arch::Emulator b(edvi);
+    arch::TraceRecord ta, tb;
+    for (std::uint64_t n = 0; n < runLen; ++n) {
+        bool alive_a = a.step(&ta);
+        // Skip kill annotations on the E-DVI side.
+        bool alive_b = b.step(&tb);
+        while (alive_b && tb.inst.isKill())
+            alive_b = b.step(&tb);
+        ASSERT_EQ(alive_a, alive_b) << "at instruction " << n;
+        if (!alive_a)
+            break;
+        ASSERT_EQ(ta.inst.op, tb.inst.op) << "at instruction " << n;
+        ASSERT_EQ(ta.effAddr == 0, tb.effAddr == 0);
+        ASSERT_EQ(ta.taken, tb.taken) << "at instruction " << n;
+    }
+}
+
+TEST_P(EdviInvarianceTest, ResultHashMatchesWhenRunToCompletion)
+{
+    // Use a shortened workload so both run to the halt.
+    workload::GeneratorParams params =
+        workload::benchmarkParams(GetParam());
+    params.mainIters = 1;
+    const prog::Module small = workload::generate(params);
+    comp::Executable p = comp::compile(
+        small, comp::CompileOptions{comp::EdviPolicy::None});
+    comp::Executable e = comp::compile(
+        small, comp::CompileOptions{comp::EdviPolicy::CallSites});
+    comp::Executable d = comp::compile(
+        small, comp::CompileOptions{comp::EdviPolicy::Dense});
+
+    arch::Emulator ep(p), ee(e), ed(d);
+    EXPECT_GT(ep.run(200000000), 0u);
+    ee.run(200000000);
+    ed.run(200000000);
+    ASSERT_TRUE(ep.halted());
+    ASSERT_TRUE(ee.halted());
+    ASSERT_TRUE(ed.halted());
+    EXPECT_EQ(ep.resultHash(), ee.resultHash());
+    EXPECT_EQ(ep.resultHash(), ed.resultHash());
+}
+
+TEST_P(EdviInvarianceTest, CompilerEdviIsSound)
+{
+    arch::EmulatorOptions opts;
+    opts.strictDeadReads = true;  // panics on violation
+    arch::Emulator emu(edvi, opts);
+    emu.run(runLen);
+    EXPECT_EQ(emu.stats().deadReads, 0u);
+}
+
+TEST_P(EdviInvarianceTest, DenseEdviIsSound)
+{
+    comp::Executable dense = comp::compile(
+        mod, comp::CompileOptions{comp::EdviPolicy::Dense});
+    arch::EmulatorOptions opts;
+    opts.strictDeadReads = true;
+    arch::Emulator emu(dense, opts);
+    emu.run(runLen);
+    EXPECT_EQ(emu.stats().deadReads, 0u);
+}
+
+TEST_P(EdviInvarianceTest, RewriterEdviIsSound)
+{
+    comp::RewriteStats rs;
+    comp::Executable rewritten = comp::insertEdvi(plain, &rs);
+    EXPECT_GT(rs.callSitesSeen, 0u);
+    arch::EmulatorOptions opts;
+    opts.strictDeadReads = true;
+    arch::Emulator emu(rewritten, opts);
+    emu.run(runLen);
+    EXPECT_EQ(emu.stats().deadReads, 0u);
+}
+
+TEST_P(EdviInvarianceTest, RewriterPreservesResults)
+{
+    workload::GeneratorParams params =
+        workload::benchmarkParams(GetParam());
+    params.mainIters = 1;
+    const prog::Module small = workload::generate(params);
+    comp::Executable p = comp::compile(
+        small, comp::CompileOptions{comp::EdviPolicy::None});
+    comp::Executable rewritten = comp::insertEdvi(p);
+
+    arch::Emulator a(p), b(rewritten);
+    a.run(200000000);
+    b.run(200000000);
+    ASSERT_TRUE(a.halted());
+    ASSERT_TRUE(b.halted());
+    EXPECT_EQ(a.resultHash(), b.resultHash());
+}
+
+TEST_P(EdviInvarianceTest, RewriterRelocatesControlFlow)
+{
+    comp::Executable rewritten = comp::insertEdvi(plain);
+    EXPECT_GT(rewritten.code.size(), plain.code.size());
+    // All control targets valid and targeting the same opcode kind
+    // as the original.
+    for (const auto &inst : rewritten.code) {
+        if (inst.isCondBranch() || inst.op == isa::Opcode::Jump ||
+            inst.isCall()) {
+            ASSERT_GE(inst.imm, 0);
+            ASSERT_LT(inst.imm, static_cast<std::int32_t>(
+                                    rewritten.code.size()));
+        }
+        if (inst.isCall()) {
+            bool entry = false;
+            for (const auto &pi : rewritten.procs)
+                entry |= pi.entry == inst.imm;
+            EXPECT_TRUE(entry);
+        }
+    }
+}
+
+TEST_P(EdviInvarianceTest, RewriterIsIdempotent)
+{
+    comp::Executable once = comp::insertEdvi(plain);
+    comp::RewriteStats rs;
+    comp::Executable twice = comp::insertEdvi(once, &rs);
+    EXPECT_EQ(rs.killsInserted, 0u);
+    EXPECT_EQ(twice.code.size(), once.code.size());
+}
+
+TEST_P(EdviInvarianceTest, RewriterMatchesCompilerElimination)
+{
+    // The rewriter works from machine-level liveness, the compiler
+    // from vreg liveness; their E-DVI should enable (nearly) the
+    // same elimination. Allow the rewriter within 25% relative.
+    comp::Executable rewritten = comp::insertEdvi(plain);
+
+    arch::EmulatorOptions opts;
+    opts.lvmStackDepth = 16;
+    arch::Emulator ec(edvi, opts), er(rewritten, opts);
+    ec.run(runLen);
+    er.run(runLen);
+    const double elim_c = static_cast<double>(
+        ec.stats().saveElimOracle + ec.stats().restoreElimOracle);
+    const double elim_r = static_cast<double>(
+        er.stats().saveElimOracle + er.stats().restoreElimOracle);
+    EXPECT_GT(elim_r, 0.0);
+    EXPECT_NEAR(elim_r, elim_c, 0.25 * elim_c + 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, EdviInvarianceTest,
+    ::testing::ValuesIn(workload::allBenchmarks()),
+    [](const auto &info) {
+        return workload::benchmarkName(info.param);
+    });
+
+TEST(MachineLiveness, CallAndReturnBoundaries)
+{
+    // A hand-checkable procedure: the return makes callee-saved
+    // registers live; the epilogue live-load bounds that liveness.
+    using isa::Instruction;
+    comp::Executable exe;
+    exe.code.push_back(Instruction::aluImm(isa::Opcode::Addi,
+                                           isa::regSp, isa::regSp,
+                                           -16));
+    exe.code.push_back(Instruction::liveStore(16, isa::regSp, 0));
+    exe.code.push_back(
+        Instruction::aluImm(isa::Opcode::Addi, 16, 4, 1));
+    exe.code.push_back(
+        Instruction::alu(isa::Opcode::Add, 2, 16, 16));
+    exe.code.push_back(Instruction::liveLoad(16, isa::regSp, 0));
+    exe.code.push_back(Instruction::aluImm(isa::Opcode::Addi,
+                                           isa::regSp, isa::regSp,
+                                           16));
+    exe.code.push_back(Instruction::ret());
+    exe.procs.push_back(comp::ProcInfo{"f", 0, 7});
+    exe.entry = 0;
+
+    comp::MachineLiveness ml = comp::analyzeProcedure(exe, 0);
+    EXPECT_TRUE(ml.savedByProc.test(16));
+    // s0's own value is live between its def (2) and last use (3)...
+    EXPECT_TRUE(ml.liveAfter[2].test(16));
+    // ...and dead after the last use: the epilogue live-load
+    // redefines it.
+    EXPECT_FALSE(ml.liveAfter[3].test(16));
+    // The *entry* value of s0 is live into the prologue save.
+    EXPECT_TRUE(ml.liveBefore[0].test(16));
+    // sp is live throughout.
+    EXPECT_TRUE(ml.liveAfter[0].test(isa::regSp));
+}
+
+} // namespace
+} // namespace dvi

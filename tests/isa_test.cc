@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the ISA: calling convention masks, instruction
+ * construction/classification, binary encoding, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "isa/encoding.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace isa
+{
+namespace
+{
+
+TEST(CallingConvention, CallerAndCalleeSetsDisjoint)
+{
+    EXPECT_TRUE((callerSavedMask() & calleeSavedMask()).empty());
+}
+
+TEST(CallingConvention, IdviIsCallerSavedTemporariesOnly)
+{
+    // The I-DVI mask must exclude anything that carries live values
+    // across a call boundary: arguments in, return values out, and
+    // the return address.
+    EXPECT_TRUE(idviMask().minus(callerSavedMask()).empty());
+    EXPECT_TRUE((idviMask() & argMask()).empty());
+    EXPECT_TRUE((idviMask() & returnValueMask()).empty());
+    EXPECT_FALSE(idviMask().test(regRa));
+    EXPECT_FALSE(idviMask().test(regSp));
+    EXPECT_FALSE(idviMask().test(regZero));
+}
+
+TEST(CallingConvention, AsymmetricIdviMasks)
+{
+    // Entry: return values dead, arguments live. Exit: arguments
+    // dead, return values live (§2 "dead at the entry and exit
+    // points").
+    EXPECT_TRUE(idviCallMask().test(regV0));
+    EXPECT_TRUE((idviCallMask() & argMask()).empty());
+    EXPECT_TRUE(idviReturnMask().test(regA0));
+    EXPECT_TRUE((idviReturnMask() & returnValueMask()).empty());
+    // Both extend the common temporaries mask.
+    EXPECT_TRUE(idviMask().minus(idviCallMask()).empty());
+    EXPECT_TRUE(idviMask().minus(idviReturnMask()).empty());
+    // Neither touches callee-saved state or the stack pointer.
+    EXPECT_TRUE((idviCallMask() & calleeSavedMask()).empty());
+    EXPECT_TRUE((idviReturnMask() & calleeSavedMask()).empty());
+    EXPECT_FALSE(idviCallMask().test(regSp));
+    EXPECT_FALSE(idviReturnMask().test(regSp));
+}
+
+TEST(CallingConvention, CalleeSavedContents)
+{
+    for (RegIndex r = 16; r <= 23; ++r)
+        EXPECT_TRUE(isCalleeSaved(r)) << int(r);
+    EXPECT_TRUE(isCalleeSaved(regFp));
+    EXPECT_FALSE(isCalleeSaved(8));
+    EXPECT_TRUE(isCallerSaved(8));
+}
+
+TEST(CallingConvention, AllocatablePoolsWithinConvention)
+{
+    EXPECT_TRUE(allocatableCalleeSaved()
+                    .minus(calleeSavedMask())
+                    .empty());
+    EXPECT_TRUE(allocatableCallerSaved()
+                    .minus(callerSavedMask())
+                    .empty());
+    EXPECT_TRUE(
+        (allocatableCalleeSaved() & allocatableCallerSaved()).empty());
+}
+
+TEST(CallingConvention, ContextSwitchMaskExcludesZeroAndKernel)
+{
+    RegMask m = contextSwitchSavedMask();
+    EXPECT_FALSE(m.test(regZero));
+    EXPECT_FALSE(m.test(regK0));
+    EXPECT_FALSE(m.test(regK1));
+    EXPECT_EQ(m.count(), numIntRegs - 3);
+}
+
+TEST(CallingConvention, FpMasksPartition)
+{
+    EXPECT_TRUE((fpCallerSavedMask() & fpCalleeSavedMask()).empty());
+    EXPECT_EQ((fpCallerSavedMask() | fpCalleeSavedMask()).count(),
+              numFpRegs);
+}
+
+TEST(CallingConvention, RegisterNames)
+{
+    EXPECT_EQ(intRegName(0), "zero");
+    EXPECT_EQ(intRegName(regSp), "sp");
+    EXPECT_EQ(intRegName(16), "s0");
+    EXPECT_EQ(intRegName(8), "t0");
+    EXPECT_EQ(fpRegName(7), "f7");
+}
+
+TEST(Instruction, AluFactoryAndQueries)
+{
+    auto i = Instruction::alu(Opcode::Add, 3, 4, 5);
+    EXPECT_TRUE(i.writesIntReg());
+    EXPECT_EQ(i.destIntReg(), 3);
+    RegIndex srcs[2];
+    ASSERT_EQ(i.srcIntRegs(srcs), 2u);
+    EXPECT_EQ(srcs[0], 4);
+    EXPECT_EQ(srcs[1], 5);
+    EXPECT_FALSE(i.isMem());
+    EXPECT_FALSE(i.isControl());
+    EXPECT_EQ(i.fuClass(), FuClass::IntAlu);
+}
+
+TEST(Instruction, MulDivUseTheMulDivUnit)
+{
+    EXPECT_EQ(Instruction::alu(Opcode::Mul, 1, 2, 3).fuClass(),
+              FuClass::IntMulDiv);
+    EXPECT_EQ(Instruction::alu(Opcode::Div, 1, 2, 3).fuClass(),
+              FuClass::IntMulDiv);
+    EXPECT_GT(Instruction::alu(Opcode::Div, 1, 2, 3).execLatency(),
+              Instruction::alu(Opcode::Mul, 1, 2, 3).execLatency());
+}
+
+TEST(Instruction, LoadStore)
+{
+    auto ld = Instruction::load(5, regSp, 16);
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_FALSE(ld.isStore());
+    EXPECT_TRUE(ld.writesIntReg());
+
+    auto st = Instruction::store(5, regSp, 16);
+    EXPECT_TRUE(st.isStore());
+    EXPECT_FALSE(st.writesIntReg());
+    RegIndex srcs[2];
+    EXPECT_EQ(st.srcIntRegs(srcs), 2u);
+}
+
+TEST(Instruction, SaveRestoreVariants)
+{
+    auto save = Instruction::liveStore(17, regSp, 8);
+    EXPECT_TRUE(save.isSave());
+    EXPECT_TRUE(save.isStore());
+    EXPECT_EQ(save.saveRestoreReg(), 17);
+
+    auto restore = Instruction::liveLoad(17, regSp, 8);
+    EXPECT_TRUE(restore.isRestore());
+    EXPECT_TRUE(restore.isLoad());
+    EXPECT_EQ(restore.saveRestoreReg(), 17);
+    EXPECT_TRUE(restore.writesIntReg());
+}
+
+TEST(Instruction, ControlFlow)
+{
+    auto br = Instruction::branch(Opcode::Beq, 1, 2, 100);
+    EXPECT_TRUE(br.isCondBranch());
+    EXPECT_TRUE(br.isControl());
+    EXPECT_FALSE(br.writesIntReg());
+
+    auto call = Instruction::call(200);
+    EXPECT_TRUE(call.isCall());
+    EXPECT_TRUE(call.writesIntReg());
+    EXPECT_EQ(call.destIntReg(), regRa);
+
+    auto ret = Instruction::ret();
+    EXPECT_TRUE(ret.isReturn());
+    RegIndex srcs[2];
+    ASSERT_EQ(ret.srcIntRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], regRa);
+}
+
+TEST(Instruction, KillCarriesMask)
+{
+    RegMask mask{16, 17, 23};
+    auto k = Instruction::kill(mask);
+    EXPECT_TRUE(k.isKill());
+    EXPECT_EQ(k.killMask(), mask);
+    EXPECT_FALSE(k.writesIntReg());
+    EXPECT_EQ(k.fuClass(), FuClass::None);
+}
+
+TEST(InstructionDeath, KillMaskBeyondIntRegsPanics)
+{
+    EXPECT_DEATH((void)Instruction::kill(RegMask{40}),
+                 "nonexistent");
+}
+
+TEST(Instruction, FpOps)
+{
+    auto f = Instruction::fadd(1, 2, 3);
+    EXPECT_TRUE(f.isFp());
+    EXPECT_TRUE(f.writesFpReg());
+    EXPECT_FALSE(f.writesIntReg());
+    RegIndex srcs[2];
+    EXPECT_EQ(f.srcFpRegs(srcs), 2u);
+
+    auto fst = Instruction::fstore(4, regSp, 0);
+    EXPECT_TRUE(fst.isStore());
+    EXPECT_EQ(fst.srcFpRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], 4);
+    EXPECT_EQ(fst.srcIntRegs(srcs), 1u);  // base only
+}
+
+TEST(Instruction, LvmSaveLoadAreMemOps)
+{
+    EXPECT_TRUE(Instruction::lvmSave(regSp, 0).isStore());
+    EXPECT_TRUE(Instruction::lvmLoad(regSp, 0).isLoad());
+}
+
+TEST(Instruction, ClassificationsAreMutuallyConsistent)
+{
+    // Sweep every opcode with a representative instruction and check
+    // classification invariants hold universally.
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        Instruction i;
+        i.op = static_cast<Opcode>(op);
+        EXPECT_FALSE(i.isLoad() && i.isStore()) << op;
+        EXPECT_LE(i.isCondBranch() + i.isCall() + i.isReturn(), 1)
+            << op;
+        if (i.isMem())
+            EXPECT_EQ(i.fuClass(), FuClass::MemPort) << op;
+        EXPECT_GE(i.execLatency(), 1u) << op;
+    }
+}
+
+TEST(Encoding, RoundTripsRandomInstructions)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Instruction i;
+        i.op = static_cast<Opcode>(rng.below(
+            static_cast<std::uint64_t>(Opcode::NumOpcodes)));
+        i.rd = static_cast<RegIndex>(rng.below(32));
+        i.rs1 = static_cast<RegIndex>(rng.below(32));
+        i.rs2 = static_cast<RegIndex>(rng.below(32));
+        i.imm = static_cast<std::int32_t>(rng.next());
+        EXPECT_EQ(decode(encode(i)), i);
+    }
+}
+
+TEST(Encoding, KillMaskSurvivesEncoding)
+{
+    auto k = Instruction::kill(RegMask{16, 22, 30});
+    EXPECT_EQ(decode(encode(k)).killMask(), (RegMask{16, 22, 30}));
+}
+
+TEST(EncodingDeath, BadOpcodePanics)
+{
+    EXPECT_DEATH((void)decode(0xff), "invalid opcode");
+}
+
+TEST(Disasm, RepresentativeStrings)
+{
+    EXPECT_EQ(Instruction::alu(Opcode::Add, 2, 8, 9).toString(),
+              "add v0, t0, t1");
+    EXPECT_EQ(
+        Instruction::aluImm(Opcode::Addi, regSp, regSp, -32)
+            .toString(),
+        "addi sp, sp, -32");
+    EXPECT_EQ(Instruction::liveStore(16, regSp, 0).toString(),
+              "live-st s0, 0(sp)");
+    EXPECT_EQ(Instruction::liveLoad(16, regSp, 0).toString(),
+              "live-ld s0, 0(sp)");
+    EXPECT_EQ(Instruction::call(64).toString(), "call @64");
+    EXPECT_EQ(Instruction::ret().toString(), "ret");
+    EXPECT_EQ(Instruction::kill(RegMask{16, 17}).toString(),
+              "kill {r16, r17}");
+    EXPECT_EQ(Instruction::fload(3, regSp, 8).toString(),
+              "fld f3, 8(sp)");
+}
+
+} // namespace
+} // namespace isa
+} // namespace dvi

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for virtual-register liveness analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/liveness.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace comp
+{
+namespace
+{
+
+using namespace prog;
+
+TEST(IrUsesDefs, PerOpcode)
+{
+    EXPECT_EQ(irDef(irAlu(IrOp::Add, 3, 1, 2)), 3u);
+    EXPECT_EQ(irUses(irAlu(IrOp::Add, 3, 1, 2)),
+              (std::vector<VReg>{1, 2}));
+    EXPECT_EQ(irDef(irLoadImm(4, 9)), 4u);
+    EXPECT_TRUE(irUses(irLoadImm(4, 9)).empty());
+    EXPECT_EQ(irUses(irStore(1, 2, 0)), (std::vector<VReg>{1, 2}));
+    EXPECT_EQ(irDef(irStore(1, 2, 0)), noVReg);
+    EXPECT_EQ(irUses(irCall(0, {5, 6}, 7)),
+              (std::vector<VReg>{5, 6}));
+    EXPECT_EQ(irDef(irCall(0, {5, 6}, 7)), 7u);
+    EXPECT_EQ(irUses(irRet(3)), (std::vector<VReg>{3}));
+    EXPECT_TRUE(irUses(irRet()).empty());
+    EXPECT_EQ(irUses(irBranch(IrOp::Blt, 1, 2, 0)),
+              (std::vector<VReg>{1, 2}));
+    EXPECT_EQ(irUses(irStoreStack(4, 0)), (std::vector<VReg>{4}));
+    EXPECT_EQ(irDef(irLoadStack(4, 0)), 4u);
+}
+
+TEST(Liveness, StraightLine)
+{
+    // b0: v1 = imm; v2 = imm; v3 = v1+v2; ret v3
+    Procedure p;
+    VReg v1 = p.newVReg(), v2 = p.newVReg(), v3 = p.newVReg();
+    int b0 = p.newBlock();
+    p.emit(b0, irLoadImm(v1, 1));
+    p.emit(b0, irLoadImm(v2, 2));
+    p.emit(b0, irAlu(IrOp::Add, v3, v1, v2));
+    p.emit(b0, irRet(v3));
+
+    Liveness live = computeLiveness(p);
+    EXPECT_FALSE(live.liveIn[0].test(v1));  // defined locally
+    EXPECT_TRUE(live.liveOut[0] == DynBitset(live.numVRegs));
+
+    auto after = liveAfterPerInst(p, live, 0);
+    EXPECT_TRUE(after[0].test(v1));   // v1 live until the add
+    EXPECT_FALSE(after[2].test(v1));  // dead after the add
+    EXPECT_TRUE(after[2].test(v3));   // v3 live into the ret
+}
+
+TEST(Liveness, DiamondKeepsValueLiveOnBothArms)
+{
+    // b0: v1=..; branch -> b2 ; b1: use v1, jump b3 ; b2: use v1 ;
+    // b3: ret
+    Procedure p;
+    VReg v1 = p.newVReg(), z = p.newVReg(), t1 = p.newVReg(),
+         t2 = p.newVReg();
+    int b0 = p.newBlock();
+    int b1 = p.newBlock();
+    int b2 = p.newBlock();
+    int b3 = p.newBlock();
+    p.emit(b0, irLoadImm(v1, 5));
+    p.emit(b0, irLoadImm(z, 0));
+    p.emit(b0, irBranch(IrOp::Beq, v1, z, b2));
+    p.emit(b1, irAluImm(IrOp::AddImm, t1, v1, 1));
+    p.emit(b1, irJump(b3));
+    p.emit(b2, irAluImm(IrOp::AddImm, t2, v1, 2));
+    p.emit(b3, irRet());
+
+    Liveness live = computeLiveness(p);
+    EXPECT_TRUE(live.liveOut[0].test(v1));
+    EXPECT_TRUE(live.liveIn[1].test(v1));
+    EXPECT_TRUE(live.liveIn[2].test(v1));
+    EXPECT_FALSE(live.liveIn[3].test(v1));
+}
+
+TEST(Liveness, LoopCarriesValueAroundBackedge)
+{
+    // b0: i=n; z=0 ; b1: i=i-1; bne i,z,b1 ; b2: ret
+    Procedure p;
+    VReg i = p.newVReg(), z = p.newVReg();
+    int b0 = p.newBlock();
+    int b1 = p.newBlock();
+    int b2 = p.newBlock();
+    p.emit(b0, irLoadImm(i, 10));
+    p.emit(b0, irLoadImm(z, 0));
+    p.emit(b1, irAluImm(IrOp::AddImm, i, i, -1));
+    p.emit(b1, irBranch(IrOp::Bne, i, z, b1));
+    p.emit(b2, irRet());
+
+    Liveness live = computeLiveness(p);
+    // i and z are live around the loop.
+    EXPECT_TRUE(live.liveIn[1].test(i));
+    EXPECT_TRUE(live.liveOut[1].test(i));
+    EXPECT_TRUE(live.liveIn[1].test(z));
+    // Nothing is live into the procedure.
+    EXPECT_FALSE(live.liveIn[0].test(i));
+}
+
+TEST(Liveness, DeadDefIsNotLive)
+{
+    Procedure p;
+    VReg v = p.newVReg();
+    int b0 = p.newBlock();
+    p.emit(b0, irLoadImm(v, 1));  // never used
+    p.emit(b0, irRet());
+
+    Liveness live = computeLiveness(p);
+    auto after = liveAfterPerInst(p, live, 0);
+    EXPECT_FALSE(after[0].test(v));
+}
+
+TEST(Liveness, CallArgsAreUses)
+{
+    Procedure p;
+    VReg a = p.newVReg(), r = p.newVReg();
+    int b0 = p.newBlock();
+    p.emit(b0, irLoadImm(a, 3));
+    p.emit(b0, irCall(0, {a}, r));
+    p.emit(b0, irRet(r));
+
+    Liveness live = computeLiveness(p);
+    auto after = liveAfterPerInst(p, live, 0);
+    EXPECT_TRUE(after[0].test(a));   // live into the call
+    EXPECT_FALSE(after[1].test(a));  // dead after (last use)
+    EXPECT_TRUE(after[1].test(r));
+}
+
+} // namespace
+} // namespace comp
+} // namespace dvi

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cache model tests: hit/miss behavior, LRU replacement, hierarchy
+ * latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace dvi
+{
+namespace mem
+{
+namespace
+{
+
+CacheParams
+tiny(unsigned assoc = 2)
+{
+    // 4 sets x assoc x 64B lines.
+    CacheParams p;
+    p.name = "tiny";
+    p.lineBytes = 64;
+    p.assoc = assoc;
+    p.sizeBytes = 4 * assoc * 64;
+    p.hitLatency = 1;
+    return p;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1038, false));  // same 64B line
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_EQ(c.accesses(), 0u);
+    c.access(0x2000, false);
+    EXPECT_TRUE(c.probe(0x2000));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tiny(2));  // 2-way, 4 sets
+    // Three lines mapping to set 0 (line addresses multiples of 4).
+    const Addr a = 0 * 64, b = 4 * 64, d = 8 * 64;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);   // a most recent
+    c.access(d, false);   // evicts b (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines)
+{
+    Cache c(tiny(4));  // 4-way
+    for (int i = 0; i < 4; ++i)
+        c.access(static_cast<Addr>(i) * 4 * 64, false);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.probe(static_cast<Addr>(i) * 4 * 64));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c(tiny(1));
+    c.access(0, false);
+    c.access(4 * 64, false);  // same set, evicts
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(tiny());
+    c.access(0, false);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(tiny());
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+TEST(Cache, WritesAllocate)
+{
+    Cache c(tiny());
+    c.access(0x40, true);
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheParams p;
+    p.sizeBytes = 1024;  // 16 lines: not divisible by 3 ways
+    p.assoc = 3;
+    p.lineBytes = 64;
+    EXPECT_DEATH(Cache c(p), "");
+}
+
+TEST(Hierarchy, LatenciesCascade)
+{
+    CacheParams il1{"il1", 1024, 2, 64, 1};
+    CacheParams dl1{"dl1", 1024, 2, 64, 1};
+    CacheParams l2{"l2", 8192, 4, 64, 8};
+    MemoryHierarchy mh(il1, dl1, l2, 60);
+
+    // Cold: both L1 and L2 miss -> memory latency.
+    EXPECT_EQ(mh.dataAccess(0x8000, false), 60u);
+    // L2 filled by the miss -> L2 latency after an L1 eviction...
+    // same line: L1 now holds it -> hit latency.
+    EXPECT_EQ(mh.dataAccess(0x8000, false), 1u);
+
+    // Instruction side has its own L1 but shares the L2: IL1 cold
+    // miss, L2 hit.
+    EXPECT_EQ(mh.instAccess(0x8000), 8u);
+}
+
+TEST(Hierarchy, L2SharedBetweenSides)
+{
+    CacheParams il1{"il1", 1024, 2, 64, 1};
+    CacheParams dl1{"dl1", 1024, 2, 64, 1};
+    CacheParams l2{"l2", 8192, 4, 64, 8};
+    MemoryHierarchy mh(il1, dl1, l2, 60);
+    mh.dataAccess(0x4000, false);           // fills L2 (and DL1)
+    EXPECT_EQ(mh.instAccess(0x4000), 8u);   // IL1 miss, L2 hit
+}
+
+} // namespace
+} // namespace mem
+} // namespace dvi

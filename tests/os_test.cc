@@ -1,0 +1,153 @@
+/**
+ * @file
+ * OS substrate tests: preemptive scheduling and DVI-aware
+ * context-switch accounting (§6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "isa/registers.hh"
+#include "os/scheduler.hh"
+#include "test_programs.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace os
+{
+namespace
+{
+
+comp::Executable
+workloadExe(bool edvi = true)
+{
+    workload::GeneratorParams params =
+        workload::benchmarkParams(workload::BenchmarkId::Perl);
+    params.mainIters = 40;
+    return comp::compile(
+        workload::generate(params),
+        comp::CompileOptions{edvi ? comp::EdviPolicy::CallSites
+                                  : comp::EdviPolicy::None});
+}
+
+TEST(Scheduler, RunsSingleThreadToCompletion)
+{
+    comp::Executable exe = comp::compile(testprog::sumProgram(100));
+    Scheduler sched;
+    sched.addThread("t0", exe, arch::EmulatorOptions{});
+    sched.run();
+    EXPECT_TRUE(sched.thread(0).finished());
+    EXPECT_EQ(sched.thread(0).emu().memory().read(
+                  prog::Module::globalBase),
+              5050);
+}
+
+TEST(Scheduler, PreemptsOnQuantum)
+{
+    comp::Executable exe = workloadExe();
+    SchedulerOptions opts;
+    opts.quantum = 1000;
+    opts.maxTotalInsts = 50000;
+    Scheduler sched(opts);
+    sched.addThread("t0", exe, arch::EmulatorOptions{});
+    sched.run();
+    EXPECT_GE(sched.stats().contextSwitches, 40u);
+}
+
+TEST(Scheduler, RoundRobinInterleavesThreads)
+{
+    comp::Executable exe = workloadExe();
+    SchedulerOptions opts;
+    opts.quantum = 500;
+    opts.maxTotalInsts = 20000;
+    Scheduler sched(opts);
+    sched.addThread("a", exe, arch::EmulatorOptions{});
+    sched.addThread("b", exe, arch::EmulatorOptions{});
+    sched.run();
+    // Both made comparable progress.
+    const auto &sa = sched.thread(0).emu().stats();
+    const auto &sb = sched.thread(1).emu().stats();
+    EXPECT_GT(sa.insts, 5000u);
+    EXPECT_GT(sb.insts, 5000u);
+    EXPECT_NEAR(static_cast<double>(sa.insts),
+                static_cast<double>(sb.insts), 1000.0);
+}
+
+TEST(Scheduler, DviSavesNeverExceedBaseline)
+{
+    comp::Executable exe = workloadExe();
+    SchedulerOptions opts;
+    opts.quantum = 2000;
+    opts.maxTotalInsts = 100000;
+    Scheduler sched(opts);
+    sched.addThread("t0", exe, arch::EmulatorOptions{});
+    sched.run();
+    const SwitchStats &s = sched.stats();
+    EXPECT_GT(s.contextSwitches, 0u);
+    EXPECT_LE(s.dviIntSaveRestores, s.baselineIntSaveRestores);
+    EXPECT_LE(s.dviFpSaveRestores, s.baselineFpSaveRestores);
+    EXPECT_GT(s.intReductionPercent(), 0.0);
+    EXPECT_LE(s.intReductionPercent(), 100.0);
+}
+
+TEST(Scheduler, EdviImprovesOnIdviOnly)
+{
+    comp::Executable plain = workloadExe(false);
+    comp::Executable edvi = workloadExe(true);
+
+    auto run_mode = [](const comp::Executable &exe,
+                       bool honor_edvi) {
+        arch::EmulatorOptions eo;
+        eo.honorEdvi = honor_edvi;
+        SchedulerOptions so;
+        so.quantum = 2000;
+        so.maxTotalInsts = 100000;
+        Scheduler sched(so);
+        sched.addThread("t", exe, eo);
+        sched.run();
+        return sched.stats().intReductionPercent();
+    };
+
+    const double idvi_only = run_mode(plain, false);
+    const double full = run_mode(edvi, true);
+    EXPECT_GT(idvi_only, 0.0);
+    EXPECT_GT(full, idvi_only);
+}
+
+TEST(Scheduler, FpRegistersMostlyDeadInIntegerCode)
+{
+    comp::Executable exe = workloadExe();
+    SchedulerOptions opts;
+    opts.quantum = 2000;
+    opts.maxTotalInsts = 60000;
+    Scheduler sched(opts);
+    sched.addThread("t0", exe, arch::EmulatorOptions{});
+    sched.run();
+    // perl has no FP work: nearly all FP saves eliminable (§6.2).
+    EXPECT_GT(sched.stats().fpReductionPercent(), 90.0);
+}
+
+TEST(Scheduler, HistogramTracksLiveRegisters)
+{
+    comp::Executable exe = workloadExe();
+    SchedulerOptions opts;
+    opts.quantum = 1000;
+    opts.maxTotalInsts = 50000;
+    Scheduler sched(opts);
+    sched.addThread("t0", exe, arch::EmulatorOptions{});
+    sched.run();
+    const Histogram &h = sched.stats().liveIntAtSwitch;
+    EXPECT_EQ(h.samples(), sched.stats().contextSwitches);
+    EXPECT_LE(h.max(), isa::contextSwitchSavedMask().count());
+}
+
+TEST(SchedulerDeath, NoThreadsIsFatal)
+{
+    Scheduler sched;
+    EXPECT_DEATH(sched.run(), "no threads");
+}
+
+} // namespace
+} // namespace os
+} // namespace dvi

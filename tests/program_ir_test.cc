@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the program IR: CFG construction, successor
+ * derivation, structural validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace prog
+{
+namespace
+{
+
+Module
+tinyModule()
+{
+    Module mod;
+    mod.name = "tiny";
+    mod.procs.resize(1);
+    Procedure &main = mod.procs[0];
+    main.name = "main";
+    int b = main.newBlock();
+    main.emit(b, irHalt());
+    return mod;
+}
+
+TEST(Ir, FactoriesPopulateFields)
+{
+    auto a = irAlu(IrOp::Add, 3, 1, 2);
+    EXPECT_EQ(a.dst, 3u);
+    EXPECT_EQ(a.src1, 1u);
+    EXPECT_EQ(a.src2, 2u);
+
+    auto c = irCall(2, {4, 5}, 6);
+    EXPECT_EQ(c.callee, 2);
+    EXPECT_EQ(c.args.size(), 2u);
+    EXPECT_EQ(c.dst, 6u);
+
+    EXPECT_TRUE(irJump(0).isTerminator());
+    EXPECT_TRUE(irRet().isTerminator());
+    EXPECT_TRUE(irHalt().isTerminator());
+    EXPECT_TRUE(irBranch(IrOp::Beq, 1, 2, 0).isCondBranch());
+    EXPECT_FALSE(irAlu(IrOp::Add, 1, 2, 3).isTerminator());
+}
+
+TEST(IrDeath, TooManyCallArgsPanics)
+{
+    EXPECT_DEATH((void)irCall(0, {1, 2, 3, 4, 5}), "4 arguments");
+}
+
+TEST(Cfg, FallthroughSuccessor)
+{
+    Procedure p;
+    p.name = "p";
+    int b0 = p.newBlock();
+    p.newBlock();
+    p.emit(b0, irAlu(IrOp::Add, 1, 1, 1));
+    EXPECT_EQ(p.successors(0), (std::vector<int>{1}));
+}
+
+TEST(Cfg, CondBranchHasTwoSuccessors)
+{
+    Procedure p;
+    int b0 = p.newBlock();
+    p.newBlock();  // fallthrough
+    p.newBlock();  // target
+    p.emit(b0, irBranch(IrOp::Bne, 1, 2, 2));
+    EXPECT_EQ(p.successors(0), (std::vector<int>{2, 1}));
+}
+
+TEST(Cfg, JumpHasSingleSuccessor)
+{
+    Procedure p;
+    int b0 = p.newBlock();
+    p.newBlock();
+    p.emit(b0, irJump(1));
+    EXPECT_EQ(p.successors(0), (std::vector<int>{1}));
+}
+
+TEST(Cfg, RetAndHaltHaveNoSuccessors)
+{
+    Procedure p;
+    int b0 = p.newBlock();
+    p.emit(b0, irRet());
+    EXPECT_TRUE(p.successors(0).empty());
+}
+
+TEST(Cfg, SelfLoopBranch)
+{
+    Procedure p;
+    int b0 = p.newBlock();
+    p.newBlock();
+    p.emit(b0, irBranch(IrOp::Bge, 1, 2, 0));
+    EXPECT_EQ(p.successors(0), (std::vector<int>{0, 1}));
+}
+
+TEST(Cfg, InstCount)
+{
+    Procedure p;
+    int b0 = p.newBlock();
+    p.emit(b0, irAlu(IrOp::Add, 1, 1, 1));
+    p.emit(b0, irRet());
+    int b1 = p.newBlock();
+    p.emit(b1, irHalt());
+    EXPECT_EQ(p.instCount(), 3u);
+}
+
+TEST(Validate, AcceptsTinyModule)
+{
+    EXPECT_EQ(tinyModule().validate(), "");
+}
+
+TEST(Validate, RejectsEmptyModule)
+{
+    Module mod;
+    EXPECT_NE(mod.validate(), "");
+}
+
+TEST(Validate, RejectsTerminatorNotLast)
+{
+    Module mod = tinyModule();
+    Procedure &main = mod.procs[0];
+    main.blocks[0].insts.insert(main.blocks[0].insts.begin(),
+                                irRet());
+    EXPECT_NE(mod.validate().find("terminator"), std::string::npos);
+}
+
+TEST(Validate, RejectsBranchTargetOutOfRange)
+{
+    Module mod = tinyModule();
+    Procedure &main = mod.procs[0];
+    main.blocks[0].insts.clear();
+    main.emit(0, irJump(7));
+    EXPECT_NE(mod.validate().find("target"), std::string::npos);
+}
+
+TEST(Validate, RejectsBadCallee)
+{
+    Module mod = tinyModule();
+    Procedure &main = mod.procs[0];
+    main.blocks[0].insts.clear();
+    main.emit(0, irCall(3, {}));
+    main.emit(0, irHalt());
+    EXPECT_NE(mod.validate().find("callee"), std::string::npos);
+}
+
+TEST(Validate, RejectsExcessArgsForCallee)
+{
+    Module mod = tinyModule();
+    mod.procs.resize(2);
+    Procedure &callee = mod.procs[1];
+    callee.name = "callee";
+    callee.params.push_back(callee.newVReg());
+    int cb = callee.newBlock();
+    callee.emit(cb, irRet());
+
+    Procedure &main = mod.procs[0];
+    main.blocks[0].insts.clear();
+    main.emit(0, irCall(1, {1, 2}));  // callee takes 1 param
+    main.emit(0, irHalt());
+    EXPECT_NE(mod.validate().find("arguments"), std::string::npos);
+}
+
+TEST(Validate, RejectsFallOffEnd)
+{
+    Module mod = tinyModule();
+    Procedure &main = mod.procs[0];
+    main.blocks[0].insts.clear();
+    main.emit(0, irAlu(IrOp::Add, 1, 1, 1));
+    EXPECT_NE(mod.validate().find("falls off"), std::string::npos);
+}
+
+} // namespace
+} // namespace prog
+} // namespace dvi

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Register allocation tests: correctness invariants on hand-made and
+ * generated procedures (property style).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/liveness.hh"
+#include "compiler/regalloc.hh"
+#include "isa/registers.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+
+namespace dvi
+{
+namespace comp
+{
+namespace
+{
+
+using namespace prog;
+
+void
+checkAllocationValid(const Procedure &proc)
+{
+    Liveness live = computeLiveness(proc);
+    Allocation alloc = allocateRegisters(proc, live);
+
+    const RegMask allocatable =
+        isa::allocatableCalleeSaved() | isa::allocatableCallerSaved();
+
+    for (VReg v = 1; v < proc.nextVReg; ++v) {
+        const VRegLoc &loc = alloc.locs[v];
+        if (!loc.allocated)
+            continue;
+        if (loc.inReg) {
+            // Only allocatable registers; never the reserved
+            // scratches.
+            EXPECT_TRUE(allocatable.test(loc.reg)) << "vreg " << v;
+            EXPECT_NE(loc.reg, spillScratch0());
+            EXPECT_NE(loc.reg, spillScratch1());
+            // Values that cross calls must be callee-saved.
+            if (alloc.liveAcrossCall.test(v))
+                EXPECT_TRUE(isa::isCalleeSaved(loc.reg))
+                    << "vreg " << v << " crosses a call in "
+                    << isa::intRegName(loc.reg);
+        } else {
+            EXPECT_GE(loc.spillSlot, 0);
+            EXPECT_LT(loc.spillSlot,
+                      static_cast<int>(alloc.numSpillSlots));
+        }
+    }
+
+    // No two vregs sharing a register may have overlapping
+    // occupancy; no two spilled vregs share a slot.
+    for (VReg a = 1; a < proc.nextVReg; ++a) {
+        for (VReg b = a + 1; b < proc.nextVReg; ++b) {
+            const VRegLoc &la = alloc.locs[a];
+            const VRegLoc &lb = alloc.locs[b];
+            if (!la.allocated || !lb.allocated)
+                continue;
+            if (la.inReg && lb.inReg && la.reg == lb.reg) {
+                EXPECT_FALSE(alloc.occupancy[a].intersects(
+                    alloc.occupancy[b]))
+                    << "vregs " << a << " and " << b
+                    << " overlap in " << isa::intRegName(la.reg);
+            }
+            if (!la.inReg && !lb.inReg)
+                EXPECT_NE(la.spillSlot, lb.spillSlot);
+        }
+    }
+
+    // usedCalleeSaved must reflect the assignment.
+    RegMask used;
+    for (VReg v = 1; v < proc.nextVReg; ++v)
+        if (alloc.locs[v].allocated && alloc.locs[v].inReg &&
+            isa::isCalleeSaved(alloc.locs[v].reg))
+            used.set(alloc.locs[v].reg);
+    EXPECT_EQ(used, alloc.usedCalleeSaved);
+}
+
+TEST(RegAlloc, SimpleProcedureUsesCallerSaved)
+{
+    Procedure p;
+    VReg a = p.newVReg(), b = p.newVReg(), c = p.newVReg();
+    int b0 = p.newBlock();
+    p.emit(b0, irLoadImm(a, 1));
+    p.emit(b0, irLoadImm(b, 2));
+    p.emit(b0, irAlu(IrOp::Add, c, a, b));
+    p.emit(b0, irRet(c));
+
+    Liveness live = computeLiveness(p);
+    Allocation alloc = allocateRegisters(p, live);
+    EXPECT_TRUE(alloc.usedCalleeSaved.empty());
+    EXPECT_EQ(alloc.numSpillSlots, 0u);
+    checkAllocationValid(p);
+}
+
+TEST(RegAlloc, CrossCallValueGetsCalleeSaved)
+{
+    Procedure p;
+    VReg v = p.newVReg(), r = p.newVReg(), u = p.newVReg();
+    int b0 = p.newBlock();
+    p.emit(b0, irLoadImm(v, 9));
+    p.emit(b0, irCall(0, {}, r));
+    p.emit(b0, irAlu(IrOp::Add, u, v, r));
+    p.emit(b0, irRet(u));
+
+    Liveness live = computeLiveness(p);
+    Allocation alloc = allocateRegisters(p, live);
+    EXPECT_TRUE(alloc.liveAcrossCall.test(v));
+    ASSERT_TRUE(alloc.locs[v].inReg);
+    EXPECT_TRUE(isa::isCalleeSaved(alloc.locs[v].reg));
+    // Spread policy: the first cross-call value lands in s0.
+    EXPECT_EQ(alloc.locs[v].reg, 16);
+    // r is the call result: defined after the call, not across it.
+    EXPECT_FALSE(alloc.liveAcrossCall.test(r));
+    checkAllocationValid(p);
+}
+
+TEST(RegAlloc, PressureForcesSpills)
+{
+    // More simultaneously live values than total allocatable
+    // registers: some must spill.
+    Procedure p;
+    int b0 = p.newBlock();
+    std::vector<VReg> vs;
+    for (int i = 0; i < 24; ++i) {
+        VReg v = p.newVReg();
+        p.emit(b0, irLoadImm(v, i));
+        vs.push_back(v);
+    }
+    // Use all of them after the fact so they are simultaneously
+    // live.
+    VReg acc = p.newVReg();
+    p.emit(b0, irLoadImm(acc, 0));
+    for (VReg v : vs)
+        p.emit(b0, irAlu(IrOp::Add, acc, acc, v));
+    p.emit(b0, irRet(acc));
+
+    Liveness live = computeLiveness(p);
+    Allocation alloc = allocateRegisters(p, live);
+    EXPECT_GT(alloc.numSpillSlots, 0u);
+    checkAllocationValid(p);
+}
+
+/** Property: allocation is valid on every generated benchmark
+ * procedure. */
+class RegAllocPropertyTest
+    : public ::testing::TestWithParam<workload::BenchmarkId>
+{
+};
+
+TEST_P(RegAllocPropertyTest, GeneratedProceduresAllocateValidly)
+{
+    const prog::Module mod = workload::generateBenchmark(GetParam());
+    for (const Procedure &proc : mod.procs)
+        checkAllocationValid(proc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RegAllocPropertyTest,
+    ::testing::ValuesIn(workload::allBenchmarks()),
+    [](const auto &info) {
+        return workload::benchmarkName(info.param);
+    });
+
+/** Property: random generator configurations allocate validly. */
+class RegAllocSeedTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegAllocSeedTest, RandomConfigsAllocateValidly)
+{
+    workload::GeneratorParams params;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 3;
+    params.numProcs = 6;
+    params.calleeValues = 3 + GetParam() % 4;
+    params.longLivedFraction = 0.1 * (GetParam() % 10);
+    params.segmentsPerProc = 2 + GetParam() % 4;
+    const prog::Module mod = workload::generate(params);
+    for (const Procedure &proc : mod.procs)
+        checkAllocationValid(proc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocSeedTest,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace comp
+} // namespace dvi

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for statistics: counters, histograms, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace dvi
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    c.increment();
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratios, PercentHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+    EXPECT_DOUBLE_EQ(ratio(3, 0), 0.0);
+}
+
+TEST(Histogram, MeanMinMax)
+{
+    Histogram h;
+    h.record(2);
+    h.record(4);
+    h.record(6);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.min(), 2u);
+    EXPECT_EQ(h.max(), 6u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h;
+    h.record(10, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+    EXPECT_EQ(h.countAt(10), 5u);
+    EXPECT_EQ(h.countAt(9), 0u);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h;
+    h.record(3);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.buckets(), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Data column is right-aligned: "22" ends each line at the same
+    // column as " 1".
+    EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::fmt(std::uint64_t(42)), "42");
+}
+
+TEST(TableDeath, MismatchedRowPanics)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableDeath, RowBeforeHeaderPanics)
+{
+    Table t;
+    EXPECT_DEATH(t.addRow({"x"}), "before setHeader");
+}
+
+} // namespace
+} // namespace dvi

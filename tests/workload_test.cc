@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Workload generator tests: structural validity, determinism, and
+ * benchmark characteristics staying within calibrated envelopes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "compiler/compile.hh"
+#include "stats/counter.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace workload
+{
+namespace
+{
+
+class WorkloadTest : public ::testing::TestWithParam<BenchmarkId>
+{
+};
+
+TEST_P(WorkloadTest, GeneratesValidModule)
+{
+    const prog::Module mod = generateBenchmark(GetParam());
+    EXPECT_EQ(mod.validate(), "");
+    EXPECT_GT(mod.procs.size(), 1u);
+}
+
+TEST_P(WorkloadTest, GenerationIsDeterministic)
+{
+    const prog::Module a = generateBenchmark(GetParam());
+    const prog::Module b = generateBenchmark(GetParam());
+    comp::Executable ea = comp::compile(a);
+    comp::Executable eb = comp::compile(b);
+    ASSERT_EQ(ea.code.size(), eb.code.size());
+    for (std::size_t i = 0; i < ea.code.size(); ++i)
+        ASSERT_EQ(ea.code[i], eb.code[i]) << "at " << i;
+}
+
+TEST_P(WorkloadTest, CharacteristicsWithinEnvelope)
+{
+    comp::Executable exe = comp::compile(
+        generateBenchmark(GetParam()),
+        comp::CompileOptions{comp::EdviPolicy::None});
+    arch::Emulator emu(exe);
+    emu.run(150000);
+    const arch::EmulatorStats &s = emu.stats();
+
+    // Call density between 0.1% and 5% of instructions (SPECint
+    // range, Fig. 3).
+    const double call_pct = percent(s.calls, s.progInsts);
+    EXPECT_GE(call_pct, 0.1) << benchmarkName(GetParam());
+    EXPECT_LE(call_pct, 5.0) << benchmarkName(GetParam());
+
+    // Memory instructions 15-55%.
+    const double mem_pct = percent(s.memRefs, s.progInsts);
+    EXPECT_GE(mem_pct, 15.0);
+    EXPECT_LE(mem_pct, 55.0);
+
+    // Save/restore traffic exists and every call returns.
+    EXPECT_GT(s.saves, 0u);
+    EXPECT_GE(s.calls, s.returns);
+}
+
+TEST_P(WorkloadTest, TerminatesOnShortenedInput)
+{
+    GeneratorParams params = benchmarkParams(GetParam());
+    params.mainIters = 1;
+    comp::Executable exe =
+        comp::compile(workload::generate(params));
+    arch::Emulator emu(exe);
+    // gcc's call tree is the largest at ~66M instructions per
+    // iteration; everything is structurally finite (DAG + counted
+    // loops + linear recursion).
+    emu.run(200000000);
+    EXPECT_TRUE(emu.halted()) << benchmarkName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTest,
+                         ::testing::ValuesIn(allBenchmarks()),
+                         [](const auto &info) {
+                             return benchmarkName(info.param);
+                         });
+
+TEST(Workload, LiRecursionIsDeep)
+{
+    comp::Executable exe =
+        comp::compile(generateBenchmark(BenchmarkId::Li));
+    arch::Emulator emu(exe);
+    emu.run(200000);
+    // li is the LVM-Stack stress case: deeper than the 16-entry
+    // hardware structure.
+    EXPECT_GT(emu.stats().maxCallDepth, 16u);
+}
+
+TEST(Workload, PerlEliminationIsHighest)
+{
+    // The calibration property behind Fig. 9's shape.
+    double perl_rate = 0, go_rate = 0;
+    for (auto id : {BenchmarkId::Perl, BenchmarkId::Go}) {
+        comp::Executable exe = comp::compile(
+            generateBenchmark(id),
+            comp::CompileOptions{comp::EdviPolicy::CallSites});
+        arch::EmulatorOptions opts;
+        opts.lvmStackDepth = 16;
+        arch::Emulator emu(exe, opts);
+        emu.run(200000);
+        const auto &s = emu.stats();
+        const double rate =
+            ratio(s.saveElimOracle + s.restoreElimOracle,
+                  s.saves + s.restores);
+        if (id == BenchmarkId::Perl)
+            perl_rate = rate;
+        else
+            go_rate = rate;
+    }
+    EXPECT_GT(perl_rate, 0.6);  // paper: 74.6%
+    EXPECT_LT(go_rate, 0.35);   // paper: go is the weakest
+    EXPECT_GT(perl_rate, go_rate * 2);
+}
+
+TEST(Workload, BenchmarkNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (auto id : allBenchmarks())
+        names.insert(benchmarkName(id));
+    EXPECT_EQ(names.size(), allBenchmarks().size());
+}
+
+TEST(Workload, SaveRestoreSubsetOfAll)
+{
+    auto all = allBenchmarks();
+    for (auto id : saveRestoreBenchmarks())
+        EXPECT_NE(std::find(all.begin(), all.end(), id), all.end());
+    EXPECT_EQ(saveRestoreBenchmarks().size(), 6u);
+}
+
+TEST(Workload, CustomParamsRespected)
+{
+    GeneratorParams params;
+    params.seed = 99;
+    params.numProcs = 4;
+    params.recursionDepth = 6;
+    const prog::Module mod = generate(params);
+    EXPECT_EQ(mod.procs.size(), 5u);  // main + 4
+    EXPECT_EQ(mod.validate(), "");
+}
+
+TEST(WorkloadDeath, ZeroProcsIsFatal)
+{
+    GeneratorParams params;
+    params.numProcs = 0;
+    EXPECT_DEATH((void)generate(params), "procedure");
+}
+
+} // namespace
+} // namespace workload
+} // namespace dvi
