@@ -6,55 +6,16 @@
  * sizes only slightly above the 32-register deadlock minimum, the
  * no-DVI curve saturates much later, and call-site E-DVI adds little
  * over I-DVI.
+ *
+ * The grid runs through the parallel campaign driver; DVI_JOBS sets
+ * the worker count (default 1) and DVI_BENCH_INSTS the per-run
+ * budget. `dvi-run --figure 5` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/sweeps.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
+#include "driver/figures.hh"
 
 int
 main()
 {
-    std::vector<unsigned> sizes;
-    for (unsigned n = 34; n <= 98; n += 4)
-        sizes.push_back(n);
-    const std::vector<harness::DviMode> modes = {
-        harness::DviMode::None, harness::DviMode::Idvi,
-        harness::DviMode::Full};
-
-    const std::uint64_t insts = harness::benchInsts(120000);
-    harness::RegfileSweep sweep =
-        harness::runRegfileSweep(sizes, modes, insts);
-
-    Table t("Figure 5: Mean IPC vs. physical register file size");
-    t.setHeader({"Registers", "No DVI", "I-DVI", "E-DVI and I-DVI"});
-    for (std::size_t s = 0; s < sizes.size(); ++s)
-        t.addRow({Table::fmt(std::uint64_t(sizes[s])),
-                  Table::fmt(sweep.meanIpc[0][s], 3),
-                  Table::fmt(sweep.meanIpc[1][s], 3),
-                  Table::fmt(sweep.meanIpc[2][s], 3)});
-    t.print();
-
-    // Knee summary: smallest size reaching 90% of each curve's peak.
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-        double peak = 0.0;
-        for (double v : sweep.meanIpc[m])
-            peak = std::max(peak, v);
-        for (std::size_t s = 0; s < sizes.size(); ++s) {
-            if (sweep.meanIpc[m][s] >= 0.9 * peak) {
-                std::printf("%-16s reaches 90%% of peak IPC (%.3f) "
-                            "at %u registers\n",
-                            harness::dviModeName(modes[m]).c_str(),
-                            peak, sizes[s]);
-                break;
-            }
-        }
-    }
-    std::printf("(per-point budget %llu instructions per benchmark; "
-                "DVI_BENCH_INSTS scales it)\n",
-                static_cast<unsigned long long>(insts));
-    return 0;
+    return dvi::driver::figureMain(5);
 }

@@ -5,81 +5,16 @@
  * peak. Reproduces the paper's claim that DVI moves the optimal
  * design point to a smaller file (64 -> 50 in the paper) with a
  * small net performance win (+1.1%).
+ *
+ * The grid runs through the parallel campaign driver; DVI_JOBS sets
+ * the worker count (default 1) and DVI_BENCH_INSTS the per-run
+ * budget. `dvi-run --figure 6` is the flag-driven equivalent.
  */
 
-#include <algorithm>
-#include <cstdio>
-
-#include "harness/sweeps.hh"
-#include "stats/table.hh"
-#include "timing/regfile_timing.hh"
-
-using namespace dvi;
+#include "driver/figures.hh"
 
 int
 main()
 {
-    std::vector<unsigned> sizes;
-    for (unsigned n = 34; n <= 98; n += 4)
-        sizes.push_back(n);
-    const std::vector<harness::DviMode> modes = {
-        harness::DviMode::None, harness::DviMode::Idvi,
-        harness::DviMode::Full};
-
-    const std::uint64_t insts = harness::benchInsts(120000);
-    harness::RegfileSweep sweep =
-        harness::runRegfileSweep(sizes, modes, insts);
-
-    const timing::RegFileTimingModel model;
-    const unsigned issue_width = 4;
-
-    // perf[m][s] = IPC / access time.
-    std::vector<std::vector<double>> perf(
-        modes.size(), std::vector<double>(sizes.size(), 0.0));
-    for (std::size_t m = 0; m < modes.size(); ++m)
-        for (std::size_t s = 0; s < sizes.size(); ++s)
-            perf[m][s] = model.performance(sweep.meanIpc[m][s],
-                                           sizes[s], issue_width);
-
-    // Scale to the no-DVI peak (the paper's horizontal line).
-    double base_peak = 0.0;
-    unsigned base_peak_size = sizes[0];
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        if (perf[0][s] > base_peak) {
-            base_peak = perf[0][s];
-            base_peak_size = sizes[s];
-        }
-    }
-
-    Table t("Figure 6: Performance (IPC / regfile cycle time), "
-            "relative to no-DVI peak");
-    t.setHeader({"Registers", "No DVI", "I-DVI", "E-DVI and I-DVI",
-                 "access ns"});
-    for (std::size_t s = 0; s < sizes.size(); ++s)
-        t.addRow({Table::fmt(std::uint64_t(sizes[s])),
-                  Table::fmt(perf[0][s] / base_peak, 4),
-                  Table::fmt(perf[1][s] / base_peak, 4),
-                  Table::fmt(perf[2][s] / base_peak, 4),
-                  Table::fmt(model.accessTimeForIssueWidth(
-                                 sizes[s], issue_width),
-                             3)});
-    t.print();
-
-    double dvi_peak = 0.0;
-    unsigned dvi_peak_size = sizes[0];
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        if (perf[2][s] > dvi_peak) {
-            dvi_peak = perf[2][s];
-            dvi_peak_size = sizes[s];
-        }
-    }
-    std::printf("no-DVI peak at %u registers; DVI peak at %u "
-                "registers (%.0f%% size reduction)\n",
-                base_peak_size, dvi_peak_size,
-                100.0 * (1.0 - static_cast<double>(dvi_peak_size) /
-                                   static_cast<double>(
-                                       base_peak_size)));
-    std::printf("overall performance improvement at peak: %.2f%%\n",
-                100.0 * (dvi_peak / base_peak - 1.0));
-    return 0;
+    return dvi::driver::figureMain(6);
 }

@@ -3,74 +3,19 @@
  * Fig. 9 — dynamic saves and restores eliminated, as a percentage of
  * (a) total callee saves+restores, (b) total memory references, and
  * (c) total instructions; for the LVM scheme (saves only) and the
- * LVM-Stack scheme (saves and restores).
+ * LVM-Stack scheme (saves and restores). Measured on the functional
+ * LVM oracle with the hardware's 16-entry LVM-Stack. Paper targets:
+ * 46.5% of saves/restores, 11.1% of memory references, 4.8% of
+ * instructions on average; perl highest at 74.6%.
  *
- * The paper notes this fraction "is a property of the program and
- * the amount of available DVI ... independent of the processor
- * configuration", so it is measured on the functional LVM oracle
- * with the hardware's 16-entry LVM-Stack. Paper targets: 46.5% of
- * saves/restores, 11.1% of memory references, 4.8% of instructions
- * on average; perl highest at 74.6%; the LVM scheme provides about
- * half the benefit.
+ * Runs through the parallel campaign driver; DVI_JOBS sets the
+ * worker count. `dvi-run --figure 9` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "stats/counter.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
+#include "driver/figures.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(400000);
-
-    Table t("Figure 9: Dynamic saves and restores eliminated");
-    t.setHeader({"Benchmark", "LVM %s/r", "LVM-Stk %s/r",
-                 "LVM %mem", "LVM-Stk %mem", "LVM %inst",
-                 "LVM-Stk %inst"});
-
-    double sum_sr = 0, sum_mem = 0, sum_inst = 0;
-    double sum_sr_lvm = 0, sum_mem_lvm = 0, sum_inst_lvm = 0;
-    unsigned n = 0;
-
-    for (auto id : workload::saveRestoreBenchmarks()) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-        arch::EmulatorOptions opts;
-        opts.lvmStackDepth = 16;  // the hardware structure
-        const arch::EmulatorStats s =
-            harness::runOracle(b.edvi, insts, opts);
-
-        const std::uint64_t sr = s.saves + s.restores;
-        const std::uint64_t lvm_elim = s.saveElimOracle;
-        const std::uint64_t stack_elim =
-            s.saveElimOracle + s.restoreElimOracle;
-
-        t.addRow({b.name, Table::fmt(percent(lvm_elim, sr), 1),
-                  Table::fmt(percent(stack_elim, sr), 1),
-                  Table::fmt(percent(lvm_elim, s.memRefs), 1),
-                  Table::fmt(percent(stack_elim, s.memRefs), 1),
-                  Table::fmt(percent(lvm_elim, s.progInsts), 1),
-                  Table::fmt(percent(stack_elim, s.progInsts), 1)});
-
-        sum_sr += percent(stack_elim, sr);
-        sum_mem += percent(stack_elim, s.memRefs);
-        sum_inst += percent(stack_elim, s.progInsts);
-        sum_sr_lvm += percent(lvm_elim, sr);
-        sum_mem_lvm += percent(lvm_elim, s.memRefs);
-        sum_inst_lvm += percent(lvm_elim, s.progInsts);
-        ++n;
-    }
-    t.addRow({"mean", Table::fmt(sum_sr_lvm / n, 1),
-              Table::fmt(sum_sr / n, 1),
-              Table::fmt(sum_mem_lvm / n, 1),
-              Table::fmt(sum_mem / n, 1),
-              Table::fmt(sum_inst_lvm / n, 1),
-              Table::fmt(sum_inst / n, 1)});
-    t.print();
-    std::printf("paper means (LVM-Stack): 46.5%% of saves/restores, "
-                "11.1%% of memory refs, 4.8%% of instructions\n");
-    return 0;
+    return dvi::driver::figureMain(9);
 }

@@ -5,50 +5,15 @@
  * scheme (saves and restores). The paper's shape: gcc, perl, and li
  * gain the most (perl ~4.8%); save elimination accounts for more
  * than half of the benefit.
+ *
+ * Runs through the parallel campaign driver; DVI_JOBS sets the
+ * worker count. `dvi-run --figure 10` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
+#include "driver/figures.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(200000);
-
-    Table t("Figure 10: IPC speedups from save/restore elimination");
-    t.setHeader({"Benchmark", "base IPC", "LVM (saves) %",
-                 "LVM-Stack (saves+restores) %"});
-
-    for (auto id : workload::saveRestoreBenchmarks()) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-
-        uarch::CoreConfig cfg;
-        cfg.maxInsts = insts;
-
-        cfg.dvi = uarch::DviConfig::none();
-        const double base =
-            harness::runTiming(b.plain, cfg).ipc();
-
-        // LVM scheme: squash saves only. Early reclamation off so
-        // the comparison isolates save/restore elimination.
-        cfg.dvi = uarch::DviConfig::lvmScheme();
-        cfg.dvi.earlyReclaim = false;
-        const double lvm = harness::runTiming(b.edvi, cfg).ipc();
-
-        cfg.dvi = uarch::DviConfig::full();
-        cfg.dvi.earlyReclaim = false;
-        const double stack = harness::runTiming(b.edvi, cfg).ipc();
-
-        t.addRow({b.name, Table::fmt(base, 2),
-                  Table::fmt(100.0 * (lvm / base - 1.0), 2),
-                  Table::fmt(100.0 * (stack / base - 1.0), 2)});
-    }
-    t.print();
-    std::printf("(run budget %llu instructions per configuration)\n",
-                static_cast<unsigned long long>(insts));
-    return 0;
+    return dvi::driver::figureMain(10);
 }

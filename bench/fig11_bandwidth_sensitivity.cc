@@ -5,53 +5,15 @@
  * issue widths. The paper's shape: effectiveness grows as ports
  * shrink (elimination frees data bandwidth), and the port-starved
  * wide machine benefits most.
+ *
+ * Runs through the parallel campaign driver; DVI_JOBS sets the
+ * worker count. `dvi-run --figure 11` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
+#include "driver/figures.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(150000);
-    const unsigned widths[] = {4, 8};
-    const unsigned ports[] = {1, 2, 3};
-
-    Table t("Figure 11: Speedup (%) of save/restore elimination vs. "
-            "cache ports and issue width");
-    t.setHeader({"Benchmark", "width", "1 port", "2 ports",
-                 "3 ports"});
-
-    for (auto id :
-         {workload::BenchmarkId::Gcc, workload::BenchmarkId::Ijpeg}) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-        for (unsigned w : widths) {
-            std::vector<std::string> row = {
-                b.name, std::to_string(w) + "-way"};
-            for (unsigned p : ports) {
-                uarch::CoreConfig cfg;
-                cfg.setIssueWidth(w);
-                cfg.cachePorts = p;
-                cfg.maxInsts = insts;
-
-                cfg.dvi = uarch::DviConfig::none();
-                const double base =
-                    harness::runTiming(b.plain, cfg).ipc();
-
-                cfg.dvi = uarch::DviConfig::full();
-                cfg.dvi.earlyReclaim = false;
-                const double dvi =
-                    harness::runTiming(b.edvi, cfg).ipc();
-                row.push_back(
-                    Table::fmt(100.0 * (dvi / base - 1.0), 2));
-            }
-            t.addRow(row);
-        }
-    }
-    t.print();
-    return 0;
+    return dvi::driver::figureMain(11);
 }

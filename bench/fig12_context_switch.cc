@@ -8,66 +8,15 @@
  * with E-DVI + I-DVI. Also reports the FP register reduction the
  * paper notes ("floating point registers are often dead in integer
  * codes").
+ *
+ * Runs through the parallel campaign driver; DVI_JOBS sets the
+ * worker count. `dvi-run --figure 12` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "os/scheduler.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
-
-namespace
-{
-
-os::SwitchStats
-runMode(const comp::Executable &exe, bool honor_edvi,
-        std::uint64_t insts)
-{
-    arch::EmulatorOptions opts;
-    opts.trackLiveness = true;
-    opts.honorEdvi = honor_edvi;
-    opts.honorIdvi = true;
-    os::SchedulerOptions sched;
-    sched.quantum = 20000;
-    sched.maxTotalInsts = insts;
-    os::Scheduler s(sched);
-    s.addThread("t0", exe, opts);
-    s.run();
-    return s.stats();
-}
-
-} // namespace
+#include "driver/figures.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(400000);
-
-    Table t("Figure 12: Context-switch saves/restores eliminated");
-    t.setHeader({"Benchmark", "I-DVI %", "E-DVI and I-DVI %",
-                 "avg live int", "FP elim %"});
-    double sum_idvi = 0, sum_full = 0;
-    unsigned n = 0;
-    for (auto id : workload::allBenchmarks()) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-        // I-DVI requires no binary support: plain binary.
-        const os::SwitchStats idvi =
-            runMode(b.plain, false, insts);
-        const os::SwitchStats full = runMode(b.edvi, true, insts);
-        t.addRow({b.name,
-                  Table::fmt(idvi.intReductionPercent(), 1),
-                  Table::fmt(full.intReductionPercent(), 1),
-                  Table::fmt(full.liveIntAtSwitch.mean(), 1),
-                  Table::fmt(full.fpReductionPercent(), 1)});
-        sum_idvi += idvi.intReductionPercent();
-        sum_full += full.intReductionPercent();
-        ++n;
-    }
-    t.addRow({"mean", Table::fmt(sum_idvi / n, 1),
-              Table::fmt(sum_full / n, 1), "", ""});
-    t.print();
-    std::printf("paper means: 42%% (I-DVI), 51%% (E-DVI + I-DVI)\n");
-    return 0;
+    return dvi::driver::figureMain(12);
 }

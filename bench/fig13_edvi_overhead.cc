@@ -6,69 +6,15 @@
  * code size, and the IPC overhead for 32KB and 64KB I-caches. The
  * paper finds the overhead negligible (fractions of a percent, with
  * occasional small negative IPC "overheads" from alignment noise).
+ *
+ * Runs through the parallel campaign driver; DVI_JOBS sets the
+ * worker count. `dvi-run --figure 13` is the flag-driven equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "stats/counter.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
-
-namespace
-{
-
-double
-ipcWithICache(const comp::Executable &exe, std::size_t icache_bytes,
-              std::uint64_t insts)
-{
-    uarch::CoreConfig cfg;
-    cfg.dvi = uarch::DviConfig::none();  // optimizations off
-    cfg.dvi.useEdvi = false;             // kills are pure overhead
-    cfg.il1.sizeBytes = icache_bytes;
-    cfg.maxInsts = insts;
-    return harness::runTiming(exe, cfg).ipc();
-}
-
-} // namespace
+#include "driver/figures.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(200000);
-
-    Table t("Figure 13: E-DVI overhead (positive = slower)");
-    t.setHeader({"Benchmark", "dyn inst %", "code size %",
-                 "IPC ovh % (32K I$)", "IPC ovh % (64K I$)"});
-    for (auto id : workload::allBenchmarks()) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-
-        // Dynamic fetch overhead from the functional stream.
-        const arch::EmulatorStats es =
-            harness::runOracle(b.edvi, insts);
-        const double dyn =
-            percent(es.kills, es.progInsts);
-        const double code =
-            100.0 * (static_cast<double>(b.edvi.textBytes()) /
-                         static_cast<double>(b.plain.textBytes()) -
-                     1.0);
-
-        const double ipc32_plain =
-            ipcWithICache(b.plain, 32 * 1024, insts);
-        const double ipc32_edvi =
-            ipcWithICache(b.edvi, 32 * 1024, insts);
-        const double ipc64_plain =
-            ipcWithICache(b.plain, 64 * 1024, insts);
-        const double ipc64_edvi =
-            ipcWithICache(b.edvi, 64 * 1024, insts);
-
-        t.addRow({b.name, Table::fmt(dyn, 2), Table::fmt(code, 2),
-                  Table::fmt(
-                      100.0 * (ipc32_plain / ipc32_edvi - 1.0), 2),
-                  Table::fmt(
-                      100.0 * (ipc64_plain / ipc64_edvi - 1.0), 2)});
-    }
-    t.print();
-    return 0;
+    return dvi::driver::figureMain(13);
 }

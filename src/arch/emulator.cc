@@ -1,8 +1,8 @@
 #include "arch/emulator.hh"
 
 #include <algorithm>
-#include <bit>
 
+#include "base/bits.hh"
 #include "base/logging.hh"
 
 namespace dvi
@@ -220,8 +220,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.loads;
         ++stats_.fpOps;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        fpRegs[inst.rd] =
-            std::bit_cast<double>(mem.read(eff_addr));
+        fpRegs[inst.rd] = bitCast<double>(mem.read(eff_addr));
         fpLive_.set(inst.rd);
         break;
       }
@@ -231,7 +230,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.fpOps;
         eff_addr = addr_of(inst.rs1, inst.imm);
         mem.write(eff_addr,
-                  std::bit_cast<std::int64_t>(fpRegs[inst.rs2]));
+                  bitCast<std::int64_t>(fpRegs[inst.rs2]));
         break;
       }
 

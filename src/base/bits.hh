@@ -1,0 +1,65 @@
+/**
+ * @file
+ * C++17 replacements for the <bit> operations the tree relies on
+ * (std::popcount / std::countr_zero / std::bit_cast are C++20).
+ */
+
+#ifndef DVI_BASE_BITS_HH
+#define DVI_BASE_BITS_HH
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dvi
+{
+
+/** Number of set bits in w. */
+inline unsigned
+popcount64(std::uint64_t w)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_popcountll(w));
+#else
+    unsigned n = 0;
+    while (w) {
+        w &= w - 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/** Index of the lowest set bit; w must be non-zero. */
+inline unsigned
+countrZero64(std::uint64_t w)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(w));
+#else
+    unsigned n = 0;
+    while (!(w & 1)) {
+        w >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/** std::bit_cast for C++17: reinterpret the bytes of From as To. */
+template <typename To, typename From>
+To
+bitCast(const From &from)
+{
+    static_assert(sizeof(To) == sizeof(From), "bitCast size mismatch");
+    static_assert(std::is_trivially_copyable<To>::value &&
+                      std::is_trivially_copyable<From>::value,
+                  "bitCast needs trivially copyable types");
+    To to;
+    std::memcpy(&to, &from, sizeof(To));
+    return to;
+}
+
+} // namespace dvi
+
+#endif // DVI_BASE_BITS_HH

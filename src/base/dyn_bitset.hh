@@ -7,10 +7,10 @@
 #ifndef DVI_BASE_DYN_BITSET_HH
 #define DVI_BASE_DYN_BITSET_HH
 
-#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "base/bits.hh"
 #include "base/logging.hh"
 
 namespace dvi
@@ -77,7 +77,7 @@ class DynBitset
     {
         std::size_t n = 0;
         for (auto w : words)
-            n += std::popcount(w);
+            n += popcount64(w);
         return n;
     }
 
@@ -124,7 +124,12 @@ class DynBitset
         return false;
     }
 
-    bool operator==(const DynBitset &) const = default;
+    bool
+    operator==(const DynBitset &o) const
+    {
+        return nbits_ == o.nbits_ && words == o.words;
+    }
+    bool operator!=(const DynBitset &o) const { return !(*this == o); }
 
     /** Invoke f(index) for every set bit, lowest first. */
     template <typename F>
@@ -134,8 +139,7 @@ class DynBitset
         for (std::size_t wi = 0; wi < words.size(); ++wi) {
             std::uint64_t w = words[wi];
             while (w) {
-                std::size_t bit =
-                    wi * 64 + std::countr_zero(w);
+                std::size_t bit = wi * 64 + countrZero64(w);
                 f(bit);
                 w &= w - 1;
             }

@@ -10,11 +10,11 @@
 #ifndef DVI_BASE_REG_MASK_HH
 #define DVI_BASE_REG_MASK_HH
 
-#include <bit>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
 
+#include "base/bits.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 
@@ -75,7 +75,7 @@ class RegMask
     }
 
     bool empty() const { return bits == 0; }
-    unsigned count() const { return std::popcount(bits); }
+    unsigned count() const { return popcount64(bits); }
     std::uint64_t raw() const { return bits; }
     void reset() { bits = 0; }
 
@@ -85,7 +85,8 @@ class RegMask
     RegMask operator~() const { return RegMask(~bits); }
     RegMask &operator|=(RegMask o) { bits |= o.bits; return *this; }
     RegMask &operator&=(RegMask o) { bits &= o.bits; return *this; }
-    bool operator==(const RegMask &) const = default;
+    bool operator==(const RegMask &o) const { return bits == o.bits; }
+    bool operator!=(const RegMask &o) const { return bits != o.bits; }
 
     /** Set difference: bits set in *this but not in o. */
     RegMask minus(RegMask o) const { return RegMask(bits & ~o.bits); }
@@ -97,7 +98,7 @@ class RegMask
     {
         std::uint64_t w = bits;
         while (w) {
-            RegIndex r = static_cast<RegIndex>(std::countr_zero(w));
+            RegIndex r = static_cast<RegIndex>(countrZero64(w));
             f(r);
             w &= w - 1;
         }

@@ -1,0 +1,169 @@
+#include "driver/campaign.hh"
+
+#include "base/logging.hh"
+#include "os/scheduler.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+std::string
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::Timing: return "timing";
+      case JobKind::Oracle: return "oracle";
+      case JobKind::Switch: return "switch";
+    }
+    panic("bad JobKind");
+}
+
+std::uint64_t
+jobSeed(std::size_t index)
+{
+    // SplitMix64 (Steele, Lea, Flood 2014) of index + 1.
+    std::uint64_t z = static_cast<std::uint64_t>(index) + 1;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::shared_ptr<const harness::BuiltBenchmark>
+ExecutableCache::get(workload::BenchmarkId id)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        auto &slot = entries[id];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    std::call_once(entry->once, [&] {
+        entry->built = std::make_shared<const harness::BuiltBenchmark>(
+            harness::buildBenchmark(id));
+    });
+    return entry->built;
+}
+
+std::size_t
+ExecutableCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return entries.size();
+}
+
+JobResult
+runJob(const JobSpec &spec, ExecutableCache &cache)
+{
+    const std::shared_ptr<const harness::BuiltBenchmark> built =
+        cache.get(spec.bench);
+    const comp::Executable &exe = harness::exeFor(*built, spec.mode);
+
+    JobResult r;
+    r.spec = spec;
+    r.textBytesPlain = built->plain.textBytes();
+    r.textBytesEdvi = built->edvi.textBytes();
+
+    switch (spec.kind) {
+      case JobKind::Timing:
+        r.core = harness::runTiming(exe, spec.cfg);
+        r.ipc = r.core.ipc();
+        break;
+      case JobKind::Oracle:
+        r.oracle = harness::runOracle(exe, spec.maxInsts, spec.emu);
+        break;
+      case JobKind::Switch: {
+        os::Scheduler sched(spec.sched);
+        sched.addThread("t0", exe, spec.emu);
+        sched.run();
+        r.sw = sched.stats();
+        break;
+      }
+    }
+    return r;
+}
+
+JobSpec &
+Campaign::append(JobKind kind, workload::BenchmarkId bench,
+                 harness::DviMode mode, std::string variant)
+{
+    JobSpec spec;
+    spec.index = jobs_.size();
+    spec.seed = jobSeed(spec.index);
+    spec.kind = kind;
+    spec.bench = bench;
+    spec.mode = mode;
+    spec.variant = std::move(variant);
+    jobs_.push_back(std::move(spec));
+    return jobs_.back();
+}
+
+std::size_t
+Campaign::addTimingJob(workload::BenchmarkId bench,
+                       harness::DviMode mode,
+                       const uarch::CoreConfig &cfg,
+                       std::string variant)
+{
+    JobSpec &spec =
+        append(JobKind::Timing, bench, mode, std::move(variant));
+    spec.cfg = cfg;
+    spec.maxInsts = cfg.maxInsts;
+    return spec.index;
+}
+
+std::size_t
+Campaign::addOracleJob(workload::BenchmarkId bench,
+                       harness::DviMode mode,
+                       const arch::EmulatorOptions &emu,
+                       std::uint64_t max_insts, std::string variant)
+{
+    JobSpec &spec =
+        append(JobKind::Oracle, bench, mode, std::move(variant));
+    spec.emu = emu;
+    spec.maxInsts = max_insts;
+    return spec.index;
+}
+
+std::size_t
+Campaign::addSwitchJob(workload::BenchmarkId bench,
+                       harness::DviMode mode,
+                       const arch::EmulatorOptions &emu,
+                       const os::SchedulerOptions &sched,
+                       std::string variant)
+{
+    JobSpec &spec =
+        append(JobKind::Switch, bench, mode, std::move(variant));
+    spec.emu = emu;
+    spec.sched = sched;
+    spec.maxInsts = sched.maxTotalInsts;
+    return spec.index;
+}
+
+CampaignReport
+Campaign::run(const CampaignOptions &opts) const
+{
+    ThreadPool pool(opts.jobs);
+    return run(pool);
+}
+
+CampaignReport
+Campaign::run(ThreadPool &pool) const
+{
+    CampaignReport report;
+    report.campaign = name_;
+    report.results.resize(jobs_.size());
+
+    ExecutableCache cache;
+    const std::vector<JobSpec> &specs = jobs_;
+    std::vector<JobResult> &results = report.results;
+    parallelFor(pool, specs.size(), [&](std::size_t i) {
+        results[i] = runJob(specs[i], cache);
+    });
+    return report;
+}
+
+} // namespace driver
+} // namespace dvi

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simulation-campaign runner.
+ *
+ * A Campaign is an ordered list of JobSpecs. run() shards the jobs
+ * across a work-stealing ThreadPool; every worker resolves its job's
+ * benchmark through a shared compile-once ExecutableCache (so a
+ * campaign compiles each benchmark exactly once no matter how many
+ * jobs reference it), and results land in a slot addressed by the
+ * job's index. The report is therefore independent of completion
+ * order: running with one worker or sixteen produces byte-identical
+ * output.
+ */
+
+#ifndef DVI_DRIVER_CAMPAIGN_HH
+#define DVI_DRIVER_CAMPAIGN_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/job.hh"
+#include "driver/report.hh"
+#include "driver/thread_pool.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/**
+ * Thread-safe compile-once cache of built benchmarks. The first
+ * worker to request a benchmark compiles it (both the plain and the
+ * E-DVI binary); concurrent requesters for the same benchmark block
+ * until that compile finishes, while requests for other benchmarks
+ * proceed in parallel. Entries are immutable once published —
+ * uarch::Core and arch::Emulator copy the executable they run, so
+ * sharing one BuiltBenchmark across workers is safe.
+ */
+class ExecutableCache
+{
+  public:
+    std::shared_ptr<const harness::BuiltBenchmark>
+    get(workload::BenchmarkId id);
+
+    /** Number of distinct benchmarks compiled so far. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const harness::BuiltBenchmark> built;
+    };
+
+    mutable std::mutex mu;
+    std::map<workload::BenchmarkId, std::shared_ptr<Entry>> entries;
+};
+
+/** Execute one job against the cache. Deterministic. */
+JobResult runJob(const JobSpec &spec, ExecutableCache &cache);
+
+/** Campaign execution knobs. */
+struct CampaignOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 1;
+};
+
+/** An ordered grid of simulation jobs. */
+class Campaign
+{
+  public:
+    explicit Campaign(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return jobs_.size(); }
+    const std::vector<JobSpec> &jobs() const { return jobs_; }
+
+    /** Append a timing-model job; returns its index. */
+    std::size_t addTimingJob(workload::BenchmarkId bench,
+                             harness::DviMode mode,
+                             const uarch::CoreConfig &cfg,
+                             std::string variant = "");
+
+    /** Append a functional-oracle job; returns its index. */
+    std::size_t addOracleJob(workload::BenchmarkId bench,
+                             harness::DviMode mode,
+                             const arch::EmulatorOptions &emu,
+                             std::uint64_t max_insts,
+                             std::string variant = "");
+
+    /** Append a context-switch (scheduler) job; returns its index. */
+    std::size_t addSwitchJob(workload::BenchmarkId bench,
+                             harness::DviMode mode,
+                             const arch::EmulatorOptions &emu,
+                             const os::SchedulerOptions &sched,
+                             std::string variant = "");
+
+    /** Run every job on an internally created pool. */
+    CampaignReport run(const CampaignOptions &opts = {}) const;
+
+    /** Run every job on a caller-provided pool. */
+    CampaignReport run(ThreadPool &pool) const;
+
+  private:
+    JobSpec &append(JobKind kind, workload::BenchmarkId bench,
+                    harness::DviMode mode, std::string variant);
+
+    std::string name_;
+    std::vector<JobSpec> jobs_;
+};
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_CAMPAIGN_HH

@@ -1,0 +1,578 @@
+#include "driver/figures.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+#include "base/logging.hh"
+#include "stats/counter.hh"
+#include "timing/regfile_timing.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+namespace
+{
+
+/** The Fig. 5/6 register-file sizes: 34..98 step 4. */
+std::vector<unsigned>
+fig5Sizes()
+{
+    std::vector<unsigned> sizes;
+    for (unsigned n = 34; n <= 98; n += 4)
+        sizes.push_back(n);
+    return sizes;
+}
+
+const std::vector<harness::DviMode> &
+fig5Modes()
+{
+    static const std::vector<harness::DviMode> modes = {
+        harness::DviMode::None, harness::DviMode::Idvi,
+        harness::DviMode::Full};
+    return modes;
+}
+
+std::uint64_t
+resolveInsts(int figure, std::uint64_t max_insts)
+{
+    return max_insts ? max_insts
+                     : harness::benchInsts(figureDefaultInsts(figure));
+}
+
+// ------------------------------------------------------------ Fig. 9
+
+Campaign
+buildFig9(std::uint64_t insts)
+{
+    Campaign c("fig09");
+    arch::EmulatorOptions opts;
+    opts.lvmStackDepth = 16;  // the hardware structure
+    for (auto id : workload::saveRestoreBenchmarks())
+        c.addOracleJob(id, harness::DviMode::Full, opts, insts);
+    return c;
+}
+
+void
+renderFig9(const CampaignReport &report, std::ostream &os)
+{
+    Table t("Figure 9: Dynamic saves and restores eliminated");
+    t.setHeader({"Benchmark", "LVM %s/r", "LVM-Stk %s/r", "LVM %mem",
+                 "LVM-Stk %mem", "LVM %inst", "LVM-Stk %inst"});
+
+    double sum_sr = 0, sum_mem = 0, sum_inst = 0;
+    double sum_sr_lvm = 0, sum_mem_lvm = 0, sum_inst_lvm = 0;
+    unsigned n = 0;
+    for (const JobResult &r : report.results) {
+        const arch::EmulatorStats &s = r.oracle;
+        const std::uint64_t sr = s.saves + s.restores;
+        const std::uint64_t lvm_elim = s.saveElimOracle;
+        const std::uint64_t stack_elim =
+            s.saveElimOracle + s.restoreElimOracle;
+
+        t.addRow({workload::benchmarkName(r.spec.bench),
+                  Table::fmt(percent(lvm_elim, sr), 1),
+                  Table::fmt(percent(stack_elim, sr), 1),
+                  Table::fmt(percent(lvm_elim, s.memRefs), 1),
+                  Table::fmt(percent(stack_elim, s.memRefs), 1),
+                  Table::fmt(percent(lvm_elim, s.progInsts), 1),
+                  Table::fmt(percent(stack_elim, s.progInsts), 1)});
+
+        sum_sr += percent(stack_elim, sr);
+        sum_mem += percent(stack_elim, s.memRefs);
+        sum_inst += percent(stack_elim, s.progInsts);
+        sum_sr_lvm += percent(lvm_elim, sr);
+        sum_mem_lvm += percent(lvm_elim, s.memRefs);
+        sum_inst_lvm += percent(lvm_elim, s.progInsts);
+        ++n;
+    }
+    t.addRow({"mean", Table::fmt(sum_sr_lvm / n, 1),
+              Table::fmt(sum_sr / n, 1), Table::fmt(sum_mem_lvm / n, 1),
+              Table::fmt(sum_mem / n, 1),
+              Table::fmt(sum_inst_lvm / n, 1),
+              Table::fmt(sum_inst / n, 1)});
+    os << t.render();
+    os << "paper means (LVM-Stack): 46.5% of saves/restores, 11.1% "
+          "of memory refs, 4.8% of instructions\n";
+}
+
+// ------------------------------------------------------------ Fig. 10
+
+Campaign
+buildFig10(std::uint64_t insts)
+{
+    Campaign c("fig10");
+    for (auto id : workload::saveRestoreBenchmarks()) {
+        uarch::CoreConfig cfg;
+        cfg.maxInsts = insts;
+
+        cfg.dvi = uarch::DviConfig::none();
+        c.addTimingJob(id, harness::DviMode::None, cfg, "base");
+
+        // LVM scheme: squash saves only. Early reclamation off so
+        // the comparison isolates save/restore elimination.
+        cfg.dvi = uarch::DviConfig::lvmScheme();
+        cfg.dvi.earlyReclaim = false;
+        c.addTimingJob(id, harness::DviMode::Full, cfg, "lvm");
+
+        cfg.dvi = uarch::DviConfig::full();
+        cfg.dvi.earlyReclaim = false;
+        c.addTimingJob(id, harness::DviMode::Full, cfg, "lvm-stack");
+    }
+    return c;
+}
+
+void
+renderFig10(const CampaignReport &report, std::ostream &os)
+{
+    Table t("Figure 10: IPC speedups from save/restore elimination");
+    t.setHeader({"Benchmark", "base IPC", "LVM (saves) %",
+                 "LVM-Stack (saves+restores) %"});
+    for (std::size_t i = 0; i + 2 < report.results.size(); i += 3) {
+        const double base = report.results[i].ipc;
+        const double lvm = report.results[i + 1].ipc;
+        const double stack = report.results[i + 2].ipc;
+        t.addRow({workload::benchmarkName(report.results[i].spec.bench),
+                  Table::fmt(base, 2),
+                  Table::fmt(100.0 * (lvm / base - 1.0), 2),
+                  Table::fmt(100.0 * (stack / base - 1.0), 2)});
+    }
+    os << t.render();
+    os << "(run budget "
+       << report.results.front().spec.cfg.maxInsts
+       << " instructions per configuration)\n";
+}
+
+// ------------------------------------------------------------ Fig. 11
+
+Campaign
+buildFig11(std::uint64_t insts)
+{
+    Campaign c("fig11");
+    const unsigned widths[] = {4, 8};
+    const unsigned ports[] = {1, 2, 3};
+    for (auto id :
+         {workload::BenchmarkId::Gcc, workload::BenchmarkId::Ijpeg}) {
+        for (unsigned w : widths) {
+            for (unsigned p : ports) {
+                uarch::CoreConfig cfg;
+                cfg.setIssueWidth(w);
+                cfg.cachePorts = p;
+                cfg.maxInsts = insts;
+
+                cfg.dvi = uarch::DviConfig::none();
+                c.addTimingJob(id, harness::DviMode::None, cfg,
+                               "base");
+
+                cfg.dvi = uarch::DviConfig::full();
+                cfg.dvi.earlyReclaim = false;
+                c.addTimingJob(id, harness::DviMode::Full, cfg,
+                               "dvi");
+            }
+        }
+    }
+    return c;
+}
+
+void
+renderFig11(const CampaignReport &report, std::ostream &os)
+{
+    Table t("Figure 11: Speedup (%) of save/restore elimination vs. "
+            "cache ports and issue width");
+    t.setHeader({"Benchmark", "width", "1 port", "2 ports",
+                 "3 ports"});
+    // Layout: bench-major, width, port, {base, dvi} -> 6 jobs per
+    // (bench, width) row.
+    for (std::size_t i = 0; i + 5 < report.results.size(); i += 6) {
+        const JobSpec &first = report.results[i].spec;
+        std::vector<std::string> row = {
+            workload::benchmarkName(first.bench),
+            std::to_string(first.cfg.issueWidth) + "-way"};
+        for (unsigned p = 0; p < 3; ++p) {
+            const double base = report.results[i + 2 * p].ipc;
+            const double dvi = report.results[i + 2 * p + 1].ipc;
+            row.push_back(Table::fmt(100.0 * (dvi / base - 1.0), 2));
+        }
+        t.addRow(row);
+    }
+    os << t.render();
+}
+
+// ------------------------------------------------------------ Fig. 12
+
+Campaign
+buildFig12(std::uint64_t insts)
+{
+    Campaign c("fig12");
+    os::SchedulerOptions sched;
+    sched.quantum = 20000;
+    sched.maxTotalInsts = insts;
+    for (auto id : workload::allBenchmarks()) {
+        // I-DVI requires no binary support: plain binary.
+        arch::EmulatorOptions opts;
+        opts.trackLiveness = true;
+        opts.honorIdvi = true;
+        opts.honorEdvi = false;
+        c.addSwitchJob(id, harness::DviMode::Idvi, opts, sched,
+                       "idvi");
+        opts.honorEdvi = true;
+        c.addSwitchJob(id, harness::DviMode::Full, opts, sched,
+                       "full");
+    }
+    return c;
+}
+
+void
+renderFig12(const CampaignReport &report, std::ostream &os)
+{
+    Table t("Figure 12: Context-switch saves/restores eliminated");
+    t.setHeader({"Benchmark", "I-DVI %", "E-DVI and I-DVI %",
+                 "avg live int", "FP elim %"});
+    double sum_idvi = 0, sum_full = 0;
+    unsigned n = 0;
+    for (std::size_t i = 0; i + 1 < report.results.size(); i += 2) {
+        const os::SwitchStats &idvi = report.results[i].sw;
+        const os::SwitchStats &full = report.results[i + 1].sw;
+        t.addRow({workload::benchmarkName(report.results[i].spec.bench),
+                  Table::fmt(idvi.intReductionPercent(), 1),
+                  Table::fmt(full.intReductionPercent(), 1),
+                  Table::fmt(full.liveIntAtSwitch.mean(), 1),
+                  Table::fmt(full.fpReductionPercent(), 1)});
+        sum_idvi += idvi.intReductionPercent();
+        sum_full += full.intReductionPercent();
+        ++n;
+    }
+    t.addRow({"mean", Table::fmt(sum_idvi / n, 1),
+              Table::fmt(sum_full / n, 1), "", ""});
+    os << t.render();
+    os << "paper means: 42% (I-DVI), 51% (E-DVI + I-DVI)\n";
+}
+
+// ------------------------------------------------------------ Fig. 13
+
+Campaign
+buildFig13(std::uint64_t insts)
+{
+    Campaign c("fig13");
+    for (auto id : workload::allBenchmarks()) {
+        c.addOracleJob(id, harness::DviMode::Full,
+                       arch::EmulatorOptions{}, insts, "oracle");
+        for (unsigned kb : {32u, 64u}) {
+            uarch::CoreConfig cfg;
+            cfg.dvi = uarch::DviConfig::none();  // optimizations off
+            cfg.dvi.useEdvi = false;  // kills are pure overhead
+            cfg.il1.sizeBytes = kb * 1024;
+            cfg.maxInsts = insts;
+            c.addTimingJob(id, harness::DviMode::None, cfg,
+                           "plain-" + std::to_string(kb) + "k");
+            c.addTimingJob(id, harness::DviMode::Full, cfg,
+                           "edvi-" + std::to_string(kb) + "k");
+        }
+    }
+    return c;
+}
+
+void
+renderFig13(const CampaignReport &report, std::ostream &os)
+{
+    Table t("Figure 13: E-DVI overhead (positive = slower)");
+    t.setHeader({"Benchmark", "dyn inst %", "code size %",
+                 "IPC ovh % (32K I$)", "IPC ovh % (64K I$)"});
+    // 5 jobs per benchmark: oracle, plain-32k, edvi-32k, plain-64k,
+    // edvi-64k.
+    for (std::size_t i = 0; i + 4 < report.results.size(); i += 5) {
+        const JobResult &oracle = report.results[i];
+        const double dyn =
+            percent(oracle.oracle.kills, oracle.oracle.progInsts);
+        const double code =
+            100.0 *
+            (static_cast<double>(oracle.textBytesEdvi) /
+                 static_cast<double>(oracle.textBytesPlain) -
+             1.0);
+        const double ipc32_plain = report.results[i + 1].ipc;
+        const double ipc32_edvi = report.results[i + 2].ipc;
+        const double ipc64_plain = report.results[i + 3].ipc;
+        const double ipc64_edvi = report.results[i + 4].ipc;
+        t.addRow({workload::benchmarkName(oracle.spec.bench),
+                  Table::fmt(dyn, 2), Table::fmt(code, 2),
+                  Table::fmt(
+                      100.0 * (ipc32_plain / ipc32_edvi - 1.0), 2),
+                  Table::fmt(
+                      100.0 * (ipc64_plain / ipc64_edvi - 1.0), 2)});
+    }
+    os << t.render();
+}
+
+// ------------------------------------------------------------ Fig. 5/6
+
+void
+renderFig5(const CampaignReport &report, std::ostream &os)
+{
+    const std::vector<unsigned> sizes = fig5Sizes();
+    const std::vector<harness::DviMode> &modes = fig5Modes();
+    const harness::RegfileSweep sweep =
+        regfileSweepFromReport(report, sizes, modes);
+
+    Table t("Figure 5: Mean IPC vs. physical register file size");
+    t.setHeader({"Registers", "No DVI", "I-DVI", "E-DVI and I-DVI"});
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        t.addRow({Table::fmt(std::uint64_t(sizes[s])),
+                  Table::fmt(sweep.meanIpc[0][s], 3),
+                  Table::fmt(sweep.meanIpc[1][s], 3),
+                  Table::fmt(sweep.meanIpc[2][s], 3)});
+    os << t.render();
+
+    // Knee summary: smallest size reaching 90% of each curve's peak.
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        double peak = 0.0;
+        for (double v : sweep.meanIpc[m])
+            peak = std::max(peak, v);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            if (sweep.meanIpc[m][s] >= 0.9 * peak) {
+                char buf[128];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "%-16s reaches 90%% of peak IPC (%.3f) at %u "
+                    "registers\n",
+                    harness::dviModeName(modes[m]).c_str(), peak,
+                    sizes[s]);
+                os << buf;
+                break;
+            }
+        }
+    }
+    os << "(per-point budget "
+       << report.results.front().spec.cfg.maxInsts
+       << " instructions per benchmark; DVI_BENCH_INSTS scales it)\n";
+}
+
+void
+renderFig6(const CampaignReport &report, std::ostream &os)
+{
+    const std::vector<unsigned> sizes = fig5Sizes();
+    const std::vector<harness::DviMode> &modes = fig5Modes();
+    const harness::RegfileSweep sweep =
+        regfileSweepFromReport(report, sizes, modes);
+
+    const timing::RegFileTimingModel model;
+    const unsigned issue_width = 4;
+
+    // perf[m][s] = IPC / access time.
+    std::vector<std::vector<double>> perf(
+        modes.size(), std::vector<double>(sizes.size(), 0.0));
+    for (std::size_t m = 0; m < modes.size(); ++m)
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            perf[m][s] = model.performance(sweep.meanIpc[m][s],
+                                           sizes[s], issue_width);
+
+    // Scale to the no-DVI peak (the paper's horizontal line).
+    double base_peak = 0.0;
+    unsigned base_peak_size = sizes[0];
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        if (perf[0][s] > base_peak) {
+            base_peak = perf[0][s];
+            base_peak_size = sizes[s];
+        }
+    }
+
+    Table t("Figure 6: Performance (IPC / regfile cycle time), "
+            "relative to no-DVI peak");
+    t.setHeader({"Registers", "No DVI", "I-DVI", "E-DVI and I-DVI",
+                 "access ns"});
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        t.addRow({Table::fmt(std::uint64_t(sizes[s])),
+                  Table::fmt(perf[0][s] / base_peak, 4),
+                  Table::fmt(perf[1][s] / base_peak, 4),
+                  Table::fmt(perf[2][s] / base_peak, 4),
+                  Table::fmt(model.accessTimeForIssueWidth(
+                                 sizes[s], issue_width),
+                             3)});
+    os << t.render();
+
+    double dvi_peak = 0.0;
+    unsigned dvi_peak_size = sizes[0];
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        if (perf[2][s] > dvi_peak) {
+            dvi_peak = perf[2][s];
+            dvi_peak_size = sizes[s];
+        }
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "no-DVI peak at %u registers; DVI peak at %u "
+                  "registers (%.0f%% size reduction)\n",
+                  base_peak_size, dvi_peak_size,
+                  100.0 * (1.0 - static_cast<double>(dvi_peak_size) /
+                                     static_cast<double>(
+                                         base_peak_size)));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "overall performance improvement at peak: %.2f%%\n",
+                  100.0 * (dvi_peak / base_peak - 1.0));
+    os << buf;
+}
+
+} // namespace
+
+Campaign
+regfileCampaign(const std::vector<unsigned> &sizes,
+                const std::vector<harness::DviMode> &modes,
+                std::uint64_t max_insts, std::string name)
+{
+    Campaign c(std::move(name));
+    for (harness::DviMode mode : modes) {
+        for (unsigned size : sizes) {
+            for (auto id : workload::allBenchmarks()) {
+                uarch::CoreConfig cfg;
+                cfg.dvi = harness::dviConfigFor(mode);
+                cfg.numPhysRegs = size;
+                cfg.maxInsts = max_insts;
+                c.addTimingJob(id, mode, cfg);
+            }
+        }
+    }
+    return c;
+}
+
+harness::RegfileSweep
+regfileSweepFromReport(const CampaignReport &report,
+                       const std::vector<unsigned> &sizes,
+                       const std::vector<harness::DviMode> &modes)
+{
+    const std::size_t nbench = workload::allBenchmarks().size();
+    panic_if(report.results.size() !=
+                 modes.size() * sizes.size() * nbench,
+             "regfile report does not match the grid");
+
+    harness::RegfileSweep sweep;
+    sweep.sizes = sizes;
+    sweep.modes = modes;
+    sweep.meanIpc.assign(modes.size(),
+                         std::vector<double>(sizes.size(), 0.0));
+    std::size_t i = 0;
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            double sum = 0.0;
+            for (std::size_t b = 0; b < nbench; ++b)
+                sum += report.results[i++].ipc;
+            sweep.meanIpc[m][s] = sum / static_cast<double>(nbench);
+        }
+    }
+    return sweep;
+}
+
+std::vector<int>
+supportedFigures()
+{
+    return {5, 6, 9, 10, 11, 12, 13};
+}
+
+bool
+figureSupported(int figure)
+{
+    const std::vector<int> figs = supportedFigures();
+    return std::find(figs.begin(), figs.end(), figure) != figs.end();
+}
+
+std::string
+figureDescription(int figure)
+{
+    switch (figure) {
+      case 5: return "mean IPC vs. physical register file size";
+      case 6: return "performance (IPC / regfile cycle time) vs. "
+                     "register file size";
+      case 9: return "dynamic saves/restores eliminated (oracle)";
+      case 10: return "IPC speedup from save/restore elimination";
+      case 11: return "cache bandwidth sensitivity of elimination";
+      case 12: return "context-switch saves/restores eliminated";
+      case 13: return "E-DVI annotation overhead";
+      default: return "";
+    }
+}
+
+std::uint64_t
+figureDefaultInsts(int figure)
+{
+    switch (figure) {
+      case 5:
+      case 6: return 120000;
+      case 9: return 400000;
+      case 10: return 200000;
+      case 11: return 150000;
+      case 12: return 400000;
+      case 13: return 200000;
+      default: return 200000;
+    }
+}
+
+Campaign
+buildFigureCampaign(int figure, std::uint64_t max_insts)
+{
+    const std::uint64_t insts = resolveInsts(figure, max_insts);
+    switch (figure) {
+      case 5:
+      case 6:
+        return regfileCampaign(fig5Sizes(), fig5Modes(), insts,
+                               figure == 5 ? "fig05" : "fig06");
+      case 9: return buildFig9(insts);
+      case 10: return buildFig10(insts);
+      case 11: return buildFig11(insts);
+      case 12: return buildFig12(insts);
+      case 13: return buildFig13(insts);
+      default: fatal("figure ", figure, " has no campaign; known: "
+                     "5 6 9 10 11 12 13");
+    }
+}
+
+void
+renderFigure(int figure, const CampaignReport &report,
+             std::ostream &os)
+{
+    panic_if(report.results.empty(), "empty campaign report");
+    switch (figure) {
+      case 5: renderFig5(report, os); break;
+      case 6: renderFig6(report, os); break;
+      case 9: renderFig9(report, os); break;
+      case 10: renderFig10(report, os); break;
+      case 11: renderFig11(report, os); break;
+      case 12: renderFig12(report, os); break;
+      case 13: renderFig13(report, os); break;
+      default: fatal("figure ", figure, " has no renderer");
+    }
+}
+
+CampaignReport
+runFigure(int figure, const FigureOptions &opts, std::ostream &os)
+{
+    const Campaign campaign =
+        buildFigureCampaign(figure, opts.maxInsts);
+    CampaignOptions copts;
+    copts.jobs = opts.jobs;
+    CampaignReport report = campaign.run(copts);
+    renderFigure(figure, report, os);
+    return report;
+}
+
+int
+figureMain(int figure)
+{
+    FigureOptions opts;
+    if (const char *env = std::getenv("DVI_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        // 0 means one worker per hardware thread, as in
+        // `dvi-run --jobs 0`.
+        if (end != env && *end == '\0' && v >= 0)
+            opts.jobs = static_cast<unsigned>(v);
+        else
+            warn("ignoring invalid DVI_JOBS='", env, "'");
+    }
+    runFigure(figure, opts, std::cout);
+    return 0;
+}
+
+} // namespace driver
+} // namespace dvi

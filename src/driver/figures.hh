@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure campaigns: one campaign builder + renderer per paper figure.
+ *
+ * Each of the paper's simulation figures (5, 6, 9, 10, 11, 12, 13)
+ * is expressed as a Campaign — a flat grid of jobs — plus a renderer
+ * that folds the index-ordered report back into the figure's table
+ * and summary lines. The per-figure bench binaries and the unified
+ * `dvi-run` CLI both go through this module, so they cannot drift
+ * apart, and every figure inherits the driver's parallelism and
+ * compile-once benchmark cache for free.
+ */
+
+#ifndef DVI_DRIVER_FIGURES_HH
+#define DVI_DRIVER_FIGURES_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "driver/campaign.hh"
+#include "harness/sweeps.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/** Figures dvi-run can drive, in ascending order. */
+std::vector<int> supportedFigures();
+
+/** True if `figure` has a campaign builder. */
+bool figureSupported(int figure);
+
+/** One-line description, e.g. "mean IPC vs. register file size". */
+std::string figureDescription(int figure);
+
+/**
+ * The figure's default per-run dynamic instruction budget (the same
+ * default the bench binary historically used; DVI_BENCH_INSTS still
+ * overrides it through harness::benchInsts).
+ */
+std::uint64_t figureDefaultInsts(int figure);
+
+/**
+ * Build the figure's job grid. max_insts == 0 selects
+ * figureDefaultInsts() filtered through harness::benchInsts.
+ */
+Campaign buildFigureCampaign(int figure, std::uint64_t max_insts = 0);
+
+/**
+ * Render the figure's table(s) and summary lines from a report
+ * produced by its campaign.
+ */
+void renderFigure(int figure, const CampaignReport &report,
+                  std::ostream &os);
+
+/**
+ * The Fig. 5/6 register-file grid as a campaign: jobs ordered
+ * mode-major, then size, then benchmark, over the whole suite.
+ */
+Campaign regfileCampaign(const std::vector<unsigned> &sizes,
+                         const std::vector<harness::DviMode> &modes,
+                         std::uint64_t max_insts,
+                         std::string name = "regfile-sweep");
+
+/** Fold a regfileCampaign report into the Fig. 5 sweep structure
+ * (mean IPC over the suite per [mode][size]). */
+harness::RegfileSweep
+regfileSweepFromReport(const CampaignReport &report,
+                       const std::vector<unsigned> &sizes,
+                       const std::vector<harness::DviMode> &modes);
+
+/** Options for runFigure / figureMain. */
+struct FigureOptions
+{
+    unsigned jobs = 1;          ///< worker threads (0 = hardware)
+    std::uint64_t maxInsts = 0; ///< 0 = figure default
+};
+
+/** Build, run, and render one figure; returns the report. */
+CampaignReport runFigure(int figure, const FigureOptions &opts,
+                         std::ostream &os);
+
+/**
+ * Entry point for the thin per-figure bench mains: reads DVI_JOBS
+ * from the environment (default 1), runs the figure, renders to
+ * stdout. Returns a process exit code.
+ */
+int figureMain(int figure);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_FIGURES_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Campaign job descriptions and results.
+ *
+ * A simulation campaign is a grid of independent jobs — (benchmark,
+ * DVI mode, machine configuration) tuples — that the driver shards
+ * across worker threads. Each job is fully described by its JobSpec,
+ * runs deterministically, and produces a JobResult keyed by the job's
+ * campaign index. Aggregation orders results by that index, so a
+ * parallel run is bit-identical to a serial one regardless of the
+ * completion order the work-stealing scheduler happens to produce.
+ */
+
+#ifndef DVI_DRIVER_JOB_HH
+#define DVI_DRIVER_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/emulator.hh"
+#include "harness/experiment.hh"
+#include "os/scheduler.hh"
+#include "uarch/core_config.hh"
+#include "uarch/core_stats.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/** What a job measures. */
+enum class JobKind
+{
+    Timing,  ///< out-of-order timing model (uarch::Core)
+    Oracle,  ///< functional emulator with the LVM oracle
+    Switch,  ///< preemptive scheduler, context-switch accounting
+};
+
+std::string jobKindName(JobKind kind);
+
+/**
+ * One schedulable unit of simulation work. Value type: workers copy
+ * nothing mutable between each other, so specs can be read from any
+ * thread.
+ */
+struct JobSpec
+{
+    /** Position in the campaign; fixes result order and the seed. */
+    std::size_t index = 0;
+
+    /**
+     * Deterministic per-job seed derived from the index (see
+     * jobSeed()). Today's models are fully deterministic, so nothing
+     * consumes it yet; any future stochastic component (sampling,
+     * perturbation studies) must draw from this seed and nothing
+     * else, so parallel campaigns stay bit-identical to serial ones.
+     */
+    std::uint64_t seed = 0;
+
+    JobKind kind = JobKind::Timing;
+    workload::BenchmarkId bench = workload::BenchmarkId::Compress;
+
+    /** Selects the binary (plain vs. E-DVI annotated). */
+    harness::DviMode mode = harness::DviMode::None;
+
+    /** Free-form row label, e.g. "lvm" vs. "lvm-stack" variants that
+     * share a DviMode. */
+    std::string variant;
+
+    /** Timing jobs: the machine, including cfg.dvi and cfg.maxInsts. */
+    uarch::CoreConfig cfg;
+
+    /** Oracle / Switch jobs: emulator knobs. */
+    arch::EmulatorOptions emu;
+
+    /** Oracle jobs: dynamic instruction budget (0 = to halt). */
+    std::uint64_t maxInsts = 0;
+
+    /** Switch jobs: quantum and total-instruction cap. */
+    os::SchedulerOptions sched;
+};
+
+/** Everything a completed job reports. Deterministic: contains no
+ * wall-clock or scheduling artifacts. */
+struct JobResult
+{
+    JobSpec spec;
+
+    uarch::CoreStats core;     ///< Timing jobs
+    arch::EmulatorStats oracle;  ///< Oracle jobs
+    os::SwitchStats sw;        ///< Switch jobs
+
+    /** Static code sizes of the two compilations of spec.bench, for
+     * overhead figures (Fig. 13). */
+    std::uint64_t textBytesPlain = 0;
+    std::uint64_t textBytesEdvi = 0;
+
+    /** IPC for timing jobs, 0 otherwise. */
+    double ipc = 0.0;
+};
+
+/** SplitMix64 of (index + 1): the deterministic per-job seed. */
+std::uint64_t jobSeed(std::size_t index);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_JOB_HH

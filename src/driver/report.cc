@@ -1,0 +1,260 @@
+#include "driver/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+ReportFormat
+parseReportFormat(const std::string &name)
+{
+    if (name == "json")
+        return ReportFormat::Json;
+    if (name == "csv")
+        return ReportFormat::Csv;
+    fatal("unknown report format '", name, "' (want json or csv)");
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // Shortest representation that round-trips: try increasing
+    // precision until the value parses back exactly. Deterministic
+    // for a given bit pattern, so reports stay byte-stable.
+    char buf[40];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+namespace
+{
+
+/** Streams one "key": value pair with JSON punctuation. */
+class JsonObject
+{
+  public:
+    JsonObject(std::ostringstream &os, const char *indent)
+        : os_(os), indent_(indent)
+    {
+        os_ << "{";
+    }
+
+    void
+    field(const char *key, const std::string &value)
+    {
+        next();
+        os_ << "\"" << key << "\": \"" << jsonEscape(value) << "\"";
+    }
+
+    void
+    field(const char *key, std::uint64_t value)
+    {
+        next();
+        os_ << "\"" << key << "\": " << value;
+    }
+
+    void
+    field(const char *key, double value)
+    {
+        next();
+        os_ << "\"" << key << "\": " << jsonNumber(value);
+    }
+
+    void
+    field(const char *key, bool value)
+    {
+        next();
+        os_ << "\"" << key << "\": " << (value ? "true" : "false");
+    }
+
+    void
+    close()
+    {
+        os_ << "\n" << indent_ << "}";
+    }
+
+  private:
+    void
+    next()
+    {
+        os_ << (first_ ? "\n" : ",\n") << indent_ << "  ";
+        first_ = false;
+    }
+
+    std::ostringstream &os_;
+    const char *indent_;
+    bool first_ = true;
+};
+
+void
+emitResult(std::ostringstream &os, const JobResult &r)
+{
+    const JobSpec &s = r.spec;
+    JsonObject o(os, "    ");
+    o.field("index", static_cast<std::uint64_t>(s.index));
+    o.field("kind", jobKindName(s.kind));
+    o.field("benchmark", workload::benchmarkName(s.bench));
+    o.field("mode", harness::dviModeName(s.mode));
+    o.field("variant", s.variant);
+    o.field("seed", s.seed);
+    o.field("maxInsts", s.kind == JobKind::Timing
+                            ? s.cfg.maxInsts
+                            : s.maxInsts);
+    o.field("textBytesPlain", r.textBytesPlain);
+    o.field("textBytesEdvi", r.textBytesEdvi);
+
+    switch (s.kind) {
+      case JobKind::Timing:
+        o.field("numPhysRegs",
+                static_cast<std::uint64_t>(s.cfg.numPhysRegs));
+        o.field("issueWidth",
+                static_cast<std::uint64_t>(s.cfg.issueWidth));
+        o.field("cachePorts",
+                static_cast<std::uint64_t>(s.cfg.cachePorts));
+        o.field("il1Bytes",
+                static_cast<std::uint64_t>(s.cfg.il1.sizeBytes));
+        o.field("cycles", r.core.cycles);
+        o.field("committedProgInsts", r.core.committedProgInsts);
+        o.field("committedKills", r.core.committedKills);
+        o.field("ipc", r.ipc);
+        o.field("savesSeen", r.core.savesSeen);
+        o.field("savesEliminated", r.core.savesEliminated);
+        o.field("restoresSeen", r.core.restoresSeen);
+        o.field("restoresEliminated", r.core.restoresEliminated);
+        o.field("branchMispredicts", r.core.branchMispredicts);
+        o.field("dl1Misses", r.core.dl1Misses);
+        o.field("il1Misses", r.core.il1Misses);
+        break;
+      case JobKind::Oracle:
+        o.field("insts", r.oracle.insts);
+        o.field("progInsts", r.oracle.progInsts);
+        o.field("kills", r.oracle.kills);
+        o.field("memRefs", r.oracle.memRefs);
+        o.field("saves", r.oracle.saves);
+        o.field("restores", r.oracle.restores);
+        o.field("saveElimOracle", r.oracle.saveElimOracle);
+        o.field("restoreElimOracle", r.oracle.restoreElimOracle);
+        o.field("maxCallDepth", r.oracle.maxCallDepth);
+        break;
+      case JobKind::Switch:
+        o.field("contextSwitches", r.sw.contextSwitches);
+        o.field("totalInsts", r.sw.totalInsts);
+        o.field("baselineIntSaveRestores",
+                r.sw.baselineIntSaveRestores);
+        o.field("dviIntSaveRestores", r.sw.dviIntSaveRestores);
+        o.field("baselineFpSaveRestores",
+                r.sw.baselineFpSaveRestores);
+        o.field("dviFpSaveRestores", r.sw.dviFpSaveRestores);
+        o.field("intReductionPercent", r.sw.intReductionPercent());
+        o.field("fpReductionPercent", r.sw.fpReductionPercent());
+        o.field("meanLiveIntAtSwitch", r.sw.liveIntAtSwitch.mean());
+        break;
+    }
+    o.close();
+}
+
+} // namespace
+
+Table
+CampaignReport::toTable() const
+{
+    Table t("Campaign: " + campaign);
+    t.setHeader({"idx", "kind", "benchmark", "mode", "variant",
+                 "regs", "maxInsts", "cycles", "insts", "ipc",
+                 "elimSaves", "elimRestores"});
+    for (const JobResult &r : results) {
+        const JobSpec &s = r.spec;
+        const bool timing = s.kind == JobKind::Timing;
+        t.addRow({
+            Table::fmt(static_cast<std::uint64_t>(s.index)),
+            jobKindName(s.kind),
+            workload::benchmarkName(s.bench),
+            harness::dviModeName(s.mode),
+            s.variant,
+            timing ? Table::fmt(std::uint64_t(s.cfg.numPhysRegs))
+                   : std::string("-"),
+            Table::fmt(timing ? s.cfg.maxInsts : s.maxInsts),
+            Table::fmt(r.core.cycles),
+            Table::fmt(timing ? r.core.committedProgInsts
+                              : r.oracle.insts),
+            timing ? Table::fmt(r.ipc, 4) : std::string("-"),
+            Table::fmt(timing ? r.core.savesEliminated
+                              : r.oracle.saveElimOracle),
+            Table::fmt(timing ? r.core.restoresEliminated
+                              : r.oracle.restoreElimOracle),
+        });
+    }
+    return t;
+}
+
+std::string
+CampaignReport::toCsv() const
+{
+    return toTable().renderCsv();
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"campaign\": \"" << jsonEscape(campaign) << "\",\n";
+    os << "  \"jobs\": " << results.size() << ",\n";
+    os << "  \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        emitResult(os, results[i]);
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+void
+CampaignReport::writeFile(const std::string &path,
+                          ReportFormat fmt) const
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open '", path, "' for writing");
+    out << (fmt == ReportFormat::Json ? toJson() : toCsv());
+    out.flush();
+    fatal_if(!out, "write to '", path, "' failed");
+}
+
+} // namespace driver
+} // namespace dvi

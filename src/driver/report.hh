@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic campaign reports.
+ *
+ * A CampaignReport is the index-ordered vector of JobResults plus
+ * emitters: a human table (stats/table), CSV (the same table's CSV
+ * rendering), and JSON. All three are pure functions of the results,
+ * with no timestamps, wall-clock, host names, or thread counts, so a
+ * report is byte-identical across serial and parallel runs of the
+ * same campaign.
+ */
+
+#ifndef DVI_DRIVER_REPORT_HH
+#define DVI_DRIVER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/job.hh"
+#include "stats/table.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/** Report file formats. */
+enum class ReportFormat
+{
+    Json,
+    Csv,
+};
+
+/** Parse "json" / "csv"; fatal on anything else. */
+ReportFormat parseReportFormat(const std::string &name);
+
+/** Index-ordered results of one campaign run. */
+struct CampaignReport
+{
+    std::string campaign;
+    std::vector<JobResult> results;
+
+    /** One row per job: identity, config, and headline stats. */
+    Table toTable() const;
+
+    /** toTable() in CSV form. */
+    std::string toCsv() const;
+
+    /** Stable-key, stable-order JSON document. */
+    std::string toJson() const;
+
+    /** Write in the given format; fatal on I/O failure. */
+    void writeFile(const std::string &path, ReportFormat fmt) const;
+};
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trippable formatting of a double ("%.17g" pruned),
+ * identical for identical bit patterns. */
+std::string jsonNumber(double v);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_REPORT_HH

@@ -1,0 +1,161 @@
+#include "driver/thread_pool.hh"
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = hardwareThreads();
+    queues.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    try {
+        wait();
+    } catch (...) {
+        // A destructor must not throw; the error was the caller's to
+        // collect via wait().
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    panic_if(!task, "ThreadPool::submit: empty task");
+    const std::size_t q =
+        nextQueue.fetch_add(1, std::memory_order_relaxed) %
+        queues.size();
+    // Count the task before publishing it: once it is visible in a
+    // deque it can finish (and decrement) at any moment, and wait()
+    // must not observe unfinished == 0 while this submission is
+    // still in flight.
+    unfinished.fetch_add(1, std::memory_order_relaxed);
+    queued.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(queues[q]->mu);
+        queues[q]->tasks.push_back(std::move(task));
+    }
+    {
+        // Pair the notify with the waiters' predicate check so a
+        // worker that just found every deque empty cannot miss it.
+        std::lock_guard<std::mutex> lk(mu);
+    }
+    cvWork.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    cvIdle.wait(lk, [this] {
+        return unfinished.load(std::memory_order_acquire) == 0;
+    });
+    if (firstError) {
+        std::exception_ptr e = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, Task &out)
+{
+    std::lock_guard<std::mutex> lk(queues[self]->mu);
+    if (queues[self]->tasks.empty())
+        return false;
+    out = std::move(queues[self]->tasks.back());
+    queues[self]->tasks.pop_back();
+    queued.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t self, Task &out)
+{
+    const std::size_t n = queues.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        const std::size_t victim = (self + k) % n;
+        std::lock_guard<std::mutex> lk(queues[victim]->mu);
+        if (queues[victim]->tasks.empty())
+            continue;
+        out = std::move(queues[victim]->tasks.front());
+        queues[victim]->tasks.pop_front();
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(Task &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+    if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mu);
+        cvIdle.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        Task task;
+        if (popOwn(self, task) || steal(self, task)) {
+            runTask(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(mu);
+        cvWork.wait(lk, [this] {
+            return stopping ||
+                   queued.load(std::memory_order_acquire) > 0;
+        });
+        if (stopping)
+            return;
+        // queued > 0: retry the deques; a racing thief may still get
+        // there first, in which case we simply wait again.
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace driver
+} // namespace dvi

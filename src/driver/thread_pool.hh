@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Work-stealing thread pool.
+ *
+ * Each worker owns a deque; submissions are distributed round-robin
+ * across the deques, a worker pops its own deque LIFO (cache-warm),
+ * and an idle worker steals FIFO from the other deques (oldest work
+ * first, which tends to steal the largest remaining chunks of a
+ * parallel-for). The pool is completion-order agnostic by design:
+ * callers that need deterministic output must key results by a task
+ * index (see parallelFor and driver::Campaign).
+ *
+ * The first exception a task throws is captured and rethrown from
+ * wait(); subsequent exceptions are dropped. After wait() returns or
+ * throws, the pool is reusable.
+ */
+
+#ifndef DVI_DRIVER_THREAD_POOL_HH
+#define DVI_DRIVER_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvi
+{
+namespace driver
+{
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** 0 workers means one per hardware thread. */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /** Drains best-effort, stops the workers, joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Enqueue a task. Safe from any thread, including workers. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished; rethrows the
+     * first exception any task raised (the pool keeps running the
+     * remaining tasks either way).
+     */
+    void wait();
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popOwn(std::size_t self, Task &out);
+    bool steal(std::size_t self, Task &out);
+    void runTask(Task &task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;                 ///< guards cv waits and firstError
+    std::condition_variable cvWork;
+    std::condition_variable cvIdle;
+    std::atomic<std::size_t> queued{0};      ///< enqueued, not started
+    std::atomic<std::size_t> unfinished{0};  ///< enqueued or running
+    std::atomic<std::size_t> nextQueue{0};   ///< round-robin cursor
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+/**
+ * Run fn(i) for i in [0, n) on the pool and wait. Exceptions
+ * propagate per ThreadPool::wait(). fn must be safe to invoke
+ * concurrently for distinct i.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_THREAD_POOL_HH

@@ -34,6 +34,26 @@ dviModeName(DviMode mode)
     panic("bad DviMode");
 }
 
+const std::vector<DviMode> &
+allDviModes()
+{
+    static const std::vector<DviMode> modes = {
+        DviMode::None, DviMode::Idvi, DviMode::Full};
+    return modes;
+}
+
+DviMode
+parseDviMode(const std::string &name)
+{
+    if (name == "none")
+        return DviMode::None;
+    if (name == "idvi")
+        return DviMode::Idvi;
+    if (name == "full")
+        return DviMode::Full;
+    fatal("unknown DVI mode '", name, "' (want none, idvi, full)");
+}
+
 const comp::Executable &
 exeFor(const BuiltBenchmark &b, DviMode mode)
 {

@@ -32,7 +32,13 @@ struct BuiltBenchmark
     comp::Executable edvi;   ///< call-site E-DVI
 };
 
-/** Generate and compile one benchmark. */
+/**
+ * Generate and compile one benchmark. Deterministic and free of
+ * global mutable state, so distinct benchmarks may build
+ * concurrently on driver worker threads; the driver's
+ * ExecutableCache guarantees each benchmark builds at most once per
+ * campaign.
+ */
 BuiltBenchmark buildBenchmark(workload::BenchmarkId id);
 
 /** The three DVI configurations of Fig. 5/6/12. */
@@ -44,6 +50,13 @@ enum class DviMode
 };
 
 std::string dviModeName(DviMode mode);
+
+/** All three modes, in the paper's reporting order. */
+const std::vector<DviMode> &allDviModes();
+
+/** Parse "none" / "idvi" / "full" (case-sensitive); fatal on
+ * anything else. */
+DviMode parseDviMode(const std::string &name);
 
 /** Binary appropriate for a DVI mode. */
 const comp::Executable &exeFor(const BuiltBenchmark &b, DviMode mode);
@@ -59,11 +72,13 @@ uarch::DviConfig dviConfigFor(DviMode mode);
  */
 std::uint64_t benchInsts(std::uint64_t fallback = 300000);
 
-/** Run the timing model. */
+/** Run the timing model. Thread-safe: the core copies the
+ * executable, so one shared image may back concurrent runs. */
 uarch::CoreStats runTiming(const comp::Executable &exe,
                            uarch::CoreConfig cfg);
 
-/** Run the functional oracle for up to maxInsts instructions. */
+/** Run the functional oracle for up to maxInsts instructions.
+ * Thread-safe under the same contract as runTiming. */
 arch::EmulatorStats runOracle(const comp::Executable &exe,
                               std::uint64_t max_insts,
                               const arch::EmulatorOptions &opts = {});

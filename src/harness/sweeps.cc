@@ -1,5 +1,7 @@
 #include "harness/sweeps.hh"
 
+#include "driver/figures.hh"
+
 namespace dvi
 {
 namespace harness
@@ -8,33 +10,18 @@ namespace harness
 RegfileSweep
 runRegfileSweep(const std::vector<unsigned> &sizes,
                 const std::vector<DviMode> &modes,
-                std::uint64_t max_insts)
+                std::uint64_t max_insts, unsigned jobs)
 {
-    RegfileSweep sweep;
-    sweep.sizes = sizes;
-    sweep.modes = modes;
-    sweep.meanIpc.assign(modes.size(),
-                         std::vector<double>(sizes.size(), 0.0));
-
-    std::vector<BuiltBenchmark> benches;
-    for (auto id : workload::allBenchmarks())
-        benches.push_back(buildBenchmark(id));
-
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-        for (std::size_t s = 0; s < sizes.size(); ++s) {
-            double sum = 0.0;
-            for (const auto &b : benches) {
-                uarch::CoreConfig cfg;
-                cfg.dvi = dviConfigFor(modes[m]);
-                cfg.numPhysRegs = sizes[s];
-                cfg.maxInsts = max_insts;
-                sum += runTiming(exeFor(b, modes[m]), cfg).ipc();
-            }
-            sweep.meanIpc[m][s] =
-                sum / static_cast<double>(benches.size());
-        }
-    }
-    return sweep;
+    // The grid runs as a driver campaign: jobs shard across worker
+    // threads, benchmarks compile once into a shared cache, and the
+    // fold below reads results by index, so the sweep is identical
+    // for any worker count.
+    const driver::Campaign campaign =
+        driver::regfileCampaign(sizes, modes, max_insts);
+    driver::CampaignOptions opts;
+    opts.jobs = jobs;
+    const driver::CampaignReport report = campaign.run(opts);
+    return driver::regfileSweepFromReport(report, sizes, modes);
 }
 
 } // namespace harness

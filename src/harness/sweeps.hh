@@ -28,11 +28,15 @@ struct RegfileSweep
 
 /**
  * Run the Fig. 5 sweep: mean IPC over all benchmarks as a function
- * of physical register file size, per DVI mode.
+ * of physical register file size, per DVI mode. The grid is
+ * submitted to the parallel campaign driver (src/driver/); `jobs`
+ * worker threads shard it (1 = serial, 0 = one per hardware
+ * thread). The result is identical for any worker count.
  */
 RegfileSweep runRegfileSweep(const std::vector<unsigned> &sizes,
                              const std::vector<DviMode> &modes,
-                             std::uint64_t max_insts);
+                             std::uint64_t max_insts,
+                             unsigned jobs = 1);
 
 } // namespace harness
 } // namespace dvi

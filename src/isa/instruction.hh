@@ -216,7 +216,17 @@ struct Instruction
     /** Disassemble to text, e.g. "addi sp, sp, -32". */
     std::string toString() const;
 
-    bool operator==(const Instruction &) const = default;
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && rd == o.rd && rs1 == o.rs1 &&
+               rs2 == o.rs2 && imm == o.imm;
+    }
+    bool
+    operator!=(const Instruction &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 } // namespace isa

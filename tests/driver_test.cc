@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the campaign driver: compile-once executable cache,
+ * job kinds, deterministic report emission, and the headline
+ * guarantee that a parallel campaign is byte-identical to a serial
+ * one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "driver/campaign.hh"
+#include "driver/figures.hh"
+#include "driver/report.hh"
+
+namespace dvi
+{
+namespace
+{
+
+/** A small mixed-kind campaign that runs in well under a second. */
+driver::Campaign
+smallCampaign(std::uint64_t insts = 5000)
+{
+    driver::Campaign c("test-campaign");
+    for (auto id :
+         {workload::BenchmarkId::Li, workload::BenchmarkId::Perl}) {
+        for (harness::DviMode mode : harness::allDviModes()) {
+            uarch::CoreConfig cfg;
+            cfg.dvi = harness::dviConfigFor(mode);
+            cfg.maxInsts = insts;
+            c.addTimingJob(id, mode, cfg);
+        }
+        c.addOracleJob(id, harness::DviMode::Full,
+                       arch::EmulatorOptions{}, insts, "oracle");
+        os::SchedulerOptions sched;
+        sched.quantum = 1000;
+        sched.maxTotalInsts = insts;
+        c.addSwitchJob(id, harness::DviMode::Full,
+                       arch::EmulatorOptions{}, sched, "switch");
+    }
+    return c;
+}
+
+TEST(ExecutableCache, CompilesOnceAndShares)
+{
+    driver::ExecutableCache cache;
+    const auto a = cache.get(workload::BenchmarkId::Li);
+    const auto b = cache.get(workload::BenchmarkId::Li);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a.get(), b.get());  // same object, not a recompile
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto c = cache.get(workload::BenchmarkId::Go);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExecutableCache, SafeUnderConcurrentGet)
+{
+    driver::ExecutableCache cache;
+    driver::ThreadPool pool(4);
+    std::atomic<const harness::BuiltBenchmark *> seen{nullptr};
+    std::atomic<int> mismatches{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&] {
+            const auto built = cache.get(workload::BenchmarkId::Gcc);
+            const harness::BuiltBenchmark *expected = nullptr;
+            if (!seen.compare_exchange_strong(expected, built.get()) &&
+                expected != built.get())
+                ++mismatches;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Job, SeedIsDeterministicAndDistinct)
+{
+    EXPECT_EQ(driver::jobSeed(0), driver::jobSeed(0));
+    EXPECT_NE(driver::jobSeed(0), driver::jobSeed(1));
+    EXPECT_NE(driver::jobSeed(1), driver::jobSeed(2));
+}
+
+TEST(Job, KindsProduceTheirStats)
+{
+    driver::ExecutableCache cache;
+    driver::JobSpec spec;
+    spec.bench = workload::BenchmarkId::Li;
+
+    spec.kind = driver::JobKind::Timing;
+    spec.mode = harness::DviMode::Full;
+    spec.cfg.dvi = uarch::DviConfig::full();
+    spec.cfg.maxInsts = 3000;
+    driver::JobResult timing = driver::runJob(spec, cache);
+    EXPECT_GT(timing.core.cycles, 0u);
+    EXPECT_GT(timing.ipc, 0.0);
+    EXPECT_GT(timing.textBytesPlain, 0u);
+    EXPECT_GT(timing.textBytesEdvi, timing.textBytesPlain);
+
+    spec.kind = driver::JobKind::Oracle;
+    spec.maxInsts = 3000;
+    driver::JobResult oracle = driver::runJob(spec, cache);
+    EXPECT_GT(oracle.oracle.insts, 0u);
+    EXPECT_EQ(oracle.core.cycles, 0u);
+
+    spec.kind = driver::JobKind::Switch;
+    spec.sched.quantum = 500;
+    spec.sched.maxTotalInsts = 3000;
+    driver::JobResult sw = driver::runJob(spec, cache);
+    EXPECT_GT(sw.sw.contextSwitches, 0u);
+}
+
+TEST(Campaign, ResultsOrderedByJobIndex)
+{
+    const driver::Campaign c = smallCampaign();
+    const driver::CampaignReport rep =
+        c.run(driver::CampaignOptions{4});
+    ASSERT_EQ(rep.results.size(), c.size());
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        EXPECT_EQ(rep.results[i].spec.index, i);
+        EXPECT_EQ(rep.results[i].spec.bench, c.jobs()[i].bench);
+        EXPECT_EQ(rep.results[i].spec.variant, c.jobs()[i].variant);
+    }
+}
+
+TEST(Campaign, ParallelReportIsByteIdenticalToSerial)
+{
+    const driver::Campaign c = smallCampaign();
+
+    const driver::CampaignReport serial =
+        c.run(driver::CampaignOptions{1});
+    const driver::CampaignReport parallel =
+        c.run(driver::CampaignOptions{8});
+
+    EXPECT_EQ(serial.toJson(), parallel.toJson());
+    EXPECT_EQ(serial.toCsv(), parallel.toCsv());
+    // And re-running serially is reproducible, not just consistent.
+    EXPECT_EQ(serial.toJson(),
+              c.run(driver::CampaignOptions{1}).toJson());
+}
+
+TEST(Campaign, FigureCampaignParallelMatchesSerial)
+{
+    // The acceptance-criterion shape at a test-sized budget:
+    // figure 10's grid with 1 worker vs. 8 workers.
+    const driver::Campaign c =
+        driver::buildFigureCampaign(10, 4000);
+    EXPECT_EQ(c.size(),
+              3 * workload::saveRestoreBenchmarks().size());
+    const std::string serial =
+        c.run(driver::CampaignOptions{1}).toJson();
+    const std::string parallel =
+        c.run(driver::CampaignOptions{8}).toJson();
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Report, JsonIsWellFormedEnough)
+{
+    const driver::Campaign c = smallCampaign(2000);
+    const std::string json =
+        c.run(driver::CampaignOptions{2}).toJson();
+    EXPECT_NE(json.find("\"campaign\": \"test-campaign\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"timing\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"oracle\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"switch\""), std::string::npos);
+    // Balanced braces and brackets.
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{' || ch == '[')
+            ++depth;
+        if (ch == '}' || ch == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, Escaping)
+{
+    EXPECT_EQ(driver::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(driver::jsonNumber(0.5), "0.5");
+    EXPECT_EQ(driver::jsonNumber(0.0), "0");
+}
+
+TEST(Report, FormatParse)
+{
+    EXPECT_EQ(driver::parseReportFormat("json"),
+              driver::ReportFormat::Json);
+    EXPECT_EQ(driver::parseReportFormat("csv"),
+              driver::ReportFormat::Csv);
+}
+
+TEST(Figures, SupportedSetAndBudgets)
+{
+    for (int fig : driver::supportedFigures()) {
+        EXPECT_TRUE(driver::figureSupported(fig));
+        EXPECT_FALSE(driver::figureDescription(fig).empty());
+        EXPECT_GT(driver::figureDefaultInsts(fig), 0u);
+    }
+    EXPECT_FALSE(driver::figureSupported(4));
+    EXPECT_FALSE(driver::figureSupported(0));
+}
+
+} // namespace
+} // namespace dvi

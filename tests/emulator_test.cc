@@ -80,8 +80,9 @@ TEST(Emulator, StepProducesTraceRecords)
             ++branches;
             taken += tr.taken;
         }
-        if (!tr.inst.isControl() && !tr.inst.isHalt())
+        if (!tr.inst.isControl() && !tr.inst.isHalt()) {
             EXPECT_EQ(tr.nextPc, tr.pc + 1);
+        }
     }
     EXPECT_EQ(steps, emu.stats().insts);
     EXPECT_EQ(branches, 3u);  // loop executes 3 times

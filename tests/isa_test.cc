@@ -222,8 +222,9 @@ TEST(Instruction, ClassificationsAreMutuallyConsistent)
         EXPECT_FALSE(i.isLoad() && i.isStore()) << op;
         EXPECT_LE(i.isCondBranch() + i.isCall() + i.isReturn(), 1)
             << op;
-        if (i.isMem())
+        if (i.isMem()) {
             EXPECT_EQ(i.fuClass(), FuClass::MemPort) << op;
+        }
         EXPECT_GE(i.execLatency(), 1u) << op;
     }
 }

@@ -41,10 +41,11 @@ checkAllocationValid(const Procedure &proc)
             EXPECT_NE(loc.reg, spillScratch0());
             EXPECT_NE(loc.reg, spillScratch1());
             // Values that cross calls must be callee-saved.
-            if (alloc.liveAcrossCall.test(v))
+            if (alloc.liveAcrossCall.test(v)) {
                 EXPECT_TRUE(isa::isCalleeSaved(loc.reg))
                     << "vreg " << v << " crosses a call in "
                     << isa::intRegName(loc.reg);
+            }
         } else {
             EXPECT_GE(loc.spillSlot, 0);
             EXPECT_LT(loc.spillSlot,
@@ -66,8 +67,9 @@ checkAllocationValid(const Procedure &proc)
                     << "vregs " << a << " and " << b
                     << " overlap in " << isa::intRegName(la.reg);
             }
-            if (!la.inReg && !lb.inReg)
+            if (!la.inReg && !lb.inReg) {
                 EXPECT_NE(la.spillSlot, lb.spillSlot);
+            }
         }
     }
 

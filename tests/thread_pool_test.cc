@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool: completion,
+ * index-ordered results, exception propagation, reuse after wait,
+ * nested submission, and clean shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "driver/thread_pool.hh"
+
+namespace dvi
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    driver::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadWorks)
+{
+    driver::ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForOrdersResultsByIndex)
+{
+    driver::ThreadPool pool(4);
+    std::vector<std::size_t> out(500, 0);
+    driver::parallelFor(pool, out.size(),
+                        [&out](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns)
+{
+    driver::ThreadPool pool(2);
+    pool.wait();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    driver::ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 25; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    driver::ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 13)
+                throw std::runtime_error("boom");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Every non-throwing task still ran.
+    EXPECT_EQ(completed.load(), 63);
+    // The error is consumed: the pool is usable again.
+    pool.submit([&completed] { ++completed; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, WorkersCanSubmit)
+{
+    driver::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            for (int j = 0; j < 4; ++j)
+                pool.submit([&count] { ++count; });
+        });
+    }
+    // Note: wait() waits for *all* submitted tasks, including the
+    // nested ones, because unfinished counts them the moment they
+    // are submitted (before their parent finishes).
+    pool.wait();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> count{0};
+    {
+        driver::ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must drain and join without
+        // hanging or crashing.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(driver::ThreadPool::hardwareThreads(), 1u);
+    driver::ThreadPool pool(0);  // 0 = hardware concurrency
+    EXPECT_GE(pool.numThreads(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+} // namespace
+} // namespace dvi

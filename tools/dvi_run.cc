@@ -1,0 +1,152 @@
+/**
+ * @file
+ * dvi-run — unified simulation-campaign CLI.
+ *
+ * Subsumes the per-figure bench mains: builds the requested figure's
+ * job grid, shards it across a work-stealing thread pool, renders
+ * the figure's tables, and optionally writes a machine-readable
+ * report. Reports are deterministic: `--jobs 8` emits a
+ * byte-identical file to `--jobs 1` (wall-clock goes to stderr, not
+ * into the report).
+ *
+ * Usage:
+ *   dvi-run --figure 5 [--jobs N] [--max-insts M]
+ *           [--out results.json] [--format json|csv] [--quiet]
+ *   dvi-run --list
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "driver/figures.hh"
+
+using namespace dvi;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --figure N [options]\n"
+        "       %s --list\n"
+        "\n"
+        "options:\n"
+        "  --figure N      paper figure to reproduce (see --list)\n"
+        "  --jobs N        worker threads (default 1; 0 = one per\n"
+        "                  hardware thread)\n"
+        "  --max-insts M   per-run dynamic instruction budget\n"
+        "                  (default: the figure's historical budget,\n"
+        "                  or DVI_BENCH_INSTS)\n"
+        "  --out FILE      write a machine-readable report\n"
+        "  --format F      report format: json (default) or csv\n"
+        "  --quiet         suppress the figure tables on stdout\n"
+        "  --list          list supported figures and exit\n"
+        "  --help          this text\n",
+        argv0, argv0);
+}
+
+void
+listFigures()
+{
+    std::printf("figure  description\n");
+    for (int fig : driver::supportedFigures())
+        std::printf("%6d  %s\n", fig,
+                    driver::figureDescription(fig).c_str());
+}
+
+/** Parse a non-negative integer argument; fatal on garbage. */
+std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    fatal_if(end == text || *end != '\0', "bad value for ", flag,
+             ": '", text, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int figure = -1;
+    driver::FigureOptions opts;
+    std::string out_path;
+    std::string format = "json";
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--figure") {
+            figure = static_cast<int>(parseUint("--figure", value()));
+        } else if (arg == "--jobs") {
+            opts.jobs =
+                static_cast<unsigned>(parseUint("--jobs", value()));
+        } else if (arg == "--max-insts") {
+            opts.maxInsts = parseUint("--max-insts", value());
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--format") {
+            format = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listFigures();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '", arg, "'");
+        }
+    }
+
+    if (figure < 0) {
+        usage(argv[0]);
+        fatal("--figure is required (or --list)");
+    }
+    fatal_if(!driver::figureSupported(figure), "figure ", figure,
+             " is not supported; try --list");
+    const driver::ReportFormat fmt =
+        driver::parseReportFormat(format);
+
+    const driver::Campaign campaign =
+        driver::buildFigureCampaign(figure, opts.maxInsts);
+    driver::CampaignOptions copts;
+    copts.jobs = opts.jobs;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const driver::CampaignReport report = campaign.run(copts);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    if (!quiet)
+        driver::renderFigure(figure, report, std::cout);
+    if (!out_path.empty())
+        report.writeFile(out_path, fmt);
+
+    // Wall-clock goes to stderr so report files and stdout captures
+    // stay byte-identical across worker counts.
+    const unsigned workers =
+        copts.jobs ? copts.jobs
+                   : driver::ThreadPool::hardwareThreads();
+    std::fprintf(stderr,
+                 "dvi-run: figure %d, %zu jobs, %u worker%s, %.2fs\n",
+                 figure, campaign.size(), workers,
+                 workers == 1 ? "" : "s", secs);
+    return 0;
+}
