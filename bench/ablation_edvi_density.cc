@@ -10,65 +10,17 @@
  * Compares three compiler policies — no E-DVI, call-site kills, and
  * dense after-last-use kills — on (a) fetch overhead and (b) IPC at
  * a small (40-entry) physical register file with early reclamation.
+ *
+ * Thin wrapper over the registered "ablation-edvi-density" scenario
+ * (driver/ablations.cc); DVI_JOBS sets the worker count and
+ * `dvi-run --scenario ablation-edvi-density` is the flag-driven
+ * equivalent.
  */
 
-#include <cstdio>
-
-#include "compiler/compile.hh"
-#include "harness/experiment.hh"
-#include "stats/counter.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
-
-namespace
-{
-
-double
-smallRegfileIpc(const comp::Executable &exe, bool use_edvi,
-                std::uint64_t insts)
-{
-    uarch::CoreConfig cfg;
-    cfg.dvi = uarch::DviConfig::full();
-    cfg.dvi.useEdvi = use_edvi;
-    cfg.numPhysRegs = 40;
-    cfg.maxInsts = insts;
-    return harness::runTiming(exe, cfg).ipc();
-}
-
-} // namespace
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(120000);
-
-    Table t("Ablation: E-DVI density (40-entry register file)");
-    t.setHeader({"Benchmark", "kills/inst none", "call-site",
-                 "dense", "IPC none", "IPC call-site", "IPC dense"});
-
-    for (auto id : workload::saveRestoreBenchmarks()) {
-        const prog::Module mod = workload::generateBenchmark(id);
-        const comp::Executable none = comp::compile(
-            mod, comp::CompileOptions{comp::EdviPolicy::None});
-        const comp::Executable calls = comp::compile(
-            mod, comp::CompileOptions{comp::EdviPolicy::CallSites});
-        const comp::Executable dense = comp::compile(
-            mod, comp::CompileOptions{comp::EdviPolicy::Dense});
-
-        const arch::EmulatorStats s_calls =
-            harness::runOracle(calls, insts);
-        const arch::EmulatorStats s_dense =
-            harness::runOracle(dense, insts);
-
-        t.addRow(
-            {workload::benchmarkName(id), "0.000",
-             Table::fmt(ratio(s_calls.kills, s_calls.progInsts), 3),
-             Table::fmt(ratio(s_dense.kills, s_dense.progInsts), 3),
-             Table::fmt(smallRegfileIpc(none, false, insts), 3),
-             Table::fmt(smallRegfileIpc(calls, true, insts), 3),
-             Table::fmt(smallRegfileIpc(dense, true, insts), 3)});
-    }
-    t.print();
-    return 0;
+    return dvi::driver::scenarioMain("ablation-edvi-density");
 }

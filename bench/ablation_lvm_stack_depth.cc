@@ -7,53 +7,17 @@
  *
  * Reports restore-elimination benefit at each depth as a percentage
  * of the unbounded structure's benefit.
+ *
+ * Thin wrapper over the registered "ablation-lvm-stack-depth"
+ * scenario (driver/ablations.cc); DVI_JOBS sets the worker count and
+ * `dvi-run --scenario ablation-lvm-stack-depth` is the flag-driven
+ * equivalent.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "stats/table.hh"
-
-using namespace dvi;
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    const std::uint64_t insts = harness::benchInsts(300000);
-    const unsigned depths[] = {2, 4, 8, 16, 32};
-
-    Table t("Ablation: LVM-Stack depth (% of unbounded restore "
-            "elimination)");
-    t.setHeader({"Benchmark", "d=2", "d=4", "d=8", "d=16", "d=32",
-                 "max call depth"});
-
-    for (auto id : workload::saveRestoreBenchmarks()) {
-        harness::BuiltBenchmark b = harness::buildBenchmark(id);
-
-        arch::EmulatorOptions opts;
-        opts.lvmStackDepth = 0;  // unbounded oracle
-        const arch::EmulatorStats unbounded =
-            harness::runOracle(b.edvi, insts, opts);
-
-        std::vector<std::string> row = {b.name};
-        for (unsigned d : depths) {
-            opts.lvmStackDepth = d;
-            const arch::EmulatorStats s =
-                harness::runOracle(b.edvi, insts, opts);
-            const double pct =
-                unbounded.restoreElimOracle == 0
-                    ? 100.0
-                    : 100.0 *
-                          static_cast<double>(s.restoreElimOracle) /
-                          static_cast<double>(
-                              unbounded.restoreElimOracle);
-            row.push_back(Table::fmt(pct, 1));
-        }
-        row.push_back(Table::fmt(unbounded.maxCallDepth));
-        t.addRow(row);
-    }
-    t.print();
-    std::printf("paper: 16 entries capture ~100%% everywhere except "
-                "li (94%%)\n");
-    return 0;
+    return dvi::driver::scenarioMain("ablation-lvm-stack-depth");
 }

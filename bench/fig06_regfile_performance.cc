@@ -8,13 +8,13 @@
  *
  * The grid runs through the parallel campaign driver; DVI_JOBS sets
  * the worker count (default 1) and DVI_BENCH_INSTS the per-run
- * budget. `dvi-run --figure 6` is the flag-driven equivalent.
+ * budget. `dvi-run --scenario fig06` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(6);
+    return dvi::driver::scenarioMain("fig06");
 }

@@ -9,13 +9,13 @@
  * instructions on average; perl highest at 74.6%.
  *
  * Runs through the parallel campaign driver; DVI_JOBS sets the
- * worker count. `dvi-run --figure 9` is the flag-driven equivalent.
+ * worker count. `dvi-run --scenario fig09` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(9);
+    return dvi::driver::scenarioMain("fig09");
 }

@@ -7,13 +7,13 @@
  * than half of the benefit.
  *
  * Runs through the parallel campaign driver; DVI_JOBS sets the
- * worker count. `dvi-run --figure 10` is the flag-driven equivalent.
+ * worker count. `dvi-run --scenario fig10` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(10);
+    return dvi::driver::scenarioMain("fig10");
 }

@@ -7,13 +7,13 @@
  * wide machine benefits most.
  *
  * Runs through the parallel campaign driver; DVI_JOBS sets the
- * worker count. `dvi-run --figure 11` is the flag-driven equivalent.
+ * worker count. `dvi-run --scenario fig11` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(11);
+    return dvi::driver::scenarioMain("fig11");
 }

@@ -10,13 +10,13 @@
  * codes").
  *
  * Runs through the parallel campaign driver; DVI_JOBS sets the
- * worker count. `dvi-run --figure 12` is the flag-driven equivalent.
+ * worker count. `dvi-run --scenario fig12` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(12);
+    return dvi::driver::scenarioMain("fig12");
 }

@@ -8,13 +8,13 @@
  * occasional small negative IPC "overheads" from alignment noise).
  *
  * Runs through the parallel campaign driver; DVI_JOBS sets the
- * worker count. `dvi-run --figure 13` is the flag-driven equivalent.
+ * worker count. `dvi-run --scenario fig13` is the flag-driven equivalent.
  */
 
-#include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
 
 int
 main()
 {
-    return dvi::driver::figureMain(13);
+    return dvi::driver::scenarioMain("fig13");
 }

@@ -21,6 +21,7 @@
 #include "arch/emulator.hh"
 #include "compiler/compile.hh"
 #include "harness/experiment.hh"
+#include "sim/scenario.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
 #include "uarch/core.hh"
@@ -81,18 +82,24 @@ main(int argc, char **argv)
             bench = parseBenchmark(next(), argv[0]);
         } else if (arg == "--edvi") {
             const std::string v = next();
-            edvi = v == "none"        ? comp::EdviPolicy::None
-                   : v == "callsites" ? comp::EdviPolicy::CallSites
-                   : v == "dense"     ? comp::EdviPolicy::Dense
-                                      : (usage(argv[0]),
-                                         comp::EdviPolicy::None);
+            const auto parsed = sim::parseEdviPolicy(v);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown E-DVI policy '%s'\n",
+                             v.c_str());
+                usage(argv[0]);
+            }
+            edvi = *parsed;
         } else if (arg == "--mode") {
             const std::string v = next();
-            mode = v == "none"   ? harness::DviMode::None
-                   : v == "idvi" ? harness::DviMode::Idvi
-                   : v == "full" ? harness::DviMode::Full
-                                 : (usage(argv[0]),
-                                    harness::DviMode::None);
+            const auto parsed = harness::parseDviMode(v);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "unknown DVI mode '%s' (valid: %s)\n",
+                             v.c_str(),
+                             harness::dviModeTokens().c_str());
+                usage(argv[0]);
+            }
+            mode = *parsed;
         } else if (arg == "--insts") {
             insts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--regfile") {

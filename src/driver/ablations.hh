@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ablation scenarios: the beyond-the-figures design-point studies.
+ *
+ * Three registered scenarios:
+ *  - "ablation-edvi-density": compiler E-DVI policy (none /
+ *    call-site / dense) vs. kill density and IPC at a 40-entry
+ *    register file (§4.2, §9);
+ *  - "ablation-lvm-stack-depth": restore-elimination benefit vs.
+ *    LVM-Stack depth, as % of an unbounded structure (§5.2);
+ *  - "regfile-dense": the Fig. 5 register-file sweep with a dense
+ *    E-DVI column next to the paper's none/full — the high-density
+ *    design point the paper speculates about, now one CLI flag.
+ *
+ * All three drive through `dvi-run --scenario NAME` and the ablation
+ * bench binaries.
+ */
+
+#ifndef DVI_DRIVER_ABLATIONS_HH
+#define DVI_DRIVER_ABLATIONS_HH
+
+namespace dvi
+{
+namespace driver
+{
+
+class ScenarioRegistry;
+
+/** Register the ablation scenarios (called by ScenarioRegistry on
+ * first use). */
+void registerAblationScenarios(ScenarioRegistry &registry);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_ABLATIONS_HH

@@ -1,23 +1,11 @@
 #include "driver/campaign.hh"
 
 #include "base/logging.hh"
-#include "os/scheduler.hh"
 
 namespace dvi
 {
 namespace driver
 {
-
-std::string
-jobKindName(JobKind kind)
-{
-    switch (kind) {
-      case JobKind::Timing: return "timing";
-      case JobKind::Oracle: return "oracle";
-      case JobKind::Switch: return "switch";
-    }
-    panic("bad JobKind");
-}
 
 std::uint64_t
 jobSeed(std::size_t index)
@@ -30,22 +18,24 @@ jobSeed(std::size_t index)
     return z ^ (z >> 31);
 }
 
-std::shared_ptr<const harness::BuiltBenchmark>
-ExecutableCache::get(workload::BenchmarkId id)
+std::shared_ptr<const comp::Executable>
+ExecutableCache::get(workload::BenchmarkId id,
+                     comp::EdviPolicy policy)
 {
     std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lk(mu);
-        auto &slot = entries[id];
+        auto &slot = entries[Key(id, policy)];
         if (!slot)
             slot = std::make_shared<Entry>();
         entry = slot;
     }
     std::call_once(entry->once, [&] {
-        entry->built = std::make_shared<const harness::BuiltBenchmark>(
-            harness::buildBenchmark(id));
+        const prog::Module mod = workload::generateBenchmark(id);
+        entry->exe = std::make_shared<const comp::Executable>(
+            comp::compile(mod, comp::CompileOptions{policy}));
     });
-    return entry->built;
+    return entry->exe;
 }
 
 std::size_t
@@ -58,88 +48,41 @@ ExecutableCache::size() const
 JobResult
 runJob(const JobSpec &spec, ExecutableCache &cache)
 {
-    const std::shared_ptr<const harness::BuiltBenchmark> built =
-        cache.get(spec.bench);
-    const comp::Executable &exe = harness::exeFor(*built, spec.mode);
+    const sim::Scenario &s = spec.scenario;
+    const std::shared_ptr<const comp::Executable> exe =
+        cache.get(s.workload, s.binary.edvi);
+    const sim::Runner &runner = sim::runnerFor(s.runner);
 
     JobResult r;
     r.spec = spec;
-    r.textBytesPlain = built->plain.textBytes();
-    r.textBytesEdvi = built->edvi.textBytes();
-
-    switch (spec.kind) {
-      case JobKind::Timing:
-        r.core = harness::runTiming(exe, spec.cfg);
-        r.ipc = r.core.ipc();
-        break;
-      case JobKind::Oracle:
-        r.oracle = harness::runOracle(exe, spec.maxInsts, spec.emu);
-        break;
-      case JobKind::Switch: {
-        os::Scheduler sched(spec.sched);
-        sched.addThread("t0", exe, spec.emu);
-        sched.run();
-        r.sw = sched.stats();
-        break;
-      }
-    }
+    r.textBytes = exe->textBytes();
+    r.run = runner.run(s, *exe);
     return r;
 }
 
-JobSpec &
-Campaign::append(JobKind kind, workload::BenchmarkId bench,
-                 harness::DviMode mode, std::string variant)
+Campaign::Campaign(const sim::ScenarioGrid &grid)
+    : Campaign(grid.name(), grid.scenarios())
+{
+}
+
+Campaign::Campaign(std::string name,
+                   std::vector<sim::Scenario> scenarios)
+    : name_(std::move(name))
+{
+    jobs_.reserve(scenarios.size());
+    for (sim::Scenario &s : scenarios)
+        add(std::move(s));
+}
+
+std::size_t
+Campaign::add(sim::Scenario scenario)
 {
     JobSpec spec;
     spec.index = jobs_.size();
     spec.seed = jobSeed(spec.index);
-    spec.kind = kind;
-    spec.bench = bench;
-    spec.mode = mode;
-    spec.variant = std::move(variant);
+    spec.scenario = std::move(scenario);
     jobs_.push_back(std::move(spec));
-    return jobs_.back();
-}
-
-std::size_t
-Campaign::addTimingJob(workload::BenchmarkId bench,
-                       harness::DviMode mode,
-                       const uarch::CoreConfig &cfg,
-                       std::string variant)
-{
-    JobSpec &spec =
-        append(JobKind::Timing, bench, mode, std::move(variant));
-    spec.cfg = cfg;
-    spec.maxInsts = cfg.maxInsts;
-    return spec.index;
-}
-
-std::size_t
-Campaign::addOracleJob(workload::BenchmarkId bench,
-                       harness::DviMode mode,
-                       const arch::EmulatorOptions &emu,
-                       std::uint64_t max_insts, std::string variant)
-{
-    JobSpec &spec =
-        append(JobKind::Oracle, bench, mode, std::move(variant));
-    spec.emu = emu;
-    spec.maxInsts = max_insts;
-    return spec.index;
-}
-
-std::size_t
-Campaign::addSwitchJob(workload::BenchmarkId bench,
-                       harness::DviMode mode,
-                       const arch::EmulatorOptions &emu,
-                       const os::SchedulerOptions &sched,
-                       std::string variant)
-{
-    JobSpec &spec =
-        append(JobKind::Switch, bench, mode, std::move(variant));
-    spec.emu = emu;
-    spec.sched = sched;
-    spec.maxInsts = sched.maxTotalInsts;
-    return spec.index;
+    return jobs_.back().index;
 }
 
 CampaignReport

@@ -2,14 +2,15 @@
  * @file
  * Simulation-campaign runner.
  *
- * A Campaign is an ordered list of JobSpecs. run() shards the jobs
- * across a work-stealing ThreadPool; every worker resolves its job's
- * benchmark through a shared compile-once ExecutableCache (so a
- * campaign compiles each benchmark exactly once no matter how many
- * jobs reference it), and results land in a slot addressed by the
- * job's index. The report is therefore independent of completion
- * order: running with one worker or sixteen produces byte-identical
- * output.
+ * A Campaign is an ordered list of Scenarios. run() shards the jobs
+ * across a work-stealing ThreadPool; every worker resolves its
+ * scenario's binary through a shared compile-once ExecutableCache
+ * (so a campaign compiles each (benchmark, E-DVI policy) pair
+ * exactly once no matter how many jobs reference it) and its
+ * execution strategy through the RunnerRegistry, and results land in
+ * a slot addressed by the job's index. The report is therefore
+ * independent of completion order: running with one worker or
+ * sixteen produces byte-identical output.
  */
 
 #ifndef DVI_DRIVER_CAMPAIGN_HH
@@ -19,11 +20,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/job.hh"
 #include "driver/report.hh"
 #include "driver/thread_pool.hh"
+#include "sim/grid.hh"
 
 namespace dvi
 {
@@ -31,32 +34,34 @@ namespace driver
 {
 
 /**
- * Thread-safe compile-once cache of built benchmarks. The first
- * worker to request a benchmark compiles it (both the plain and the
- * E-DVI binary); concurrent requesters for the same benchmark block
- * until that compile finishes, while requests for other benchmarks
- * proceed in parallel. Entries are immutable once published —
- * uarch::Core and arch::Emulator copy the executable they run, so
- * sharing one BuiltBenchmark across workers is safe.
+ * Thread-safe compile-once cache of built binaries, keyed by
+ * (benchmark, E-DVI policy). The first worker to request a key
+ * compiles it; concurrent requesters for the same key block until
+ * that compile finishes, while requests for other keys proceed in
+ * parallel. Entries are immutable once published — uarch::Core and
+ * arch::Emulator copy the executable they run, so sharing one
+ * Executable across workers is safe.
  */
 class ExecutableCache
 {
   public:
-    std::shared_ptr<const harness::BuiltBenchmark>
-    get(workload::BenchmarkId id);
+    std::shared_ptr<const comp::Executable>
+    get(workload::BenchmarkId id, comp::EdviPolicy policy);
 
-    /** Number of distinct benchmarks compiled so far. */
+    /** Number of distinct (benchmark, policy) pairs compiled. */
     std::size_t size() const;
 
   private:
+    using Key = std::pair<workload::BenchmarkId, comp::EdviPolicy>;
+
     struct Entry
     {
         std::once_flag once;
-        std::shared_ptr<const harness::BuiltBenchmark> built;
+        std::shared_ptr<const comp::Executable> exe;
     };
 
     mutable std::mutex mu;
-    std::map<workload::BenchmarkId, std::shared_ptr<Entry>> entries;
+    std::map<Key, std::shared_ptr<Entry>> entries;
 };
 
 /** Execute one job against the cache. Deterministic. */
@@ -69,35 +74,24 @@ struct CampaignOptions
     unsigned jobs = 1;
 };
 
-/** An ordered grid of simulation jobs. */
+/** An ordered list of simulation scenarios. */
 class Campaign
 {
   public:
     explicit Campaign(std::string name) : name_(std::move(name)) {}
 
+    /** Adopt a grid's expansion: one job per grid point, in grid
+     * order, under the grid's name. */
+    explicit Campaign(const sim::ScenarioGrid &grid);
+
+    Campaign(std::string name, std::vector<sim::Scenario> scenarios);
+
     const std::string &name() const { return name_; }
     std::size_t size() const { return jobs_.size(); }
     const std::vector<JobSpec> &jobs() const { return jobs_; }
 
-    /** Append a timing-model job; returns its index. */
-    std::size_t addTimingJob(workload::BenchmarkId bench,
-                             harness::DviMode mode,
-                             const uarch::CoreConfig &cfg,
-                             std::string variant = "");
-
-    /** Append a functional-oracle job; returns its index. */
-    std::size_t addOracleJob(workload::BenchmarkId bench,
-                             harness::DviMode mode,
-                             const arch::EmulatorOptions &emu,
-                             std::uint64_t max_insts,
-                             std::string variant = "");
-
-    /** Append a context-switch (scheduler) job; returns its index. */
-    std::size_t addSwitchJob(workload::BenchmarkId bench,
-                             harness::DviMode mode,
-                             const arch::EmulatorOptions &emu,
-                             const os::SchedulerOptions &sched,
-                             std::string variant = "");
+    /** Append a scenario; returns its campaign index. */
+    std::size_t add(sim::Scenario scenario);
 
     /** Run every job on an internally created pool. */
     CampaignReport run(const CampaignOptions &opts = {}) const;
@@ -106,9 +100,6 @@ class Campaign
     CampaignReport run(ThreadPool &pool) const;
 
   private:
-    JobSpec &append(JobKind kind, workload::BenchmarkId bench,
-                    harness::DviMode mode, std::string variant);
-
     std::string name_;
     std::vector<JobSpec> jobs_;
 };

@@ -1,11 +1,12 @@
 #include "driver/figures.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <iostream>
+#include <cstdio>
 #include <ostream>
 
 #include "base/logging.hh"
+#include "driver/scenario_registry.hh"
+#include "harness/experiment.hh"
 #include "stats/counter.hh"
 #include "timing/regfile_timing.hh"
 
@@ -16,6 +17,9 @@ namespace driver
 
 namespace
 {
+
+using sim::Scenario;
+using sim::ScenarioGrid;
 
 /** The Fig. 5/6 register-file sizes: 34..98 step 4. */
 std::vector<unsigned>
@@ -36,11 +40,14 @@ fig5Modes()
     return modes;
 }
 
-std::uint64_t
-resolveInsts(int figure, std::uint64_t max_insts)
+/** A timing-run prototype with the given budget. */
+Scenario
+timingBase(std::uint64_t insts)
 {
-    return max_insts ? max_insts
-                     : harness::benchInsts(figureDefaultInsts(figure));
+    Scenario s;
+    s.runner = "timing";
+    s.budget.maxInsts = insts;
+    return s;
 }
 
 // ------------------------------------------------------------ Fig. 9
@@ -48,12 +55,16 @@ resolveInsts(int figure, std::uint64_t max_insts)
 Campaign
 buildFig9(std::uint64_t insts)
 {
-    Campaign c("fig09");
-    arch::EmulatorOptions opts;
-    opts.lvmStackDepth = 16;  // the hardware structure
-    for (auto id : workload::saveRestoreBenchmarks())
-        c.addOracleJob(id, harness::DviMode::Full, opts, insts);
-    return c;
+    Scenario proto;
+    proto.runner = "oracle";
+    proto.budget.maxInsts = insts;
+    sim::applyPreset(proto, sim::presetFull());
+    proto.emu.lvmStackDepth = 16;  // the hardware structure
+
+    return Campaign(
+        ScenarioGrid("fig09")
+            .base(proto)
+            .overWorkloads(workload::saveRestoreBenchmarks()));
 }
 
 void
@@ -67,13 +78,13 @@ renderFig9(const CampaignReport &report, std::ostream &os)
     double sum_sr_lvm = 0, sum_mem_lvm = 0, sum_inst_lvm = 0;
     unsigned n = 0;
     for (const JobResult &r : report.results) {
-        const arch::EmulatorStats &s = r.oracle;
+        const arch::EmulatorStats &s = r.run.oracle;
         const std::uint64_t sr = s.saves + s.restores;
         const std::uint64_t lvm_elim = s.saveElimOracle;
         const std::uint64_t stack_elim =
             s.saveElimOracle + s.restoreElimOracle;
 
-        t.addRow({workload::benchmarkName(r.spec.bench),
+        t.addRow({workload::benchmarkName(r.spec.scenario.workload),
                   Table::fmt(percent(lvm_elim, sr), 1),
                   Table::fmt(percent(stack_elim, sr), 1),
                   Table::fmt(percent(lvm_elim, s.memRefs), 1),
@@ -104,25 +115,29 @@ renderFig9(const CampaignReport &report, std::ostream &os)
 Campaign
 buildFig10(std::uint64_t insts)
 {
-    Campaign c("fig10");
-    for (auto id : workload::saveRestoreBenchmarks()) {
-        uarch::CoreConfig cfg;
-        cfg.maxInsts = insts;
-
-        cfg.dvi = uarch::DviConfig::none();
-        c.addTimingJob(id, harness::DviMode::None, cfg, "base");
-
-        // LVM scheme: squash saves only. Early reclamation off so
-        // the comparison isolates save/restore elimination.
-        cfg.dvi = uarch::DviConfig::lvmScheme();
-        cfg.dvi.earlyReclaim = false;
-        c.addTimingJob(id, harness::DviMode::Full, cfg, "lvm");
-
-        cfg.dvi = uarch::DviConfig::full();
-        cfg.dvi.earlyReclaim = false;
-        c.addTimingJob(id, harness::DviMode::Full, cfg, "lvm-stack");
-    }
-    return c;
+    // Early reclamation off in both DVI variants so the comparison
+    // isolates save/restore elimination.
+    return Campaign(
+        ScenarioGrid("fig10")
+            .base(timingBase(insts))
+            .overWorkloads(workload::saveRestoreBenchmarks())
+            .axis({
+                {"base",
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetNone());
+                 }},
+                {"lvm",  // LVM scheme: squash saves only
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetFull());
+                     s.hardware.dvi = uarch::DviConfig::lvmScheme();
+                     s.hardware.dvi.earlyReclaim = false;
+                 }},
+                {"lvm-stack",
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetFull());
+                     s.hardware.dvi.earlyReclaim = false;
+                 }},
+            }));
 }
 
 void
@@ -132,17 +147,18 @@ renderFig10(const CampaignReport &report, std::ostream &os)
     t.setHeader({"Benchmark", "base IPC", "LVM (saves) %",
                  "LVM-Stack (saves+restores) %"});
     for (std::size_t i = 0; i + 2 < report.results.size(); i += 3) {
-        const double base = report.results[i].ipc;
-        const double lvm = report.results[i + 1].ipc;
-        const double stack = report.results[i + 2].ipc;
-        t.addRow({workload::benchmarkName(report.results[i].spec.bench),
+        const double base = report.results[i].run.ipc;
+        const double lvm = report.results[i + 1].run.ipc;
+        const double stack = report.results[i + 2].run.ipc;
+        t.addRow({workload::benchmarkName(
+                      report.results[i].spec.scenario.workload),
                   Table::fmt(base, 2),
                   Table::fmt(100.0 * (lvm / base - 1.0), 2),
                   Table::fmt(100.0 * (stack / base - 1.0), 2)});
     }
     os << t.render();
     os << "(run budget "
-       << report.results.front().spec.cfg.maxInsts
+       << report.results.front().spec.scenario.budget.maxInsts
        << " instructions per configuration)\n";
 }
 
@@ -151,30 +167,35 @@ renderFig10(const CampaignReport &report, std::ostream &os)
 Campaign
 buildFig11(std::uint64_t insts)
 {
-    Campaign c("fig11");
-    const unsigned widths[] = {4, 8};
-    const unsigned ports[] = {1, 2, 3};
-    for (auto id :
-         {workload::BenchmarkId::Gcc, workload::BenchmarkId::Ijpeg}) {
-        for (unsigned w : widths) {
-            for (unsigned p : ports) {
-                uarch::CoreConfig cfg;
-                cfg.setIssueWidth(w);
-                cfg.cachePorts = p;
-                cfg.maxInsts = insts;
+    std::vector<ScenarioGrid::Value> widths;
+    for (unsigned w : {4u, 8u})
+        widths.push_back({"", [w](Scenario &s) {
+                              s.hardware.core.setIssueWidth(w);
+                          }});
+    std::vector<ScenarioGrid::Value> ports;
+    for (unsigned p : {1u, 2u, 3u})
+        ports.push_back({"", [p](Scenario &s) {
+                             s.hardware.core.cachePorts = p;
+                         }});
 
-                cfg.dvi = uarch::DviConfig::none();
-                c.addTimingJob(id, harness::DviMode::None, cfg,
-                               "base");
-
-                cfg.dvi = uarch::DviConfig::full();
-                cfg.dvi.earlyReclaim = false;
-                c.addTimingJob(id, harness::DviMode::Full, cfg,
-                               "dvi");
-            }
-        }
-    }
-    return c;
+    return Campaign(
+        ScenarioGrid("fig11")
+            .base(timingBase(insts))
+            .overWorkloads({workload::BenchmarkId::Gcc,
+                            workload::BenchmarkId::Ijpeg})
+            .axis(std::move(widths))
+            .axis(std::move(ports))
+            .axis({
+                {"base",
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetNone());
+                 }},
+                {"dvi",
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetFull());
+                     s.hardware.dvi.earlyReclaim = false;
+                 }},
+            }));
 }
 
 void
@@ -187,13 +208,13 @@ renderFig11(const CampaignReport &report, std::ostream &os)
     // Layout: bench-major, width, port, {base, dvi} -> 6 jobs per
     // (bench, width) row.
     for (std::size_t i = 0; i + 5 < report.results.size(); i += 6) {
-        const JobSpec &first = report.results[i].spec;
+        const sim::Scenario &first = report.results[i].spec.scenario;
         std::vector<std::string> row = {
-            workload::benchmarkName(first.bench),
-            std::to_string(first.cfg.issueWidth) + "-way"};
+            workload::benchmarkName(first.workload),
+            std::to_string(first.hardware.core.issueWidth) + "-way"};
         for (unsigned p = 0; p < 3; ++p) {
-            const double base = report.results[i + 2 * p].ipc;
-            const double dvi = report.results[i + 2 * p + 1].ipc;
+            const double base = report.results[i + 2 * p].run.ipc;
+            const double dvi = report.results[i + 2 * p + 1].run.ipc;
             row.push_back(Table::fmt(100.0 * (dvi / base - 1.0), 2));
         }
         t.addRow(row);
@@ -206,23 +227,30 @@ renderFig11(const CampaignReport &report, std::ostream &os)
 Campaign
 buildFig12(std::uint64_t insts)
 {
-    Campaign c("fig12");
-    os::SchedulerOptions sched;
-    sched.quantum = 20000;
-    sched.maxTotalInsts = insts;
-    for (auto id : workload::allBenchmarks()) {
-        // I-DVI requires no binary support: plain binary.
-        arch::EmulatorOptions opts;
-        opts.trackLiveness = true;
-        opts.honorIdvi = true;
-        opts.honorEdvi = false;
-        c.addSwitchJob(id, harness::DviMode::Idvi, opts, sched,
-                       "idvi");
-        opts.honorEdvi = true;
-        c.addSwitchJob(id, harness::DviMode::Full, opts, sched,
-                       "full");
-    }
-    return c;
+    Scenario proto;
+    proto.runner = "switch";
+    proto.budget.maxInsts = insts;
+    proto.budget.quantum = 20000;
+    proto.emu.trackLiveness = true;
+
+    return Campaign(
+        ScenarioGrid("fig12")
+            .base(proto)
+            .overWorkloads(workload::allBenchmarks())
+            .axis({
+                {"idvi",  // I-DVI needs no binary support
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetIdvi());
+                     s.emu.honorIdvi = true;
+                     s.emu.honorEdvi = false;
+                 }},
+                {"full",
+                 [](Scenario &s) {
+                     sim::applyPreset(s, sim::presetFull());
+                     s.emu.honorIdvi = true;
+                     s.emu.honorEdvi = true;
+                 }},
+            }));
 }
 
 void
@@ -234,9 +262,10 @@ renderFig12(const CampaignReport &report, std::ostream &os)
     double sum_idvi = 0, sum_full = 0;
     unsigned n = 0;
     for (std::size_t i = 0; i + 1 < report.results.size(); i += 2) {
-        const os::SwitchStats &idvi = report.results[i].sw;
-        const os::SwitchStats &full = report.results[i + 1].sw;
-        t.addRow({workload::benchmarkName(report.results[i].spec.bench),
+        const os::SwitchStats &idvi = report.results[i].run.sw;
+        const os::SwitchStats &full = report.results[i + 1].run.sw;
+        t.addRow({workload::benchmarkName(
+                      report.results[i].spec.scenario.workload),
                   Table::fmt(idvi.intReductionPercent(), 1),
                   Table::fmt(full.intReductionPercent(), 1),
                   Table::fmt(full.liveIntAtSwitch.mean(), 1),
@@ -256,23 +285,38 @@ renderFig12(const CampaignReport &report, std::ostream &os)
 Campaign
 buildFig13(std::uint64_t insts)
 {
-    Campaign c("fig13");
-    for (auto id : workload::allBenchmarks()) {
-        c.addOracleJob(id, harness::DviMode::Full,
-                       arch::EmulatorOptions{}, insts, "oracle");
-        for (unsigned kb : {32u, 64u}) {
-            uarch::CoreConfig cfg;
-            cfg.dvi = uarch::DviConfig::none();  // optimizations off
-            cfg.dvi.useEdvi = false;  // kills are pure overhead
-            cfg.il1.sizeBytes = kb * 1024;
-            cfg.maxInsts = insts;
-            c.addTimingJob(id, harness::DviMode::None, cfg,
-                           "plain-" + std::to_string(kb) + "k");
-            c.addTimingJob(id, harness::DviMode::Full, cfg,
-                           "edvi-" + std::to_string(kb) + "k");
-        }
+    std::vector<ScenarioGrid::Value> configs;
+    configs.push_back({"oracle", [](Scenario &s) {
+                           s.runner = "oracle";
+                           s.binary.edvi =
+                               comp::EdviPolicy::CallSites;
+                       }});
+    for (unsigned kb : {32u, 64u}) {
+        // Timing runs with all DVI optimizations off: annotations
+        // are pure fetch/I-cache overhead.
+        const auto timing = [kb](Scenario &s,
+                                 comp::EdviPolicy policy) {
+            s.runner = "timing";
+            s.binary.edvi = policy;
+            s.hardware.dvi = uarch::DviConfig::none();
+            s.hardware.core.il1.sizeBytes = kb * 1024;
+        };
+        configs.push_back(
+            {"plain-" + std::to_string(kb) + "k",
+             [timing](Scenario &s) {
+                 timing(s, comp::EdviPolicy::None);
+             }});
+        configs.push_back(
+            {"edvi-" + std::to_string(kb) + "k",
+             [timing](Scenario &s) {
+                 timing(s, comp::EdviPolicy::CallSites);
+             }});
     }
-    return c;
+
+    return Campaign(ScenarioGrid("fig13")
+                        .base(timingBase(insts))
+                        .overWorkloads(workload::allBenchmarks())
+                        .axis(std::move(configs)));
 }
 
 void
@@ -282,21 +326,23 @@ renderFig13(const CampaignReport &report, std::ostream &os)
     t.setHeader({"Benchmark", "dyn inst %", "code size %",
                  "IPC ovh % (32K I$)", "IPC ovh % (64K I$)"});
     // 5 jobs per benchmark: oracle, plain-32k, edvi-32k, plain-64k,
-    // edvi-64k.
+    // edvi-64k. The oracle ran the annotated binary; the plain-32k
+    // job supplies the unannotated code size.
     for (std::size_t i = 0; i + 4 < report.results.size(); i += 5) {
         const JobResult &oracle = report.results[i];
-        const double dyn =
-            percent(oracle.oracle.kills, oracle.oracle.progInsts);
+        const double dyn = percent(oracle.run.oracle.kills,
+                                   oracle.run.oracle.progInsts);
         const double code =
             100.0 *
-            (static_cast<double>(oracle.textBytesEdvi) /
-                 static_cast<double>(oracle.textBytesPlain) -
+            (static_cast<double>(oracle.textBytes) /
+                 static_cast<double>(report.results[i + 1].textBytes) -
              1.0);
-        const double ipc32_plain = report.results[i + 1].ipc;
-        const double ipc32_edvi = report.results[i + 2].ipc;
-        const double ipc64_plain = report.results[i + 3].ipc;
-        const double ipc64_edvi = report.results[i + 4].ipc;
-        t.addRow({workload::benchmarkName(oracle.spec.bench),
+        const double ipc32_plain = report.results[i + 1].run.ipc;
+        const double ipc32_edvi = report.results[i + 2].run.ipc;
+        const double ipc64_plain = report.results[i + 3].run.ipc;
+        const double ipc64_edvi = report.results[i + 4].run.ipc;
+        t.addRow({workload::benchmarkName(
+                      oracle.spec.scenario.workload),
                   Table::fmt(dyn, 2), Table::fmt(code, 2),
                   Table::fmt(
                       100.0 * (ipc32_plain / ipc32_edvi - 1.0), 2),
@@ -345,7 +391,7 @@ renderFig5(const CampaignReport &report, std::ostream &os)
         }
     }
     os << "(per-point budget "
-       << report.results.front().spec.cfg.maxInsts
+       << report.results.front().spec.scenario.budget.maxInsts
        << " instructions per benchmark; DVI_BENCH_INSTS scales it)\n";
 }
 
@@ -417,6 +463,18 @@ renderFig6(const CampaignReport &report, std::ostream &os)
 
 } // namespace
 
+sim::ScenarioGrid
+regfileGrid(const std::vector<unsigned> &sizes,
+            const std::vector<sim::DviPreset> &presets,
+            std::uint64_t max_insts, std::string name)
+{
+    return sim::ScenarioGrid(std::move(name))
+        .base(timingBase(max_insts))
+        .overPresets(presets)
+        .overRegfileSizes(sizes)
+        .overWorkloads(workload::allBenchmarks());
+}
+
 Campaign
 regfileCampaign(const std::vector<unsigned> &sizes,
                 const std::vector<harness::DviMode> &modes,
@@ -426,11 +484,11 @@ regfileCampaign(const std::vector<unsigned> &sizes,
     for (harness::DviMode mode : modes) {
         for (unsigned size : sizes) {
             for (auto id : workload::allBenchmarks()) {
-                uarch::CoreConfig cfg;
-                cfg.dvi = harness::dviConfigFor(mode);
-                cfg.numPhysRegs = size;
-                cfg.maxInsts = max_insts;
-                c.addTimingJob(id, mode, cfg);
+                Scenario s = timingBase(max_insts);
+                sim::applyPreset(s, harness::presetFor(mode));
+                s.hardware.core.numPhysRegs = size;
+                s.workload = id;
+                c.add(std::move(s));
             }
         }
     }
@@ -457,7 +515,7 @@ regfileSweepFromReport(const CampaignReport &report,
         for (std::size_t s = 0; s < sizes.size(); ++s) {
             double sum = 0.0;
             for (std::size_t b = 0; b < nbench; ++b)
-                sum += report.results[i++].ipc;
+                sum += report.results[i++].run.ipc;
             sweep.meanIpc[m][s] = sum / static_cast<double>(nbench);
         }
     }
@@ -478,100 +536,86 @@ figureSupported(int figure)
 }
 
 std::string
-figureDescription(int figure)
+figureScenarioName(int figure)
 {
-    switch (figure) {
-      case 5: return "mean IPC vs. physical register file size";
-      case 6: return "performance (IPC / regfile cycle time) vs. "
-                     "register file size";
-      case 9: return "dynamic saves/restores eliminated (oracle)";
-      case 10: return "IPC speedup from save/restore elimination";
-      case 11: return "cache bandwidth sensitivity of elimination";
-      case 12: return "context-switch saves/restores eliminated";
-      case 13: return "E-DVI annotation overhead";
-      default: return "";
-    }
-}
-
-std::uint64_t
-figureDefaultInsts(int figure)
-{
-    switch (figure) {
-      case 5:
-      case 6: return 120000;
-      case 9: return 400000;
-      case 10: return 200000;
-      case 11: return 150000;
-      case 12: return 400000;
-      case 13: return 200000;
-      default: return 200000;
-    }
-}
-
-Campaign
-buildFigureCampaign(int figure, std::uint64_t max_insts)
-{
-    const std::uint64_t insts = resolveInsts(figure, max_insts);
-    switch (figure) {
-      case 5:
-      case 6:
-        return regfileCampaign(fig5Sizes(), fig5Modes(), insts,
-                               figure == 5 ? "fig05" : "fig06");
-      case 9: return buildFig9(insts);
-      case 10: return buildFig10(insts);
-      case 11: return buildFig11(insts);
-      case 12: return buildFig12(insts);
-      case 13: return buildFig13(insts);
-      default: fatal("figure ", figure, " has no campaign; known: "
-                     "5 6 9 10 11 12 13");
-    }
+    if (!figureSupported(figure))
+        return "";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "fig%02d", figure);
+    return buf;
 }
 
 void
-renderFigure(int figure, const CampaignReport &report,
-             std::ostream &os)
+registerFigureScenarios(ScenarioRegistry &registry)
 {
-    panic_if(report.results.empty(), "empty campaign report");
-    switch (figure) {
-      case 5: renderFig5(report, os); break;
-      case 6: renderFig6(report, os); break;
-      case 9: renderFig9(report, os); break;
-      case 10: renderFig10(report, os); break;
-      case 11: renderFig11(report, os); break;
-      case 12: renderFig12(report, os); break;
-      case 13: renderFig13(report, os); break;
-      default: fatal("figure ", figure, " has no renderer");
-    }
-}
+    RegisteredScenario s;
 
-CampaignReport
-runFigure(int figure, const FigureOptions &opts, std::ostream &os)
-{
-    const Campaign campaign =
-        buildFigureCampaign(figure, opts.maxInsts);
-    CampaignOptions copts;
-    copts.jobs = opts.jobs;
-    CampaignReport report = campaign.run(copts);
-    renderFigure(figure, report, os);
-    return report;
+    s.name = "fig05";
+    s.description = "mean IPC vs. physical register file size";
+    s.defaultInsts = 120000;
+    s.build = [](std::uint64_t insts) {
+        return Campaign(
+            regfileGrid(fig5Sizes(), sim::paperPresets(), insts,
+                        "fig05"));
+    };
+    s.render = renderFig5;
+    registry.add(s);
+
+    s.name = "fig06";
+    s.description = "performance (IPC / regfile cycle time) vs. "
+                    "register file size";
+    s.defaultInsts = 120000;
+    s.build = [](std::uint64_t insts) {
+        return Campaign(
+            regfileGrid(fig5Sizes(), sim::paperPresets(), insts,
+                        "fig06"));
+    };
+    s.render = renderFig6;
+    registry.add(s);
+
+    s.name = "fig09";
+    s.description = "dynamic saves/restores eliminated (oracle)";
+    s.defaultInsts = 400000;
+    s.build = buildFig9;
+    s.render = renderFig9;
+    registry.add(s);
+
+    s.name = "fig10";
+    s.description = "IPC speedup from save/restore elimination";
+    s.defaultInsts = 200000;
+    s.build = buildFig10;
+    s.render = renderFig10;
+    registry.add(s);
+
+    s.name = "fig11";
+    s.description = "cache bandwidth sensitivity of elimination";
+    s.defaultInsts = 150000;
+    s.build = buildFig11;
+    s.render = renderFig11;
+    registry.add(s);
+
+    s.name = "fig12";
+    s.description = "context-switch saves/restores eliminated";
+    s.defaultInsts = 400000;
+    s.build = buildFig12;
+    s.render = renderFig12;
+    registry.add(s);
+
+    s.name = "fig13";
+    s.description = "E-DVI annotation overhead";
+    s.defaultInsts = 200000;
+    s.build = buildFig13;
+    s.render = renderFig13;
+    registry.add(s);
 }
 
 int
 figureMain(int figure)
 {
-    FigureOptions opts;
-    if (const char *env = std::getenv("DVI_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        // 0 means one worker per hardware thread, as in
-        // `dvi-run --jobs 0`.
-        if (end != env && *end == '\0' && v >= 0)
-            opts.jobs = static_cast<unsigned>(v);
-        else
-            warn("ignoring invalid DVI_JOBS='", env, "'");
-    }
-    runFigure(figure, opts, std::cout);
-    return 0;
+    const std::string name = figureScenarioName(figure);
+    fatal_if(name.empty(), "figure ", figure,
+             " has no scenario; known: 5 6 9 10 11 12 13");
+    return scenarioMain(name);
 }
 
 } // namespace driver

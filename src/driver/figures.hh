@@ -1,20 +1,22 @@
 /**
  * @file
- * Figure campaigns: one campaign builder + renderer per paper figure.
+ * Figure campaigns: one registered scenario per paper figure.
  *
  * Each of the paper's simulation figures (5, 6, 9, 10, 11, 12, 13)
- * is expressed as a Campaign — a flat grid of jobs — plus a renderer
- * that folds the index-ordered report back into the figure's table
- * and summary lines. The per-figure bench binaries and the unified
- * `dvi-run` CLI both go through this module, so they cannot drift
- * apart, and every figure inherits the driver's parallelism and
- * compile-once benchmark cache for free.
+ * is expressed as a declarative ScenarioGrid — axes over presets,
+ * machine knobs, and benchmarks — plus a renderer that folds the
+ * index-ordered report back into the figure's table and summary
+ * lines. All seven register into the ScenarioRegistry under "figNN"
+ * names, so the per-figure bench binaries and the unified `dvi-run`
+ * CLI resolve through the same entries and cannot drift apart, and
+ * every figure inherits the driver's parallelism and compile-once
+ * binary cache for free.
  */
 
 #ifndef DVI_DRIVER_FIGURES_HH
 #define DVI_DRIVER_FIGURES_HH
 
-#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "driver/campaign.hh"
@@ -25,67 +27,51 @@ namespace dvi
 namespace driver
 {
 
-/** Figures dvi-run can drive, in ascending order. */
+class ScenarioRegistry;
+
+/** Register fig05..fig13 (called by ScenarioRegistry on first
+ * use; idempotent only in the sense that it is called once). */
+void registerFigureScenarios(ScenarioRegistry &registry);
+
+/** Figures with a registered scenario, in ascending order. */
 std::vector<int> supportedFigures();
 
-/** True if `figure` has a campaign builder. */
+/** True if `figure` has a registered scenario. */
 bool figureSupported(int figure);
 
-/** One-line description, e.g. "mean IPC vs. register file size". */
-std::string figureDescription(int figure);
+/** Registry name of a figure's scenario ("fig05"), or "" if the
+ * figure has none. */
+std::string figureScenarioName(int figure);
 
 /**
- * The figure's default per-run dynamic instruction budget (the same
- * default the bench binary historically used; DVI_BENCH_INSTS still
- * overrides it through harness::benchInsts).
+ * The Fig. 5/6 register-file grid as a fluent ScenarioGrid:
+ * preset-major, then size, then benchmark, over the whole suite.
  */
-std::uint64_t figureDefaultInsts(int figure);
+sim::ScenarioGrid regfileGrid(const std::vector<unsigned> &sizes,
+                              const std::vector<sim::DviPreset> &presets,
+                              std::uint64_t max_insts,
+                              std::string name = "regfile-sweep");
 
 /**
- * Build the figure's job grid. max_insts == 0 selects
- * figureDefaultInsts() filtered through harness::benchInsts.
- */
-Campaign buildFigureCampaign(int figure, std::uint64_t max_insts = 0);
-
-/**
- * Render the figure's table(s) and summary lines from a report
- * produced by its campaign.
- */
-void renderFigure(int figure, const CampaignReport &report,
-                  std::ostream &os);
-
-/**
- * The Fig. 5/6 register-file grid as a campaign: jobs ordered
- * mode-major, then size, then benchmark, over the whole suite.
+ * The same grid hand-built with explicit loops and Campaign::add.
+ * Kept as the reference implementation the grid is tested against
+ * (tests/scenario_test.cc) and as the entry point harness::
+ * runRegfileSweep uses.
  */
 Campaign regfileCampaign(const std::vector<unsigned> &sizes,
                          const std::vector<harness::DviMode> &modes,
                          std::uint64_t max_insts,
                          std::string name = "regfile-sweep");
 
-/** Fold a regfileCampaign report into the Fig. 5 sweep structure
+/** Fold a regfile-grid report into the Fig. 5 sweep structure
  * (mean IPC over the suite per [mode][size]). */
 harness::RegfileSweep
 regfileSweepFromReport(const CampaignReport &report,
                        const std::vector<unsigned> &sizes,
                        const std::vector<harness::DviMode> &modes);
 
-/** Options for runFigure / figureMain. */
-struct FigureOptions
-{
-    unsigned jobs = 1;          ///< worker threads (0 = hardware)
-    std::uint64_t maxInsts = 0; ///< 0 = figure default
-};
-
-/** Build, run, and render one figure; returns the report. */
-CampaignReport runFigure(int figure, const FigureOptions &opts,
-                         std::ostream &os);
-
-/**
- * Entry point for the thin per-figure bench mains: reads DVI_JOBS
- * from the environment (default 1), runs the figure, renders to
- * stdout. Returns a process exit code.
- */
+/** Entry point for the thin per-figure bench mains: resolves the
+ * figure's scenario and forwards to scenarioMain. */
 int figureMain(int figure);
 
 } // namespace driver

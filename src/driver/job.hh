@@ -2,42 +2,28 @@
  * @file
  * Campaign job descriptions and results.
  *
- * A simulation campaign is a grid of independent jobs — (benchmark,
- * DVI mode, machine configuration) tuples — that the driver shards
- * across worker threads. Each job is fully described by its JobSpec,
- * runs deterministically, and produces a JobResult keyed by the job's
- * campaign index. Aggregation orders results by that index, so a
- * parallel run is bit-identical to a serial one regardless of the
- * completion order the work-stealing scheduler happens to produce.
+ * A simulation campaign is an ordered list of independent
+ * Scenarios (sim/scenario.hh) that the driver shards across worker
+ * threads. Each job wraps one Scenario with its campaign index and
+ * deterministic seed, runs through the Runner named by the scenario,
+ * and produces a JobResult keyed by that index. Aggregation orders
+ * results by index, so a parallel run is bit-identical to a serial
+ * one regardless of the completion order the work-stealing scheduler
+ * happens to produce.
  */
 
 #ifndef DVI_DRIVER_JOB_HH
 #define DVI_DRIVER_JOB_HH
 
 #include <cstdint>
-#include <string>
 
-#include "arch/emulator.hh"
-#include "harness/experiment.hh"
-#include "os/scheduler.hh"
-#include "uarch/core_config.hh"
-#include "uarch/core_stats.hh"
-#include "workload/benchmarks.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
 
 namespace dvi
 {
 namespace driver
 {
-
-/** What a job measures. */
-enum class JobKind
-{
-    Timing,  ///< out-of-order timing model (uarch::Core)
-    Oracle,  ///< functional emulator with the LVM oracle
-    Switch,  ///< preemptive scheduler, context-switch accounting
-};
-
-std::string jobKindName(JobKind kind);
 
 /**
  * One schedulable unit of simulation work. Value type: workers copy
@@ -58,27 +44,8 @@ struct JobSpec
      */
     std::uint64_t seed = 0;
 
-    JobKind kind = JobKind::Timing;
-    workload::BenchmarkId bench = workload::BenchmarkId::Compress;
-
-    /** Selects the binary (plain vs. E-DVI annotated). */
-    harness::DviMode mode = harness::DviMode::None;
-
-    /** Free-form row label, e.g. "lvm" vs. "lvm-stack" variants that
-     * share a DviMode. */
-    std::string variant;
-
-    /** Timing jobs: the machine, including cfg.dvi and cfg.maxInsts. */
-    uarch::CoreConfig cfg;
-
-    /** Oracle / Switch jobs: emulator knobs. */
-    arch::EmulatorOptions emu;
-
-    /** Oracle jobs: dynamic instruction budget (0 = to halt). */
-    std::uint64_t maxInsts = 0;
-
-    /** Switch jobs: quantum and total-instruction cap. */
-    os::SchedulerOptions sched;
+    /** The complete run description, including its runner name. */
+    sim::Scenario scenario;
 };
 
 /** Everything a completed job reports. Deterministic: contains no
@@ -87,17 +54,11 @@ struct JobResult
 {
     JobSpec spec;
 
-    uarch::CoreStats core;     ///< Timing jobs
-    arch::EmulatorStats oracle;  ///< Oracle jobs
-    os::SwitchStats sw;        ///< Switch jobs
+    /** The runner's stats (only the matching section populated). */
+    sim::RunResult run;
 
-    /** Static code sizes of the two compilations of spec.bench, for
-     * overhead figures (Fig. 13). */
-    std::uint64_t textBytesPlain = 0;
-    std::uint64_t textBytesEdvi = 0;
-
-    /** IPC for timing jobs, 0 otherwise. */
-    double ipc = 0.0;
+    /** Static code size of the binary the scenario ran. */
+    std::uint64_t textBytes = 0;
 };
 
 /** SplitMix64 of (index + 1): the deterministic per-job seed. */

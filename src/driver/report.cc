@@ -125,68 +125,53 @@ class JsonObject
 void
 emitResult(std::ostringstream &os, const JobResult &r)
 {
-    const JobSpec &s = r.spec;
-    JsonObject o(os, "    ");
-    o.field("index", static_cast<std::uint64_t>(s.index));
-    o.field("kind", jobKindName(s.kind));
-    o.field("benchmark", workload::benchmarkName(s.bench));
-    o.field("mode", harness::dviModeName(s.mode));
-    o.field("variant", s.variant);
-    o.field("seed", s.seed);
-    o.field("maxInsts", s.kind == JobKind::Timing
-                            ? s.cfg.maxInsts
-                            : s.maxInsts);
-    o.field("textBytesPlain", r.textBytesPlain);
-    o.field("textBytesEdvi", r.textBytesEdvi);
+    const sim::Scenario &s = r.spec.scenario;
+    const sim::Runner &runner = sim::runnerFor(s.runner);
 
-    switch (s.kind) {
-      case JobKind::Timing:
-        o.field("numPhysRegs",
-                static_cast<std::uint64_t>(s.cfg.numPhysRegs));
-        o.field("issueWidth",
-                static_cast<std::uint64_t>(s.cfg.issueWidth));
-        o.field("cachePorts",
-                static_cast<std::uint64_t>(s.cfg.cachePorts));
-        o.field("il1Bytes",
-                static_cast<std::uint64_t>(s.cfg.il1.sizeBytes));
-        o.field("cycles", r.core.cycles);
-        o.field("committedProgInsts", r.core.committedProgInsts);
-        o.field("committedKills", r.core.committedKills);
-        o.field("ipc", r.ipc);
-        o.field("savesSeen", r.core.savesSeen);
-        o.field("savesEliminated", r.core.savesEliminated);
-        o.field("restoresSeen", r.core.restoresSeen);
-        o.field("restoresEliminated", r.core.restoresEliminated);
-        o.field("branchMispredicts", r.core.branchMispredicts);
-        o.field("dl1Misses", r.core.dl1Misses);
-        o.field("il1Misses", r.core.il1Misses);
-        break;
-      case JobKind::Oracle:
-        o.field("insts", r.oracle.insts);
-        o.field("progInsts", r.oracle.progInsts);
-        o.field("kills", r.oracle.kills);
-        o.field("memRefs", r.oracle.memRefs);
-        o.field("saves", r.oracle.saves);
-        o.field("restores", r.oracle.restores);
-        o.field("saveElimOracle", r.oracle.saveElimOracle);
-        o.field("restoreElimOracle", r.oracle.restoreElimOracle);
-        o.field("maxCallDepth", r.oracle.maxCallDepth);
-        break;
-      case JobKind::Switch:
-        o.field("contextSwitches", r.sw.contextSwitches);
-        o.field("totalInsts", r.sw.totalInsts);
-        o.field("baselineIntSaveRestores",
-                r.sw.baselineIntSaveRestores);
-        o.field("dviIntSaveRestores", r.sw.dviIntSaveRestores);
-        o.field("baselineFpSaveRestores",
-                r.sw.baselineFpSaveRestores);
-        o.field("dviFpSaveRestores", r.sw.dviFpSaveRestores);
-        o.field("intReductionPercent", r.sw.intReductionPercent());
-        o.field("fpReductionPercent", r.sw.fpReductionPercent());
-        o.field("meanLiveIntAtSwitch", r.sw.liveIntAtSwitch.mean());
-        break;
+    JsonObject o(os, "    ");
+    o.field("index", static_cast<std::uint64_t>(r.spec.index));
+    o.field("runner", s.runner);
+    o.field("benchmark", workload::benchmarkName(s.workload));
+    o.field("preset", s.preset);
+    o.field("edviPolicy", sim::edviPolicyName(s.binary.edvi));
+    o.field("label", s.label);
+    o.field("seed", r.spec.seed);
+    o.field("maxInsts", s.budget.maxInsts);
+    o.field("numPhysRegs",
+            static_cast<std::uint64_t>(s.hardware.core.numPhysRegs));
+    o.field("issueWidth",
+            static_cast<std::uint64_t>(s.hardware.core.issueWidth));
+    o.field("cachePorts",
+            static_cast<std::uint64_t>(s.hardware.core.cachePorts));
+    o.field("il1Bytes",
+            static_cast<std::uint64_t>(s.hardware.core.il1.sizeBytes));
+    o.field("textBytes", r.textBytes);
+
+    for (const auto &m : runner.metrics(r.run)) {
+        if (m.second.type == sim::MetricValue::Type::U64)
+            o.field(m.first.c_str(), m.second.u);
+        else
+            o.field(m.first.c_str(), m.second.f);
     }
     o.close();
+}
+
+/** ';'-joined "name=value" runner metrics for the table column. */
+std::string
+metricsCell(const JobResult &r)
+{
+    const sim::Runner &runner =
+        sim::runnerFor(r.spec.scenario.runner);
+    std::string out;
+    for (const auto &m : runner.metrics(r.run)) {
+        if (!out.empty())
+            out += ";";
+        out += m.first + "=";
+        out += m.second.type == sim::MetricValue::Type::U64
+                   ? Table::fmt(m.second.u)
+                   : Table::fmt(m.second.f, 4);
+    }
+    return out;
 }
 
 } // namespace
@@ -195,29 +180,23 @@ Table
 CampaignReport::toTable() const
 {
     Table t("Campaign: " + campaign);
-    t.setHeader({"idx", "kind", "benchmark", "mode", "variant",
-                 "regs", "maxInsts", "cycles", "insts", "ipc",
-                 "elimSaves", "elimRestores"});
+    t.setHeader({"idx", "runner", "benchmark", "preset", "label",
+                 "regs", "maxInsts", "ipc", "metrics"});
     for (const JobResult &r : results) {
-        const JobSpec &s = r.spec;
-        const bool timing = s.kind == JobKind::Timing;
+        const sim::Scenario &s = r.spec.scenario;
+        const bool timing = s.runner == "timing";
         t.addRow({
-            Table::fmt(static_cast<std::uint64_t>(s.index)),
-            jobKindName(s.kind),
-            workload::benchmarkName(s.bench),
-            harness::dviModeName(s.mode),
-            s.variant,
-            timing ? Table::fmt(std::uint64_t(s.cfg.numPhysRegs))
+            Table::fmt(static_cast<std::uint64_t>(r.spec.index)),
+            s.runner,
+            workload::benchmarkName(s.workload),
+            s.preset,
+            s.label,
+            timing ? Table::fmt(
+                         std::uint64_t(s.hardware.core.numPhysRegs))
                    : std::string("-"),
-            Table::fmt(timing ? s.cfg.maxInsts : s.maxInsts),
-            Table::fmt(r.core.cycles),
-            Table::fmt(timing ? r.core.committedProgInsts
-                              : r.oracle.insts),
-            timing ? Table::fmt(r.ipc, 4) : std::string("-"),
-            Table::fmt(timing ? r.core.savesEliminated
-                              : r.oracle.saveElimOracle),
-            Table::fmt(timing ? r.core.restoresEliminated
-                              : r.oracle.restoreElimOracle),
+            Table::fmt(s.budget.maxInsts),
+            timing ? Table::fmt(r.run.ipc, 4) : std::string("-"),
+            metricsCell(r),
         });
     }
     return t;

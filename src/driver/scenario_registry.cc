@@ -1,0 +1,136 @@
+#include "driver/scenario_registry.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "driver/ablations.hh"
+#include "driver/figures.hh"
+#include "harness/experiment.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+struct ScenarioRegistry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, RegisteredScenario> scenarios;
+};
+
+ScenarioRegistry::ScenarioRegistry() : impl(std::make_shared<Impl>())
+{
+    // Built-ins registered here, not via static initializers: the
+    // library is linked statically, and an object file whose only
+    // job is self-registration would be dropped by the linker.
+    registerFigureScenarios(*this);
+    registerAblationScenarios(*this);
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(RegisteredScenario s)
+{
+    fatal_if(s.name.empty(), "scenario needs a name");
+    fatal_if(!s.build, "scenario '", s.name, "' needs a builder");
+    std::lock_guard<std::mutex> lk(impl->mu);
+    fatal_if(impl->scenarios.count(s.name), "scenario '", s.name,
+             "' is already registered");
+    const std::string key = s.name;
+    impl->scenarios.emplace(key, std::move(s));
+}
+
+const RegisteredScenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(impl->mu);
+    const auto it = impl->scenarios.find(name);
+    return it == impl->scenarios.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::lock_guard<std::mutex> lk(impl->mu);
+    std::vector<std::string> out;
+    out.reserve(impl->scenarios.size());
+    for (const auto &kv : impl->scenarios)
+        out.push_back(kv.first);
+    return out;  // std::map iteration is already sorted
+}
+
+const RegisteredScenario &
+scenarioFor(const std::string &name)
+{
+    const RegisteredScenario *s =
+        ScenarioRegistry::instance().find(name);
+    if (!s) {
+        std::string known;
+        for (const std::string &n :
+             ScenarioRegistry::instance().names())
+            known += known.empty() ? n : ", " + n;
+        fatal("unknown scenario '", name, "' (registered: ", known,
+              ")");
+    }
+    return *s;
+}
+
+std::uint64_t
+resolveScenarioInsts(const RegisteredScenario &s,
+                     std::uint64_t max_insts)
+{
+    return max_insts ? max_insts
+                     : harness::benchInsts(s.defaultInsts);
+}
+
+CampaignReport
+runScenario(const std::string &name, const ScenarioOptions &opts,
+            std::ostream &os)
+{
+    const RegisteredScenario &s = scenarioFor(name);
+    const Campaign campaign =
+        s.build(resolveScenarioInsts(s, opts.maxInsts));
+    CampaignOptions copts;
+    copts.jobs = opts.jobs;
+    CampaignReport report = campaign.run(copts);
+    if (s.render) {
+        // Custom renderers index into the grid; an empty report is
+        // a broken builder, not a renderable state.
+        panic_if(report.results.empty(), "scenario '", name,
+                 "' built an empty campaign");
+        s.render(report, os);
+    } else {
+        os << report.toTable().render();
+    }
+    return report;
+}
+
+int
+scenarioMain(const std::string &name)
+{
+    ScenarioOptions opts;
+    if (const char *env = std::getenv("DVI_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        // 0 means one worker per hardware thread, as in
+        // `dvi-run --jobs 0`.
+        if (end != env && *end == '\0' && v >= 0)
+            opts.jobs = static_cast<unsigned>(v);
+        else
+            warn("ignoring invalid DVI_JOBS='", env, "'");
+    }
+    runScenario(name, opts, std::cout);
+    return 0;
+}
+
+} // namespace driver
+} // namespace dvi

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Named scenario campaigns.
+ *
+ * The registry maps a scenario name ("fig05", "ablation-lvm-stack-
+ * depth", ...) to a campaign builder and a renderer. `dvi-run
+ * --scenario NAME` and `--list`, the per-figure bench mains, and the
+ * ablation benches all resolve through it, so the CLI and the
+ * binaries cannot drift apart and a new experiment is one
+ * registration — no driver changes.
+ *
+ * The built-in entries (the paper's seven figure campaigns from
+ * figures.cc and the ablations from ablations.cc) are registered on
+ * first use; clients may add their own before looking them up.
+ */
+
+#ifndef DVI_DRIVER_SCENARIO_REGISTRY_HH
+#define DVI_DRIVER_SCENARIO_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/campaign.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/** One named, CLI-drivable campaign. */
+struct RegisteredScenario
+{
+    std::string name;         ///< stable lower-case key
+    std::string description;  ///< one line for --list
+
+    /** Default per-run dynamic instruction budget (what the bench
+     * binary historically used; DVI_BENCH_INSTS still overrides). */
+    std::uint64_t defaultInsts = 200000;
+
+    /** Build the job grid for the given budget (never 0 — the
+     * registry resolves defaults before calling). */
+    std::function<Campaign(std::uint64_t insts)> build;
+
+    /** Fold an index-ordered report into the scenario's tables; when
+     * null, callers fall back to the generic report table. */
+    std::function<void(const CampaignReport &, std::ostream &)>
+        render;
+};
+
+/** Name-to-scenario resolution. */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario under s.name; fatal on duplicate. */
+    void add(RegisteredScenario s);
+
+    /** Look up by name; nullptr if unknown. */
+    const RegisteredScenario *find(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    ScenarioRegistry();
+
+    struct Impl;
+    std::shared_ptr<Impl> impl;
+};
+
+/** Resolve by name; fatal with the known names if absent. */
+const RegisteredScenario &scenarioFor(const std::string &name);
+
+/** Budget resolution: explicit max_insts, else DVI_BENCH_INSTS, else
+ * the scenario's default. */
+std::uint64_t resolveScenarioInsts(const RegisteredScenario &s,
+                                   std::uint64_t max_insts);
+
+/** Options for runScenario / scenarioMain. */
+struct ScenarioOptions
+{
+    unsigned jobs = 1;          ///< worker threads (0 = hardware)
+    std::uint64_t maxInsts = 0; ///< 0 = scenario default
+};
+
+/** Build, run, and render one scenario; returns the report. */
+CampaignReport runScenario(const std::string &name,
+                           const ScenarioOptions &opts,
+                           std::ostream &os);
+
+/**
+ * Entry point for the thin bench mains: reads DVI_JOBS from the
+ * environment (default 1), runs the named scenario, renders to
+ * stdout. Returns a process exit code.
+ */
+int scenarioMain(const std::string &name);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_SCENARIO_REGISTRY_HH

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -42,16 +43,40 @@ allDviModes()
     return modes;
 }
 
-DviMode
+std::string
+dviModeToken(DviMode mode)
+{
+    switch (mode) {
+      case DviMode::None: return "none";
+      case DviMode::Idvi: return "idvi";
+      case DviMode::Full: return "full";
+    }
+    panic("bad DviMode");
+}
+
+std::string
+dviModeTokens()
+{
+    std::string out;
+    for (DviMode mode : allDviModes()) {
+        if (!out.empty())
+            out += ", ";
+        out += dviModeToken(mode);
+    }
+    return out;
+}
+
+std::optional<DviMode>
 parseDviMode(const std::string &name)
 {
-    if (name == "none")
-        return DviMode::None;
-    if (name == "idvi")
-        return DviMode::Idvi;
-    if (name == "full")
-        return DviMode::Full;
-    fatal("unknown DVI mode '", name, "' (want none, idvi, full)");
+    std::string t = name;
+    for (char &c : t)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    for (DviMode mode : allDviModes())
+        if (t == dviModeToken(mode))
+            return mode;
+    return std::nullopt;
 }
 
 const comp::Executable &
@@ -67,6 +92,17 @@ dviConfigFor(DviMode mode)
       case DviMode::None: return uarch::DviConfig::none();
       case DviMode::Idvi: return uarch::DviConfig::idviOnly();
       case DviMode::Full: return uarch::DviConfig::full();
+    }
+    panic("bad DviMode");
+}
+
+sim::DviPreset
+presetFor(DviMode mode)
+{
+    switch (mode) {
+      case DviMode::None: return sim::presetNone();
+      case DviMode::Idvi: return sim::presetIdvi();
+      case DviMode::Full: return sim::presetFull();
     }
     panic("bad DviMode");
 }

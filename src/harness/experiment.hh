@@ -9,12 +9,14 @@
 #define DVI_HARNESS_EXPERIMENT_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/emulator.hh"
 #include "compiler/compile.hh"
 #include "compiler/executable.hh"
+#include "sim/scenario.hh"
 #include "uarch/core.hh"
 #include "workload/benchmarks.hh"
 
@@ -51,18 +53,27 @@ enum class DviMode
 
 std::string dviModeName(DviMode mode);
 
+/** Canonical lower-case token ("none" / "idvi" / "full"). */
+std::string dviModeToken(DviMode mode);
+
+/** Comma-separated list of valid mode tokens, for usage errors. */
+std::string dviModeTokens();
+
 /** All three modes, in the paper's reporting order. */
 const std::vector<DviMode> &allDviModes();
 
-/** Parse "none" / "idvi" / "full" (case-sensitive); fatal on
- * anything else. */
-DviMode parseDviMode(const std::string &name);
+/** Parse a mode token, case-insensitively; nullopt if unknown (so
+ * CLIs can print a usage error instead of aborting). */
+std::optional<DviMode> parseDviMode(const std::string &name);
 
 /** Binary appropriate for a DVI mode. */
 const comp::Executable &exeFor(const BuiltBenchmark &b, DviMode mode);
 
 /** Hardware DVI knobs for a mode. */
 uarch::DviConfig dviConfigFor(DviMode mode);
+
+/** The scenario-layer preset equivalent to a DviMode column. */
+sim::DviPreset presetFor(DviMode mode);
 
 /**
  * Per-run dynamic instruction budget: DVI_BENCH_INSTS from the

@@ -1,0 +1,121 @@
+#include "sim/grid.hh"
+
+namespace dvi
+{
+namespace sim
+{
+
+ScenarioGrid &
+ScenarioGrid::base(Scenario proto)
+{
+    proto_ = std::move(proto);
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::axis(std::vector<Value> values)
+{
+    axes_.push_back(std::move(values));
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::overWorkloads(
+    const std::vector<workload::BenchmarkId> &ids)
+{
+    std::vector<Value> values;
+    values.reserve(ids.size());
+    for (workload::BenchmarkId id : ids)
+        values.push_back(
+            {"", [id](Scenario &s) { s.workload = id; }});
+    return axis(std::move(values));
+}
+
+ScenarioGrid &
+ScenarioGrid::overPresets(const std::vector<DviPreset> &presets)
+{
+    std::vector<Value> values;
+    values.reserve(presets.size());
+    for (const DviPreset &p : presets)
+        values.push_back(
+            {"", [p](Scenario &s) { applyPreset(s, p); }});
+    return axis(std::move(values));
+}
+
+ScenarioGrid &
+ScenarioGrid::overRegfileSizes(const std::vector<unsigned> &sizes)
+{
+    std::vector<Value> values;
+    values.reserve(sizes.size());
+    for (unsigned n : sizes)
+        values.push_back({"", [n](Scenario &s) {
+                              s.hardware.core.numPhysRegs = n;
+                          }});
+    return axis(std::move(values));
+}
+
+ScenarioGrid &
+ScenarioGrid::filter(Predicate keep)
+{
+    filters_.push_back(std::move(keep));
+    return *this;
+}
+
+ScenarioGrid &
+ScenarioGrid::label(std::function<std::string(const Scenario &)> fn)
+{
+    label_ = std::move(fn);
+    return *this;
+}
+
+std::size_t
+ScenarioGrid::sizeUnfiltered() const
+{
+    std::size_t n = 1;
+    for (const auto &axis : axes_)
+        n *= axis.size();
+    return n;
+}
+
+std::vector<Scenario>
+ScenarioGrid::scenarios() const
+{
+    std::vector<Scenario> out;
+    out.reserve(sizeUnfiltered());
+
+    // Odometer over the axes; axis 0 is the outermost digit.
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    const std::size_t total = sizeUnfiltered();
+    for (std::size_t point = 0; point < total; ++point) {
+        Scenario s = proto_;
+        std::string label = s.label;
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const Value &v = axes_[a][idx[a]];
+            if (v.apply)
+                v.apply(s);
+            if (!v.label.empty())
+                label += (label.empty() ? "" : "-") + v.label;
+        }
+        s.label = label;
+
+        bool keep = true;
+        for (const Predicate &pred : filters_)
+            keep = keep && pred(s);
+        if (keep) {
+            if (label_)
+                s.label = label_(s);
+            out.push_back(std::move(s));
+        }
+
+        // Advance the odometer, innermost (last) axis fastest.
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            if (++idx[a] < axes_[a].size())
+                break;
+            idx[a] = 0;
+        }
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace dvi

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fluent cartesian scenario grids.
+ *
+ * A ScenarioGrid expands a prototype Scenario over the cartesian
+ * product of declared axes. Axes are applied first-declared
+ * outermost, so
+ *
+ *   ScenarioGrid("regfile")
+ *       .base(proto)
+ *       .overPresets(sim::paperPresets())
+ *       .overRegfileSizes(sizes)
+ *       .overWorkloads(workload::allBenchmarks())
+ *
+ * enumerates preset-major, then size, then benchmark — the Fig. 5
+ * reporting order. Generic axes mutate the scenario arbitrarily
+ * (runner, budget, emulator knobs, ...) and contribute their value
+ * label to the scenario's row label; filters prune the product.
+ */
+
+#ifndef DVI_SIM_GRID_HH
+#define DVI_SIM_GRID_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hh"
+
+namespace dvi
+{
+namespace sim
+{
+
+/** Builds the cartesian product of scenario axes. */
+class ScenarioGrid
+{
+  public:
+    using Mutator = std::function<void(Scenario &)>;
+    using Predicate = std::function<bool(const Scenario &)>;
+
+    /** One point on a generic axis. `label`, when non-empty, is
+     * appended to the scenario's row label ("-"-joined). */
+    struct Value
+    {
+        std::string label;
+        Mutator apply;
+    };
+
+    explicit ScenarioGrid(std::string name) : name_(std::move(name))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Prototype every grid point starts from. */
+    ScenarioGrid &base(Scenario proto);
+
+    /** Generic axis: any set of labeled scenario mutations. */
+    ScenarioGrid &axis(std::vector<Value> values);
+
+    /** Benchmark axis (does not touch the row label — the benchmark
+     * is its own report column). */
+    ScenarioGrid &
+    overWorkloads(const std::vector<workload::BenchmarkId> &ids);
+
+    /** DVI preset axis: sets binary + hardware DVI + preset token. */
+    ScenarioGrid &overPresets(const std::vector<DviPreset> &presets);
+
+    /** Physical register file size axis. */
+    ScenarioGrid &overRegfileSizes(const std::vector<unsigned> &sizes);
+
+    /** Keep only grid points the predicate accepts. */
+    ScenarioGrid &filter(Predicate keep);
+
+    /** Override the final row label, computed per scenario. */
+    ScenarioGrid &label(std::function<std::string(const Scenario &)>);
+
+    /** Expand the product: axes first-declared outermost, filters
+     * applied to fully built points, labels resolved last. */
+    std::vector<Scenario> scenarios() const;
+
+    /** Number of points before filtering. */
+    std::size_t sizeUnfiltered() const;
+
+  private:
+    std::string name_;
+    Scenario proto_;
+    std::vector<std::vector<Value>> axes_;
+    std::vector<Predicate> filters_;
+    std::function<std::string(const Scenario &)> label_;
+};
+
+} // namespace sim
+} // namespace dvi
+
+#endif // DVI_SIM_GRID_HH

@@ -1,0 +1,225 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "uarch/core.hh"
+
+namespace dvi
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Out-of-order timing model (uarch::Core). */
+class TimingRunner : public Runner
+{
+  public:
+    std::string name() const override { return "timing"; }
+
+    std::string
+    description() const override
+    {
+        return "out-of-order timing model (uarch::Core)";
+    }
+
+    RunResult
+    run(const Scenario &s, const comp::Executable &exe) const override
+    {
+        uarch::CoreConfig cfg = s.hardware.core;
+        cfg.dvi = s.hardware.dvi;
+        cfg.maxInsts = s.budget.maxInsts;
+        uarch::Core core(exe, cfg);
+        RunResult r;
+        r.core = core.run();
+        r.ipc = r.core.ipc();
+        return r;
+    }
+
+    Metrics
+    metrics(const RunResult &r) const override
+    {
+        return {
+            {"cycles", MetricValue::ofU64(r.core.cycles)},
+            {"committedProgInsts",
+             MetricValue::ofU64(r.core.committedProgInsts)},
+            {"committedKills",
+             MetricValue::ofU64(r.core.committedKills)},
+            {"ipc", MetricValue::ofF64(r.ipc)},
+            {"savesSeen", MetricValue::ofU64(r.core.savesSeen)},
+            {"savesEliminated",
+             MetricValue::ofU64(r.core.savesEliminated)},
+            {"restoresSeen", MetricValue::ofU64(r.core.restoresSeen)},
+            {"restoresEliminated",
+             MetricValue::ofU64(r.core.restoresEliminated)},
+            {"branchMispredicts",
+             MetricValue::ofU64(r.core.branchMispredicts)},
+            {"dl1Misses", MetricValue::ofU64(r.core.dl1Misses)},
+            {"il1Misses", MetricValue::ofU64(r.core.il1Misses)},
+        };
+    }
+};
+
+/** Functional emulator with the LVM oracle. */
+class OracleRunner : public Runner
+{
+  public:
+    std::string name() const override { return "oracle"; }
+
+    std::string
+    description() const override
+    {
+        return "functional emulator with the LVM oracle";
+    }
+
+    RunResult
+    run(const Scenario &s, const comp::Executable &exe) const override
+    {
+        arch::Emulator emu(exe, s.emu);
+        emu.run(s.budget.maxInsts);
+        RunResult r;
+        r.oracle = emu.stats();
+        return r;
+    }
+
+    Metrics
+    metrics(const RunResult &r) const override
+    {
+        return {
+            {"insts", MetricValue::ofU64(r.oracle.insts)},
+            {"progInsts", MetricValue::ofU64(r.oracle.progInsts)},
+            {"kills", MetricValue::ofU64(r.oracle.kills)},
+            {"memRefs", MetricValue::ofU64(r.oracle.memRefs)},
+            {"saves", MetricValue::ofU64(r.oracle.saves)},
+            {"restores", MetricValue::ofU64(r.oracle.restores)},
+            {"saveElimOracle",
+             MetricValue::ofU64(r.oracle.saveElimOracle)},
+            {"restoreElimOracle",
+             MetricValue::ofU64(r.oracle.restoreElimOracle)},
+            {"maxCallDepth",
+             MetricValue::ofU64(r.oracle.maxCallDepth)},
+        };
+    }
+};
+
+/** Preemptive scheduler with context-switch accounting. */
+class SwitchRunner : public Runner
+{
+  public:
+    std::string name() const override { return "switch"; }
+
+    std::string
+    description() const override
+    {
+        return "preemptive scheduler, context-switch accounting";
+    }
+
+    RunResult
+    run(const Scenario &s, const comp::Executable &exe) const override
+    {
+        os::SchedulerOptions opts;
+        opts.quantum = s.budget.quantum;
+        opts.maxTotalInsts = s.budget.maxInsts;
+        os::Scheduler sched(opts);
+        sched.addThread("t0", exe, s.emu);
+        sched.run();
+        RunResult r;
+        r.sw = sched.stats();
+        return r;
+    }
+
+    Metrics
+    metrics(const RunResult &r) const override
+    {
+        return {
+            {"contextSwitches",
+             MetricValue::ofU64(r.sw.contextSwitches)},
+            {"totalInsts", MetricValue::ofU64(r.sw.totalInsts)},
+            {"baselineIntSaveRestores",
+             MetricValue::ofU64(r.sw.baselineIntSaveRestores)},
+            {"dviIntSaveRestores",
+             MetricValue::ofU64(r.sw.dviIntSaveRestores)},
+            {"baselineFpSaveRestores",
+             MetricValue::ofU64(r.sw.baselineFpSaveRestores)},
+            {"dviFpSaveRestores",
+             MetricValue::ofU64(r.sw.dviFpSaveRestores)},
+            {"intReductionPercent",
+             MetricValue::ofF64(r.sw.intReductionPercent())},
+            {"fpReductionPercent",
+             MetricValue::ofF64(r.sw.fpReductionPercent())},
+            {"meanLiveIntAtSwitch",
+             MetricValue::ofF64(r.sw.liveIntAtSwitch.mean())},
+        };
+    }
+};
+
+} // namespace
+
+struct RunnerRegistry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Runner>> runners;
+};
+
+RunnerRegistry::RunnerRegistry() : impl(std::make_shared<Impl>())
+{
+    add(std::make_unique<TimingRunner>());
+    add(std::make_unique<OracleRunner>());
+    add(std::make_unique<SwitchRunner>());
+}
+
+RunnerRegistry &
+RunnerRegistry::instance()
+{
+    static RunnerRegistry registry;
+    return registry;
+}
+
+void
+RunnerRegistry::add(std::unique_ptr<Runner> runner)
+{
+    const std::string key = runner->name();
+    std::lock_guard<std::mutex> lk(impl->mu);
+    fatal_if(impl->runners.count(key), "runner '", key,
+             "' is already registered");
+    impl->runners.emplace(key, std::move(runner));
+}
+
+const Runner *
+RunnerRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(impl->mu);
+    const auto it = impl->runners.find(name);
+    return it == impl->runners.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+RunnerRegistry::names() const
+{
+    std::lock_guard<std::mutex> lk(impl->mu);
+    std::vector<std::string> out;
+    out.reserve(impl->runners.size());
+    for (const auto &kv : impl->runners)
+        out.push_back(kv.first);
+    return out;  // std::map iteration is already sorted
+}
+
+const Runner &
+runnerFor(const std::string &name)
+{
+    const Runner *runner = RunnerRegistry::instance().find(name);
+    if (!runner) {
+        std::string known;
+        for (const std::string &n : RunnerRegistry::instance().names())
+            known += known.empty() ? n : ", " + n;
+        fatal("unknown runner '", name, "' (registered: ", known, ")");
+    }
+    return *runner;
+}
+
+} // namespace sim
+} // namespace dvi

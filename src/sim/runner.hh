@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Polymorphic scenario runners.
+ *
+ * A Runner is an execution strategy for a Scenario: the timing model,
+ * the functional LVM oracle, the preemptive context-switch
+ * scheduler — or anything a client registers. The campaign driver
+ * resolves runners by name through the RunnerRegistry and treats
+ * them uniformly, so adding a new kind of run means writing one
+ * subclass and registering it; no driver code changes. (This is the
+ * SimpleScalar separation of functional and timing simulators that
+ * arch/emulator.hh cites, made an extension point.)
+ *
+ * Runners must be deterministic and thread-safe: run() is called
+ * concurrently from campaign worker threads with distinct scenarios
+ * and a shared, immutable executable.
+ */
+
+#ifndef DVI_SIM_RUNNER_HH
+#define DVI_SIM_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/emulator.hh"
+#include "compiler/executable.hh"
+#include "os/scheduler.hh"
+#include "sim/scenario.hh"
+#include "uarch/core_stats.hh"
+
+namespace dvi
+{
+namespace sim
+{
+
+/**
+ * Everything a completed run reports. Deterministic: no wall clock,
+ * host names, or scheduling artifacts. Only the section matching the
+ * scenario's runner is populated; the rest stay default-initialized.
+ */
+struct RunResult
+{
+    uarch::CoreStats core;      ///< "timing"
+    arch::EmulatorStats oracle; ///< "oracle"
+    os::SwitchStats sw;         ///< "switch"
+
+    /** IPC for timing runs, 0 otherwise. */
+    double ipc = 0.0;
+};
+
+/** One named report metric; u64 and f64 keep exact JSON emission. */
+struct MetricValue
+{
+    enum class Type
+    {
+        U64,
+        F64,
+    };
+
+    Type type = Type::U64;
+    std::uint64_t u = 0;
+    double f = 0.0;
+
+    static MetricValue
+    ofU64(std::uint64_t v)
+    {
+        MetricValue m;
+        m.type = Type::U64;
+        m.u = v;
+        return m;
+    }
+
+    static MetricValue
+    ofF64(double v)
+    {
+        MetricValue m;
+        m.type = Type::F64;
+        m.f = v;
+        return m;
+    }
+};
+
+/** Ordered (name, value) pairs a runner contributes to reports. */
+using Metrics = std::vector<std::pair<std::string, MetricValue>>;
+
+/** An execution strategy for scenarios. Stateless; one shared
+ * instance serves all worker threads. */
+class Runner
+{
+  public:
+    virtual ~Runner() = default;
+
+    /** Registry key, e.g. "timing". Lower-case, stable. */
+    virtual std::string name() const = 0;
+
+    /** One-line description for listings. */
+    virtual std::string description() const = 0;
+
+    /** Execute the scenario against its compiled binary. */
+    virtual RunResult run(const Scenario &s,
+                          const comp::Executable &exe) const = 0;
+
+    /** The result's report fields, in stable emission order. */
+    virtual Metrics metrics(const RunResult &r) const = 0;
+};
+
+/**
+ * Name-to-runner resolution. The three built-in runners are
+ * registered on first use; clients may add their own at any time
+ * before the campaign that references them runs.
+ */
+class RunnerRegistry
+{
+  public:
+    static RunnerRegistry &instance();
+
+    /** Register a runner under runner->name(); fatal on duplicate. */
+    void add(std::unique_ptr<Runner> runner);
+
+    /** Look up by name; nullptr if unknown. */
+    const Runner *find(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    RunnerRegistry();
+
+    struct Impl;
+    std::shared_ptr<Impl> impl;
+};
+
+/** Resolve a runner by name; fatal with the known names if absent. */
+const Runner &runnerFor(const std::string &name);
+
+} // namespace sim
+} // namespace dvi
+
+#endif // DVI_SIM_RUNNER_HH

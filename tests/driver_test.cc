@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for the campaign driver: compile-once executable cache,
- * job kinds, deterministic report emission, and the headline
+ * runner dispatch, deterministic report emission, and the headline
  * guarantee that a parallel campaign is byte-identical to a serial
  * one.
  */
@@ -13,62 +13,89 @@
 #include "driver/campaign.hh"
 #include "driver/figures.hh"
 #include "driver/report.hh"
+#include "driver/scenario_registry.hh"
 
 namespace dvi
 {
 namespace
 {
 
-/** A small mixed-kind campaign that runs in well under a second. */
+sim::Scenario
+timingScenario(workload::BenchmarkId id, const sim::DviPreset &preset,
+               std::uint64_t insts)
+{
+    sim::Scenario s;
+    s.runner = "timing";
+    s.workload = id;
+    s.budget.maxInsts = insts;
+    sim::applyPreset(s, preset);
+    return s;
+}
+
+/** A small mixed-runner campaign that runs in well under a second. */
 driver::Campaign
 smallCampaign(std::uint64_t insts = 5000)
 {
     driver::Campaign c("test-campaign");
     for (auto id :
          {workload::BenchmarkId::Li, workload::BenchmarkId::Perl}) {
-        for (harness::DviMode mode : harness::allDviModes()) {
-            uarch::CoreConfig cfg;
-            cfg.dvi = harness::dviConfigFor(mode);
-            cfg.maxInsts = insts;
-            c.addTimingJob(id, mode, cfg);
-        }
-        c.addOracleJob(id, harness::DviMode::Full,
-                       arch::EmulatorOptions{}, insts, "oracle");
-        os::SchedulerOptions sched;
-        sched.quantum = 1000;
-        sched.maxTotalInsts = insts;
-        c.addSwitchJob(id, harness::DviMode::Full,
-                       arch::EmulatorOptions{}, sched, "switch");
+        for (const sim::DviPreset &preset : sim::paperPresets())
+            c.add(timingScenario(id, preset, insts));
+
+        sim::Scenario oracle;
+        oracle.runner = "oracle";
+        oracle.workload = id;
+        oracle.budget.maxInsts = insts;
+        sim::applyPreset(oracle, sim::presetFull());
+        oracle.label = "oracle";
+        c.add(oracle);
+
+        sim::Scenario sw = oracle;
+        sw.runner = "switch";
+        sw.budget.quantum = 1000;
+        sw.label = "switch";
+        c.add(sw);
     }
     return c;
 }
 
-TEST(ExecutableCache, CompilesOnceAndShares)
+TEST(ExecutableCache, CompilesOncePerPolicyAndShares)
 {
     driver::ExecutableCache cache;
-    const auto a = cache.get(workload::BenchmarkId::Li);
-    const auto b = cache.get(workload::BenchmarkId::Li);
+    const auto a = cache.get(workload::BenchmarkId::Li,
+                             comp::EdviPolicy::CallSites);
+    const auto b = cache.get(workload::BenchmarkId::Li,
+                             comp::EdviPolicy::CallSites);
     ASSERT_TRUE(a);
     EXPECT_EQ(a.get(), b.get());  // same object, not a recompile
     EXPECT_EQ(cache.size(), 1u);
 
-    const auto c = cache.get(workload::BenchmarkId::Go);
+    // A different policy of the same benchmark is a distinct entry.
+    const auto c = cache.get(workload::BenchmarkId::Li,
+                             comp::EdviPolicy::None);
     EXPECT_NE(a.get(), c.get());
     EXPECT_EQ(cache.size(), 2u);
+    EXPECT_GT(a->textBytes(), c->textBytes());  // kills cost bytes
+
+    const auto d = cache.get(workload::BenchmarkId::Go,
+                             comp::EdviPolicy::CallSites);
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(ExecutableCache, SafeUnderConcurrentGet)
 {
     driver::ExecutableCache cache;
     driver::ThreadPool pool(4);
-    std::atomic<const harness::BuiltBenchmark *> seen{nullptr};
+    std::atomic<const comp::Executable *> seen{nullptr};
     std::atomic<int> mismatches{0};
     for (int i = 0; i < 32; ++i) {
         pool.submit([&] {
-            const auto built = cache.get(workload::BenchmarkId::Gcc);
-            const harness::BuiltBenchmark *expected = nullptr;
-            if (!seen.compare_exchange_strong(expected, built.get()) &&
-                expected != built.get())
+            const auto exe = cache.get(workload::BenchmarkId::Gcc,
+                                       comp::EdviPolicy::CallSites);
+            const comp::Executable *expected = nullptr;
+            if (!seen.compare_exchange_strong(expected, exe.get()) &&
+                expected != exe.get())
                 ++mismatches;
         });
     }
@@ -84,33 +111,27 @@ TEST(Job, SeedIsDeterministicAndDistinct)
     EXPECT_NE(driver::jobSeed(1), driver::jobSeed(2));
 }
 
-TEST(Job, KindsProduceTheirStats)
+TEST(Job, RunnersProduceTheirStats)
 {
     driver::ExecutableCache cache;
     driver::JobSpec spec;
-    spec.bench = workload::BenchmarkId::Li;
+    spec.scenario = timingScenario(workload::BenchmarkId::Li,
+                                   sim::presetFull(), 3000);
 
-    spec.kind = driver::JobKind::Timing;
-    spec.mode = harness::DviMode::Full;
-    spec.cfg.dvi = uarch::DviConfig::full();
-    spec.cfg.maxInsts = 3000;
     driver::JobResult timing = driver::runJob(spec, cache);
-    EXPECT_GT(timing.core.cycles, 0u);
-    EXPECT_GT(timing.ipc, 0.0);
-    EXPECT_GT(timing.textBytesPlain, 0u);
-    EXPECT_GT(timing.textBytesEdvi, timing.textBytesPlain);
+    EXPECT_GT(timing.run.core.cycles, 0u);
+    EXPECT_GT(timing.run.ipc, 0.0);
+    EXPECT_GT(timing.textBytes, 0u);
 
-    spec.kind = driver::JobKind::Oracle;
-    spec.maxInsts = 3000;
+    spec.scenario.runner = "oracle";
     driver::JobResult oracle = driver::runJob(spec, cache);
-    EXPECT_GT(oracle.oracle.insts, 0u);
-    EXPECT_EQ(oracle.core.cycles, 0u);
+    EXPECT_GT(oracle.run.oracle.insts, 0u);
+    EXPECT_EQ(oracle.run.core.cycles, 0u);
 
-    spec.kind = driver::JobKind::Switch;
-    spec.sched.quantum = 500;
-    spec.sched.maxTotalInsts = 3000;
+    spec.scenario.runner = "switch";
+    spec.scenario.budget.quantum = 500;
     driver::JobResult sw = driver::runJob(spec, cache);
-    EXPECT_GT(sw.sw.contextSwitches, 0u);
+    EXPECT_GT(sw.run.sw.contextSwitches, 0u);
 }
 
 TEST(Campaign, ResultsOrderedByJobIndex)
@@ -121,8 +142,10 @@ TEST(Campaign, ResultsOrderedByJobIndex)
     ASSERT_EQ(rep.results.size(), c.size());
     for (std::size_t i = 0; i < rep.results.size(); ++i) {
         EXPECT_EQ(rep.results[i].spec.index, i);
-        EXPECT_EQ(rep.results[i].spec.bench, c.jobs()[i].bench);
-        EXPECT_EQ(rep.results[i].spec.variant, c.jobs()[i].variant);
+        EXPECT_EQ(rep.results[i].spec.scenario.workload,
+                  c.jobs()[i].scenario.workload);
+        EXPECT_EQ(rep.results[i].spec.scenario.label,
+                  c.jobs()[i].scenario.label);
     }
 }
 
@@ -142,12 +165,12 @@ TEST(Campaign, ParallelReportIsByteIdenticalToSerial)
               c.run(driver::CampaignOptions{1}).toJson());
 }
 
-TEST(Campaign, FigureCampaignParallelMatchesSerial)
+TEST(Campaign, FigureScenarioParallelMatchesSerial)
 {
     // The acceptance-criterion shape at a test-sized budget:
     // figure 10's grid with 1 worker vs. 8 workers.
     const driver::Campaign c =
-        driver::buildFigureCampaign(10, 4000);
+        driver::scenarioFor("fig10").build(4000);
     EXPECT_EQ(c.size(),
               3 * workload::saveRestoreBenchmarks().size());
     const std::string serial =
@@ -164,9 +187,10 @@ TEST(Report, JsonIsWellFormedEnough)
         c.run(driver::CampaignOptions{2}).toJson();
     EXPECT_NE(json.find("\"campaign\": \"test-campaign\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"kind\": \"timing\""), std::string::npos);
-    EXPECT_NE(json.find("\"kind\": \"oracle\""), std::string::npos);
-    EXPECT_NE(json.find("\"kind\": \"switch\""), std::string::npos);
+    EXPECT_NE(json.find("\"runner\": \"timing\""), std::string::npos);
+    EXPECT_NE(json.find("\"runner\": \"oracle\""), std::string::npos);
+    EXPECT_NE(json.find("\"runner\": \"switch\""), std::string::npos);
+    EXPECT_NE(json.find("\"preset\": \"idvi\""), std::string::npos);
     // Balanced braces and brackets.
     long depth = 0;
     for (char ch : json) {
@@ -194,15 +218,21 @@ TEST(Report, FormatParse)
               driver::ReportFormat::Csv);
 }
 
-TEST(Figures, SupportedSetAndBudgets)
+TEST(Figures, EverySupportedFigureIsRegistered)
 {
     for (int fig : driver::supportedFigures()) {
         EXPECT_TRUE(driver::figureSupported(fig));
-        EXPECT_FALSE(driver::figureDescription(fig).empty());
-        EXPECT_GT(driver::figureDefaultInsts(fig), 0u);
+        const std::string name = driver::figureScenarioName(fig);
+        ASSERT_FALSE(name.empty());
+        const driver::RegisteredScenario *s =
+            driver::ScenarioRegistry::instance().find(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_FALSE(s->description.empty());
+        EXPECT_GT(s->defaultInsts, 0u);
     }
     EXPECT_FALSE(driver::figureSupported(4));
     EXPECT_FALSE(driver::figureSupported(0));
+    EXPECT_EQ(driver::figureScenarioName(4), "");
 }
 
 } // namespace

@@ -2,16 +2,18 @@
  * @file
  * dvi-run — unified simulation-campaign CLI.
  *
- * Subsumes the per-figure bench mains: builds the requested figure's
- * job grid, shards it across a work-stealing thread pool, renders
- * the figure's tables, and optionally writes a machine-readable
- * report. Reports are deterministic: `--jobs 8` emits a
- * byte-identical file to `--jobs 1` (wall-clock goes to stderr, not
- * into the report).
+ * Front end over the scenario registry: builds the requested
+ * scenario's job grid, shards it across a work-stealing thread pool,
+ * renders the scenario's tables, and optionally writes a
+ * machine-readable report. Reports are deterministic: `--jobs 8`
+ * emits a byte-identical file to `--jobs 1` (wall-clock goes to
+ * stderr, not into the report).
  *
  * Usage:
- *   dvi-run --figure 5 [--jobs N] [--max-insts M]
- *           [--out results.json] [--format json|csv] [--quiet]
+ *   dvi-run --scenario NAME [--jobs N] [--max-insts M]
+ *           [--mode none|idvi|full] [--out results.json]
+ *           [--format json|csv] [--quiet]
+ *   dvi-run --figure N          (compat alias for --scenario figNN)
  *   dvi-run --list
  */
 
@@ -24,6 +26,8 @@
 
 #include "base/logging.hh"
 #include "driver/figures.hh"
+#include "driver/scenario_registry.hh"
+#include "sim/scenario.hh"
 
 using namespace dvi;
 
@@ -34,31 +38,38 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s --figure N [options]\n"
+        "usage: %s --scenario NAME [options]\n"
+        "       %s --figure N [options]\n"
         "       %s --list\n"
         "\n"
         "options:\n"
-        "  --figure N      paper figure to reproduce (see --list)\n"
+        "  --scenario NAME registered scenario to run (see --list)\n"
+        "  --figure N      paper figure to reproduce (alias for\n"
+        "                  --scenario figNN)\n"
         "  --jobs N        worker threads (default 1; 0 = one per\n"
         "                  hardware thread)\n"
         "  --max-insts M   per-run dynamic instruction budget\n"
-        "                  (default: the figure's historical budget,\n"
-        "                  or DVI_BENCH_INSTS)\n"
+        "                  (default: the scenario's historical\n"
+        "                  budget, or DVI_BENCH_INSTS)\n"
+        "  --mode M        run only the jobs of one DVI preset\n"
+        "                  (none, idvi, full, dense); renders the\n"
+        "                  generic report table\n"
         "  --out FILE      write a machine-readable report\n"
         "  --format F      report format: json (default) or csv\n"
-        "  --quiet         suppress the figure tables on stdout\n"
-        "  --list          list supported figures and exit\n"
+        "  --quiet         suppress the tables on stdout\n"
+        "  --list          list registered scenarios and exit\n"
         "  --help          this text\n",
-        argv0, argv0);
+        argv0, argv0, argv0);
 }
 
 void
-listFigures()
+listScenarios()
 {
-    std::printf("figure  description\n");
-    for (int fig : driver::supportedFigures())
-        std::printf("%6d  %s\n", fig,
-                    driver::figureDescription(fig).c_str());
+    std::printf("%-26s description\n", "scenario");
+    for (const std::string &name :
+         driver::ScenarioRegistry::instance().names())
+        std::printf("%-26s %s\n", name.c_str(),
+                    driver::scenarioFor(name).description.c_str());
 }
 
 /** Parse a non-negative integer argument; fatal on garbage. */
@@ -77,10 +88,11 @@ parseUint(const char *flag, const char *text)
 int
 main(int argc, char **argv)
 {
-    int figure = -1;
-    driver::FigureOptions opts;
+    std::string scenario;
+    driver::ScenarioOptions opts;
     std::string out_path;
     std::string format = "json";
+    std::string mode_filter;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -89,13 +101,21 @@ main(int argc, char **argv)
             fatal_if(i + 1 >= argc, arg, " needs a value");
             return argv[++i];
         };
-        if (arg == "--figure") {
-            figure = static_cast<int>(parseUint("--figure", value()));
+        if (arg == "--scenario") {
+            scenario = value();
+        } else if (arg == "--figure") {
+            const int figure =
+                static_cast<int>(parseUint("--figure", value()));
+            scenario = driver::figureScenarioName(figure);
+            fatal_if(scenario.empty(), "figure ", figure,
+                     " is not supported; try --list");
         } else if (arg == "--jobs") {
             opts.jobs =
                 static_cast<unsigned>(parseUint("--jobs", value()));
         } else if (arg == "--max-insts") {
             opts.maxInsts = parseUint("--max-insts", value());
+        } else if (arg == "--mode") {
+            mode_filter = value();
         } else if (arg == "--out") {
             out_path = value();
         } else if (arg == "--format") {
@@ -103,7 +123,7 @@ main(int argc, char **argv)
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
-            listFigures();
+            listScenarios();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -114,17 +134,57 @@ main(int argc, char **argv)
         }
     }
 
-    if (figure < 0) {
+    if (scenario.empty()) {
         usage(argv[0]);
-        fatal("--figure is required (or --list)");
+        fatal("--scenario is required (or --figure / --list)");
     }
-    fatal_if(!driver::figureSupported(figure), "figure ", figure,
-             " is not supported; try --list");
+    fatal_if(!driver::ScenarioRegistry::instance().find(scenario),
+             "scenario '", scenario,
+             "' is not registered; try --list");
     const driver::ReportFormat fmt =
         driver::parseReportFormat(format);
 
-    const driver::Campaign campaign =
-        driver::buildFigureCampaign(figure, opts.maxInsts);
+    // Resolve the preset filter up front so a typo is a friendly
+    // usage error, not an abort mid-campaign. The preset table is a
+    // superset of the legacy DviMode tokens (none/idvi/full) plus
+    // the dense design point, parsed case-insensitively like
+    // harness::parseDviMode.
+    std::string preset_token;
+    if (!mode_filter.empty()) {
+        const std::optional<sim::DviPreset> preset =
+            sim::parsePreset(mode_filter);
+        if (!preset) {
+            std::fprintf(stderr,
+                         "%s: invalid DVI mode '%s' for --mode; "
+                         "valid values: %s\n",
+                         argv[0], mode_filter.c_str(),
+                         sim::presetTokens().c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        preset_token = preset->name;
+    }
+
+    const driver::RegisteredScenario &entry =
+        driver::scenarioFor(scenario);
+    driver::Campaign campaign = entry.build(
+        driver::resolveScenarioInsts(entry, opts.maxInsts));
+
+    // A preset filter re-shapes the grid, so the figure-specific
+    // renderer no longer applies; fall back to the generic table.
+    bool filtered = false;
+    if (!preset_token.empty()) {
+        std::vector<sim::Scenario> kept;
+        for (const driver::JobSpec &job : campaign.jobs())
+            if (job.scenario.preset == preset_token)
+                kept.push_back(job.scenario);
+        fatal_if(kept.empty(), "scenario '", scenario,
+                 "' has no jobs with preset '", preset_token, "'");
+        campaign = driver::Campaign(
+            campaign.name() + "-" + preset_token, std::move(kept));
+        filtered = true;
+    }
+
     driver::CampaignOptions copts;
     copts.jobs = opts.jobs;
 
@@ -134,8 +194,12 @@ main(int argc, char **argv)
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 
-    if (!quiet)
-        driver::renderFigure(figure, report, std::cout);
+    if (!quiet) {
+        if (!filtered && entry.render)
+            entry.render(report, std::cout);
+        else
+            std::cout << report.toTable().render();
+    }
     if (!out_path.empty())
         report.writeFile(out_path, fmt);
 
@@ -144,9 +208,9 @@ main(int argc, char **argv)
     const unsigned workers =
         copts.jobs ? copts.jobs
                    : driver::ThreadPool::hardwareThreads();
-    std::fprintf(stderr,
-                 "dvi-run: figure %d, %zu jobs, %u worker%s, %.2fs\n",
-                 figure, campaign.size(), workers,
-                 workers == 1 ? "" : "s", secs);
+    std::fprintf(
+        stderr, "dvi-run: scenario %s, %zu jobs, %u worker%s, %.2fs\n",
+        campaign.name().c_str(), campaign.size(), workers,
+        workers == 1 ? "" : "s", secs);
     return 0;
 }
