@@ -52,13 +52,19 @@ class SoundnessRunner : public sim::Runner
         return r;
     }
 
-    sim::Metrics
-    metrics(const sim::RunResult &r) const override
+    std::vector<std::string>
+    metricNames() const override
     {
-        return {
-            {"insts", sim::MetricValue::ofU64(r.oracle.insts)},
-            {"kills", sim::MetricValue::ofU64(r.oracle.kills)},
-        };
+        return {"insts", "kills"};
+    }
+
+    void
+    metricValues(const sim::RunResult &r,
+                 std::vector<sim::MetricValue> &out) const override
+    {
+        out.clear();
+        out.push_back(sim::MetricValue::ofU64(r.oracle.insts));
+        out.push_back(sim::MetricValue::ofU64(r.oracle.kills));
     }
 };
 

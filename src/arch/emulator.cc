@@ -35,21 +35,10 @@ Emulator::fetch(std::uint32_t idx) const
     return exe.code[idx];
 }
 
-void
-Emulator::setIntReg(RegIndex r, std::int64_t v)
-{
-    if (r == isa::regZero)
-        return;
-    intRegs[r] = v;
-    if (opts.trackLiveness)
-        lvm_.define(r);
-}
 
 void
-Emulator::checkRead(RegIndex r)
+Emulator::checkReadSlow(RegIndex r)
 {
-    if (!opts.trackLiveness || r == isa::regZero)
-        return;
     if (!lvm_.isLive(r)) {
         ++stats_.deadReads;
         panic_if(opts.strictDeadReads,
@@ -329,6 +318,24 @@ Emulator::step(TraceRecord *out)
     }
     pc_ = next_pc;
     return true;
+}
+
+std::size_t
+Emulator::stepBatch(TraceRecord *out, std::size_t max_records,
+                    std::uint64_t max_prog_insts)
+{
+    std::size_t n = 0;
+    std::uint64_t prog = 0;
+    while (n < max_records) {
+        if (max_prog_insts && prog >= max_prog_insts)
+            break;
+        if (!step(out + n))
+            break;
+        if (!out[n].inst.isKill())
+            ++prog;
+        ++n;
+    }
+    return n;
 }
 
 std::uint64_t

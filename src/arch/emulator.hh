@@ -101,6 +101,22 @@ class Emulator
      */
     bool step(TraceRecord *out = nullptr);
 
+    /**
+     * Batched trace delivery: execute up to max_records instructions,
+     * writing one TraceRecord per instruction into out[]. Stops early
+     * at halt, or — when max_prog_insts is non-zero — before the
+     * instruction that would exceed that many non-kill (program)
+     * records. Returns the number of records written.
+     *
+     * The budget gate is applied before every single step, so the
+     * record sequence (and the emulator's final architectural state)
+     * is identical to calling step() one record at a time under the
+     * same gate; the batch only amortizes the per-record call
+     * overhead for the timing core's fetch stage.
+     */
+    std::size_t stepBatch(TraceRecord *out, std::size_t max_records,
+                          std::uint64_t max_prog_insts = 0);
+
     /** Run up to maxInsts more instructions (0 = until halt). */
     std::uint64_t run(std::uint64_t max_insts = 0);
 
@@ -108,7 +124,16 @@ class Emulator
 
     /** @name Architectural state access @{ */
     std::int64_t intReg(RegIndex r) const { return intRegs[r]; }
-    void setIntReg(RegIndex r, std::int64_t v);
+
+    void
+    setIntReg(RegIndex r, std::int64_t v)
+    {
+        if (r == isa::regZero)
+            return;
+        intRegs[r] = v;
+        if (opts.trackLiveness)
+            lvm_.define(r);
+    }
     double fpReg(RegIndex r) const { return fpRegs[r]; }
     std::uint32_t pc() const { return pc_; }
     Memory &memory() { return mem; }
@@ -136,7 +161,18 @@ class Emulator
 
   private:
     const isa::Instruction &fetch(std::uint32_t idx) const;
-    void checkRead(RegIndex r);
+
+    void
+    checkRead(RegIndex r)
+    {
+        if (!opts.trackLiveness || r == isa::regZero)
+            return;
+        checkReadSlow(r);
+    }
+
+    /** Out-of-line tail of checkRead: the LVM probe and dead-read
+     * accounting, only reachable with liveness tracking on. */
+    void checkReadSlow(RegIndex r);
 
     /** Owned copy: the emulator must outlive any caller temporary
      * (code images are a few KB). */

@@ -46,6 +46,13 @@ countrZero64(std::uint64_t w)
 #endif
 }
 
+/** Rotate right by k (0-63). */
+inline std::uint64_t
+rotateRight64(std::uint64_t w, unsigned k)
+{
+    return k == 0 ? w : (w >> k) | (w << (64 - k));
+}
+
 /** std::bit_cast for C++17: reinterpret the bytes of From as To. */
 template <typename To, typename From>
 To

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer (FIFO) with stable physical slots.
+ *
+ * Replaces std::deque for the timing core's instruction window and
+ * fetch queue: capacity is fixed at configuration time, so pushes
+ * and pops are a handful of arithmetic ops with no allocation, and
+ * an element's *physical slot* never changes while it is in the
+ * queue — which lets side structures (ready bitmaps, wakeup lists)
+ * address entries by slot index for the entry's whole lifetime.
+ *
+ * Capacity is rounded up to a power of two internally so logical →
+ * physical translation is a mask; callers enforce their own logical
+ * limits (e.g. CoreConfig::windowSize) against size().
+ */
+
+#ifndef DVI_BASE_RING_BUFFER_HH
+#define DVI_BASE_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    explicit RingBuffer(std::size_t capacity) { reset(capacity); }
+
+    /** Drop all contents and size storage for at least capacity
+     * elements (rounded up to a power of two). */
+    void
+    reset(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.assign(cap, T{});
+        mask_ = cap - 1;
+        head_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Append; the previous occupant of the slot is overwritten. */
+    T &
+    push_back(T v)
+    {
+        panic_if(size_ > mask_, "RingBuffer overflow");
+        T &slot = buf_[(head_ + size_) & mask_];
+        slot = std::move(v);
+        ++size_;
+        return slot;
+    }
+
+    /**
+     * Append without assigning: returns the tail slot still holding
+     * the stale value of its previous occupant. The caller must
+     * reinitialize every field it reads later — used on hot paths to
+     * avoid constructing and then copying a large element.
+     */
+    T &
+    push_uninitialized()
+    {
+        panic_if(size_ > mask_, "RingBuffer overflow");
+        T &slot = buf_[(head_ + size_) & mask_];
+        ++size_;
+        return slot;
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    void
+    pop_front()
+    {
+        panic_if(size_ == 0, "RingBuffer underflow");
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    /** i-th element from the front (logical index). */
+    T &operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    /** @name Physical-slot addressing (stable for an element's
+     * lifetime in the buffer) @{ */
+    std::size_t physIndex(std::size_t i) const
+    {
+        return (head_ + i) & mask_;
+    }
+    std::size_t headPhys() const { return head_; }
+    T &atPhys(std::size_t slot) { return buf_[slot]; }
+    const T &atPhys(std::size_t slot) const { return buf_[slot]; }
+    /** @} */
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace dvi
+
+#endif // DVI_BASE_RING_BUFFER_HH

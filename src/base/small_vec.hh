@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small vector: N elements inline, spilling to the heap past that.
+ *
+ * For per-window-entry lists that are almost always tiny (the
+ * physical registers a committed DVI kill frees, FP wakeup fan-out):
+ * the common case costs no allocation and lives inside the owning
+ * entry, while the rare large case falls back to std::vector.
+ * Element type must be trivially copyable.
+ */
+
+#ifndef DVI_BASE_SMALL_VEC_HH
+#define DVI_BASE_SMALL_VEC_HH
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace dvi
+{
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "SmallVec requires trivially copyable elements");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &) = default;
+    SmallVec &operator=(const SmallVec &) = default;
+
+    SmallVec(SmallVec &&o) noexcept
+        : inline_(o.inline_), spill_(std::move(o.spill_)),
+          size_(o.size_)
+    {
+        o.size_ = 0;
+        o.spill_.clear();
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        inline_ = o.inline_;
+        spill_ = std::move(o.spill_);
+        size_ = o.size_;
+        o.size_ = 0;
+        o.spill_.clear();
+        return *this;
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ < N) {
+            inline_[size_] = v;
+        } else {
+            if (spill_.empty())
+                spill_.assign(inline_.begin(), inline_.end());
+            spill_.push_back(v);
+        }
+        ++size_;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Drop contents; keeps any spill capacity for reuse. */
+    void
+    clear()
+    {
+        size_ = 0;
+        spill_.clear();
+    }
+
+    const T *
+    data() const
+    {
+        return size_ > N ? spill_.data() : inline_.data();
+    }
+
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+  private:
+    std::array<T, N> inline_{};
+    std::vector<T> spill_;
+    std::size_t size_ = 0;
+};
+
+} // namespace dvi
+
+#endif // DVI_BASE_SMALL_VEC_HH

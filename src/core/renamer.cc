@@ -15,55 +15,21 @@ Renamer::Renamer(unsigned num_phys_regs) : numPhys(num_phys_regs)
              "physical register file of ", num_phys_regs,
              " cannot hold the architectural state plus one rename");
     map.resize(isa::numIntRegs);
-    isFree.assign(numPhys, false);
+    isFree.assign(numPhys, 0);
+    isMapped.assign(numPhys, 0);
     // Initial state: architectural register i in physical register i.
-    for (unsigned r = 0; r < isa::numIntRegs; ++r)
+    for (unsigned r = 0; r < isa::numIntRegs; ++r) {
         map[r] = static_cast<PhysRegIndex>(r);
+        isMapped[r] = 1;
+    }
     for (unsigned p = isa::numIntRegs; p < numPhys; ++p) {
         freeList.push_back(static_cast<PhysRegIndex>(p));
-        isFree[p] = true;
+        isFree[p] = 1;
     }
 }
 
-Renamer::RenamedDest
-Renamer::renameDest(RegIndex arch)
-{
-    panic_if(freeList.empty(),
-             "renameDest with empty free list (caller must stall)");
-    panic_if(arch >= isa::numIntRegs, "renameDest of bad arch reg");
-    RenamedDest out;
-    out.newPreg = freeList.back();
-    freeList.pop_back();
-    isFree[static_cast<std::size_t>(out.newPreg)] = false;
-    out.prevPreg = map[arch];
-    map[arch] = out.newPreg;
-    return out;
-}
 
-PhysRegIndex
-Renamer::killMapping(RegIndex arch)
-{
-    panic_if(arch >= isa::numIntRegs, "killMapping of bad arch reg");
-    PhysRegIndex prev = map[arch];
-    map[arch] = invalidPhysReg;
-    return prev;
-}
 
-void
-Renamer::freePhysReg(PhysRegIndex preg)
-{
-    panic_if(preg == invalidPhysReg, "freeing invalid phys reg");
-    panic_if(preg < 0 || preg >= static_cast<PhysRegIndex>(numPhys),
-             "freeing out-of-range phys reg ", preg);
-    panic_if(isFree[static_cast<std::size_t>(preg)],
-             "double free of phys reg ", preg);
-    for (unsigned r = 0; r < isa::numIntRegs; ++r)
-        panic_if(map[r] == preg,
-                 "freeing phys reg ", preg,
-                 " still mapped to arch reg ", r);
-    freeList.push_back(preg);
-    isFree[static_cast<std::size_t>(preg)] = true;
-}
 
 Renamer::Checkpoint
 Renamer::checkpoint() const
@@ -76,9 +42,13 @@ Renamer::restore(const Checkpoint &cp)
 {
     map = cp.map;
     freeList = cp.freeList;
-    isFree.assign(numPhys, false);
+    isFree.assign(numPhys, 0);
     for (PhysRegIndex p : freeList)
-        isFree[static_cast<std::size_t>(p)] = true;
+        isFree[static_cast<std::size_t>(p)] = 1;
+    isMapped.assign(numPhys, 0);
+    for (PhysRegIndex p : map)
+        if (p != invalidPhysReg)
+            isMapped[static_cast<std::size_t>(p)] = 1;
 }
 
 unsigned

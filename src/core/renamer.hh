@@ -64,7 +64,25 @@ class Renamer
         PhysRegIndex prevPreg;
     };
 
-    RenamedDest renameDest(RegIndex arch);
+    RenamedDest
+    renameDest(RegIndex arch)
+    {
+        panic_if(freeList.empty(),
+                 "renameDest with empty free list (caller must "
+                 "stall)");
+        panic_if(arch >= isa::numIntRegs,
+                 "renameDest of bad arch reg");
+        RenamedDest out;
+        out.newPreg = freeList.back();
+        freeList.pop_back();
+        isFree[static_cast<std::size_t>(out.newPreg)] = 0;
+        isMapped[static_cast<std::size_t>(out.newPreg)] = 1;
+        out.prevPreg = map[arch];
+        if (out.prevPreg != invalidPhysReg)
+            isMapped[static_cast<std::size_t>(out.prevPreg)] = 0;
+        map[arch] = out.newPreg;
+        return out;
+    }
 
     /**
      * Apply a DVI kill to one register: unmap it and return the
@@ -73,14 +91,42 @@ class Renamer
      * the DVI is known non-speculative). Returns invalidPhysReg when
      * the name was already unmapped.
      */
-    PhysRegIndex killMapping(RegIndex arch);
+    PhysRegIndex
+    killMapping(RegIndex arch)
+    {
+        panic_if(arch >= isa::numIntRegs,
+                 "killMapping of bad arch reg");
+        PhysRegIndex prev = map[arch];
+        map[arch] = invalidPhysReg;
+        if (prev != invalidPhysReg)
+            isMapped[static_cast<std::size_t>(prev)] = 0;
+        return prev;
+    }
 
     /** @} */
 
     /** @name Commit-side (non-speculative) operations @{ */
 
-    /** Return a physical register to the free list. */
-    void freePhysReg(PhysRegIndex preg);
+    /**
+     * Return a physical register to the free list. The safety checks
+     * (double free, freeing a live mapping) are O(1) against the
+     * per-register flags — this runs once per committed instruction,
+     * on the simulator's hottest path.
+     */
+    void
+    freePhysReg(PhysRegIndex preg)
+    {
+        panic_if(preg == invalidPhysReg, "freeing invalid phys reg");
+        panic_if(preg < 0 ||
+                     preg >= static_cast<PhysRegIndex>(numPhys),
+                 "freeing out-of-range phys reg ", preg);
+        panic_if(isFree[static_cast<std::size_t>(preg)],
+                 "double free of phys reg ", preg);
+        panic_if(isMapped[static_cast<std::size_t>(preg)],
+                 "freeing phys reg ", preg, " still mapped");
+        freeList.push_back(preg);
+        isFree[static_cast<std::size_t>(preg)] = 1;
+    }
 
     /** @} */
 
@@ -117,7 +163,10 @@ class Renamer
     unsigned numPhys;
     std::vector<PhysRegIndex> map;       ///< arch -> phys
     std::vector<PhysRegIndex> freeList;  ///< LIFO free stack
-    std::vector<bool> isFree;            ///< O(1) double-free check
+    std::vector<std::uint8_t> isFree;    ///< O(1) double-free check
+    /** Physical registers currently named by the map; O(1)
+     * free-while-mapped check. */
+    std::vector<std::uint8_t> isMapped;
 };
 
 } // namespace core

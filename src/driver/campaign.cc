@@ -1,5 +1,7 @@
 #include "driver/campaign.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
 
 namespace dvi
@@ -89,21 +91,31 @@ CampaignReport
 Campaign::run(const CampaignOptions &opts) const
 {
     ThreadPool pool(opts.jobs);
-    return run(pool);
+    return run(pool, opts);
 }
 
 CampaignReport
-Campaign::run(ThreadPool &pool) const
+Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
 {
     CampaignReport report;
     report.campaign = name_;
+    report.profiled = opts.profile;
     report.results.resize(jobs_.size());
 
     ExecutableCache cache;
     const std::vector<JobSpec> &specs = jobs_;
     std::vector<JobResult> &results = report.results;
+    const bool profile = opts.profile;
     parallelFor(pool, specs.size(), [&](std::size_t i) {
-        results[i] = runJob(specs[i], cache);
+        if (profile) {
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = runJob(specs[i], cache);
+            const auto t1 = std::chrono::steady_clock::now();
+            results[i].wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+        } else {
+            results[i] = runJob(specs[i], cache);
+        }
     });
     return report;
 }

@@ -72,6 +72,11 @@ struct CampaignOptions
 {
     /** Worker threads; 0 = one per hardware thread. */
     unsigned jobs = 1;
+
+    /** Measure per-job wall-clock (JobResult::wallSeconds) and emit
+     * it in reports. Off by default: profiled reports are not
+     * byte-stable across runs or worker counts. */
+    bool profile = false;
 };
 
 /** An ordered list of simulation scenarios. */
@@ -97,7 +102,8 @@ class Campaign
     CampaignReport run(const CampaignOptions &opts = {}) const;
 
     /** Run every job on a caller-provided pool. */
-    CampaignReport run(ThreadPool &pool) const;
+    CampaignReport run(ThreadPool &pool,
+                       const CampaignOptions &opts = {}) const;
 
   private:
     std::string name_;

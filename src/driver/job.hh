@@ -48,8 +48,9 @@ struct JobSpec
     sim::Scenario scenario;
 };
 
-/** Everything a completed job reports. Deterministic: contains no
- * wall-clock or scheduling artifacts. */
+/** Everything a completed job reports. Deterministic by default:
+ * wallSeconds stays zero (and out of every report) unless the
+ * campaign ran with profiling enabled. */
 struct JobResult
 {
     JobSpec spec;
@@ -59,6 +60,22 @@ struct JobResult
 
     /** Static code size of the binary the scenario ran. */
     std::uint64_t textBytes = 0;
+
+    /** Wall-clock of runJob's simulation, in seconds; only measured
+     * under CampaignOptions::profile. */
+    double wallSeconds = 0.0;
+
+    /** Simulated instructions per wall-clock second; 0 unless
+     * profiled. */
+    double
+    instsPerSec(const sim::Runner &runner) const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(
+                         runner.simulatedInsts(run)) /
+                         wallSeconds
+                   : 0.0;
+    }
 };
 
 /** SplitMix64 of (index + 1): the deterministic per-job seed. */

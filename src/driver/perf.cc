@@ -1,0 +1,203 @@
+#include "driver/perf.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "driver/report.hh"
+#include "sim/grid.hh"
+#include "stats/table.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+const char *const benchCoreThroughputPath =
+    "BENCH_core_throughput.json";
+
+namespace
+{
+
+using sim::Scenario;
+using sim::ScenarioGrid;
+
+/** Per-preset / total throughput aggregate. */
+struct Agg
+{
+    std::uint64_t simInsts = 0;
+    std::uint64_t cycles = 0;
+    double wallSeconds = 0.0;
+
+    double
+    instsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(simInsts) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(cycles) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** Preset-major aggregation of a throughput report. */
+struct ThroughputAggs
+{
+    std::vector<std::string> presetOrder;
+    std::vector<Agg> presetAggs;
+    Agg total;
+};
+
+ThroughputAggs
+aggregate(const CampaignReport &report, const sim::Runner &timing)
+{
+    ThroughputAggs out;
+    for (const JobResult &r : report.results) {
+        const sim::Scenario &s = r.spec.scenario;
+        const std::uint64_t insts = timing.simulatedInsts(r.run);
+        if (out.presetOrder.empty() ||
+            out.presetOrder.back() != s.preset) {
+            out.presetOrder.push_back(s.preset);
+            out.presetAggs.push_back(Agg{});
+        }
+        Agg &p = out.presetAggs.back();
+        p.simInsts += insts;
+        p.cycles += r.run.core.cycles;
+        p.wallSeconds += r.wallSeconds;
+        out.total.simInsts += insts;
+        out.total.cycles += r.run.core.cycles;
+        out.total.wallSeconds += r.wallSeconds;
+    }
+    return out;
+}
+
+Campaign
+buildCoreThroughput(std::uint64_t insts)
+{
+    Scenario proto;
+    proto.runner = "timing";
+    proto.budget.maxInsts = insts;
+    return Campaign(ScenarioGrid("perf-core-throughput")
+                        .base(proto)
+                        .overPresets(sim::allPresets())
+                        .overWorkloads(workload::allBenchmarks()));
+}
+
+void
+emitAgg(std::ostringstream &os, const Agg &a, const char *indent)
+{
+    os << "{\"simInsts\": " << a.simInsts
+       << ", \"cycles\": " << a.cycles << ",\n"
+       << indent << " \"wallSeconds\": " << jsonNumber(a.wallSeconds)
+       << ", \"instsPerSec\": " << jsonNumber(a.instsPerSec())
+       << ", \"cyclesPerSec\": " << jsonNumber(a.cyclesPerSec())
+       << "}";
+}
+
+/** Resolved output path ($DVI_BENCH_OUT overrides the default). */
+std::string
+benchOutPath()
+{
+    const char *env = std::getenv("DVI_BENCH_OUT");
+    return env && *env ? env : benchCoreThroughputPath;
+}
+
+void
+emitCoreThroughput(const CampaignReport &report)
+{
+    const sim::Runner &timing = sim::runnerFor("timing");
+    const ThroughputAggs aggs = aggregate(report, timing);
+
+    std::ostringstream rows;
+    bool first_row = true;
+    for (const JobResult &r : report.results) {
+        const sim::Scenario &s = r.spec.scenario;
+        rows << (first_row ? "\n    " : ",\n    ") << "{\"benchmark\": \""
+             << jsonEscape(workload::benchmarkName(s.workload))
+             << "\", \"preset\": \"" << jsonEscape(s.preset)
+             << "\", \"simInsts\": " << timing.simulatedInsts(r.run)
+             << ", \"cycles\": " << r.run.core.cycles
+             << ",\n     \"wallSeconds\": "
+             << jsonNumber(r.wallSeconds)
+             << ", \"instsPerSec\": "
+             << jsonNumber(r.instsPerSec(timing)) << "}";
+        first_row = false;
+    }
+
+    // The BENCH file: per-scenario rows plus aggregates.
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"core-throughput\",\n";
+    js << "  \"jobs\": " << report.results.size() << ",\n";
+    js << "  \"scenarios\": [" << rows.str() << "\n  ],\n";
+    js << "  \"presets\": {";
+    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i) {
+        js << (i ? ",\n    " : "\n    ") << "\""
+           << jsonEscape(aggs.presetOrder[i]) << "\": ";
+        emitAgg(js, aggs.presetAggs[i], "    ");
+    }
+    js << "\n  },\n  \"total\": ";
+    emitAgg(js, aggs.total, "  ");
+    js << "\n}\n";
+
+    const std::string path = benchOutPath();
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot open '", path, "' for writing");
+    out << js.str();
+    out.flush();
+    fatal_if(!out, "write to '", path, "' failed");
+}
+
+/** Display: the per-preset summary table. */
+void
+renderCoreThroughput(const CampaignReport &report, std::ostream &os)
+{
+    const ThroughputAggs aggs =
+        aggregate(report, sim::runnerFor("timing"));
+
+    Table t("Simulator throughput (timing core)");
+    t.setHeader({"preset", "sim Minsts", "wall s", "Minsts/s",
+                 "Mcycles/s"});
+    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i) {
+        const Agg &a = aggs.presetAggs[i];
+        t.addRow({aggs.presetOrder[i],
+                  Table::fmt(double(a.simInsts) / 1e6, 2),
+                  Table::fmt(a.wallSeconds, 3),
+                  Table::fmt(a.instsPerSec() / 1e6, 2),
+                  Table::fmt(a.cyclesPerSec() / 1e6, 2)});
+    }
+    const Agg &total = aggs.total;
+    t.addRow({"total", Table::fmt(double(total.simInsts) / 1e6, 2),
+              Table::fmt(total.wallSeconds, 3),
+              Table::fmt(total.instsPerSec() / 1e6, 2),
+              Table::fmt(total.cyclesPerSec() / 1e6, 2)});
+    os << t.render();
+    os << "bench report written to " << benchOutPath() << "\n";
+}
+
+} // namespace
+
+void
+registerPerfScenarios(ScenarioRegistry &registry)
+{
+    RegisteredScenario s;
+    s.name = "perf-core-throughput";
+    s.description = "simulator throughput: timing-core insts/sec "
+                    "across presets x benchmarks";
+    s.defaultInsts = 120000;
+    s.profile = true;
+    s.build = buildCoreThroughput;
+    s.render = renderCoreThroughput;
+    s.emit = emitCoreThroughput;
+    registry.add(s);
+}
+
+} // namespace driver
+} // namespace dvi

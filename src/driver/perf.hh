@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Simulator-throughput benchmark scenarios.
+ *
+ * `dvi-run --scenario perf-core-throughput` times timing-model runs
+ * across the DVI presets and the benchmark suite and writes
+ * BENCH_core_throughput.json (simulated insts/sec, cycles/sec,
+ * wall-clock per scenario plus per-preset and total aggregates) —
+ * the repo's simulator-performance trajectory. CI runs it as a
+ * Release smoke with a small budget and fails on a large regression
+ * against the committed baseline (bench/BENCH_core_throughput.
+ * baseline.json, tools/check_bench.py).
+ */
+
+#ifndef DVI_DRIVER_PERF_HH
+#define DVI_DRIVER_PERF_HH
+
+#include "driver/scenario_registry.hh"
+
+namespace dvi
+{
+namespace driver
+{
+
+/** Default output path; overridden by $DVI_BENCH_OUT. */
+extern const char *const benchCoreThroughputPath;
+
+/** Register the perf scenarios (called by ScenarioRegistry). */
+void registerPerfScenarios(ScenarioRegistry &registry);
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_PERF_HH

@@ -65,6 +65,32 @@ jsonNumber(double v)
 namespace
 {
 
+/**
+ * Per-campaign runner resolution cache: a campaign references a
+ * handful of distinct runner names across hundreds of jobs, so the
+ * registry is consulted once per name and each runner's interned
+ * metricKeys() once per campaign — never rebuilding std::string keys
+ * per job.
+ */
+class RunnerCache
+{
+  public:
+    const sim::Runner &
+    of(const std::string &name)
+    {
+        for (const auto &e : entries_)
+            if (e.first == name)
+                return *e.second;
+        const sim::Runner &runner = sim::runnerFor(name);
+        entries_.emplace_back(name, &runner);
+        return runner;
+    }
+
+  private:
+    std::vector<std::pair<std::string, const sim::Runner *>>
+        entries_;
+};
+
 /** Streams one "key": value pair with JSON punctuation. */
 class JsonObject
 {
@@ -123,10 +149,12 @@ class JsonObject
 };
 
 void
-emitResult(std::ostringstream &os, const JobResult &r)
+emitResult(std::ostringstream &os, const JobResult &r,
+           bool profiled, RunnerCache &runners,
+           std::vector<sim::MetricValue> &values)
 {
     const sim::Scenario &s = r.spec.scenario;
-    const sim::Runner &runner = sim::runnerFor(s.runner);
+    const sim::Runner &runner = runners.of(s.runner);
 
     JsonObject o(os, "    ");
     o.field("index", static_cast<std::uint64_t>(r.spec.index));
@@ -147,29 +175,44 @@ emitResult(std::ostringstream &os, const JobResult &r)
             static_cast<std::uint64_t>(s.hardware.core.il1.sizeBytes));
     o.field("textBytes", r.textBytes);
 
-    for (const auto &m : runner.metrics(r.run)) {
-        if (m.second.type == sim::MetricValue::Type::U64)
-            o.field(m.first.c_str(), m.second.u);
+    const std::vector<std::string> &keys = runner.metricKeys();
+    runner.metricValues(r.run, values);
+    panic_if(values.size() != keys.size(), "runner '",
+             runner.name(), "': metricValues produced ",
+             values.size(), " values for ", keys.size(), " keys");
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const sim::MetricValue &m = values[i];
+        if (m.type == sim::MetricValue::Type::U64)
+            o.field(keys[i].c_str(), m.u);
         else
-            o.field(m.first.c_str(), m.second.f);
+            o.field(keys[i].c_str(), m.f);
+    }
+    if (profiled) {
+        o.field("wallSeconds", r.wallSeconds);
+        o.field("instsPerSec", r.instsPerSec(runner));
     }
     o.close();
 }
 
 /** ';'-joined "name=value" runner metrics for the table column. */
 std::string
-metricsCell(const JobResult &r)
+metricsCell(const JobResult &r, RunnerCache &runners,
+            std::vector<sim::MetricValue> &values)
 {
-    const sim::Runner &runner =
-        sim::runnerFor(r.spec.scenario.runner);
+    const sim::Runner &runner = runners.of(r.spec.scenario.runner);
+    const std::vector<std::string> &keys = runner.metricKeys();
+    runner.metricValues(r.run, values);
+    panic_if(values.size() != keys.size(), "runner '",
+             runner.name(), "': metricValues produced ",
+             values.size(), " values for ", keys.size(), " keys");
     std::string out;
-    for (const auto &m : runner.metrics(r.run)) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
         if (!out.empty())
             out += ";";
-        out += m.first + "=";
-        out += m.second.type == sim::MetricValue::Type::U64
-                   ? Table::fmt(m.second.u)
-                   : Table::fmt(m.second.f, 4);
+        out += keys[i] + "=";
+        out += values[i].type == sim::MetricValue::Type::U64
+                   ? Table::fmt(values[i].u)
+                   : Table::fmt(values[i].f, 4);
     }
     return out;
 }
@@ -179,13 +222,22 @@ metricsCell(const JobResult &r)
 Table
 CampaignReport::toTable() const
 {
+    RunnerCache runners;
+    std::vector<sim::MetricValue> values;
+
     Table t("Campaign: " + campaign);
-    t.setHeader({"idx", "runner", "benchmark", "preset", "label",
-                 "regs", "maxInsts", "ipc", "metrics"});
+    std::vector<std::string> header = {
+        "idx",  "runner",   "benchmark", "preset", "label",
+        "regs", "maxInsts", "ipc",       "metrics"};
+    if (profiled) {
+        header.push_back("wall_s");
+        header.push_back("Minsts/s");
+    }
+    t.setHeader(header);
     for (const JobResult &r : results) {
         const sim::Scenario &s = r.spec.scenario;
         const bool timing = s.runner == "timing";
-        t.addRow({
+        std::vector<std::string> row = {
             Table::fmt(static_cast<std::uint64_t>(r.spec.index)),
             s.runner,
             workload::benchmarkName(s.workload),
@@ -196,8 +248,14 @@ CampaignReport::toTable() const
                    : std::string("-"),
             Table::fmt(s.budget.maxInsts),
             timing ? Table::fmt(r.run.ipc, 4) : std::string("-"),
-            metricsCell(r),
-        });
+            metricsCell(r, runners, values),
+        };
+        if (profiled) {
+            row.push_back(Table::fmt(r.wallSeconds, 4));
+            row.push_back(Table::fmt(
+                r.instsPerSec(runners.of(s.runner)) / 1e6, 3));
+        }
+        t.addRow(row);
     }
     return t;
 }
@@ -211,6 +269,9 @@ CampaignReport::toCsv() const
 std::string
 CampaignReport::toJson() const
 {
+    RunnerCache runners;
+    std::vector<sim::MetricValue> values;
+
     std::ostringstream os;
     os << "{\n";
     os << "  \"campaign\": \"" << jsonEscape(campaign) << "\",\n";
@@ -218,7 +279,7 @@ CampaignReport::toJson() const
     os << "  \"results\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         os << (i ? ",\n    " : "\n    ");
-        emitResult(os, results[i]);
+        emitResult(os, results[i], profiled, runners, values);
     }
     os << "\n  ]\n}\n";
     return os.str();

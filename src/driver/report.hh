@@ -40,6 +40,11 @@ struct CampaignReport
     std::string campaign;
     std::vector<JobResult> results;
 
+    /** Jobs carry wall-clock measurements (CampaignOptions::profile):
+     * reports grow wallSeconds / instsPerSec fields and are no
+     * longer byte-stable across runs. */
+    bool profiled = false;
+
     /** One row per job: identity, config, and headline stats. */
     Table toTable() const;
 

@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "driver/ablations.hh"
 #include "driver/figures.hh"
+#include "driver/perf.hh"
 #include "harness/experiment.hh"
 
 namespace dvi
@@ -28,6 +29,7 @@ ScenarioRegistry::ScenarioRegistry() : impl(std::make_shared<Impl>())
     // job is self-registration would be dropped by the linker.
     registerFigureScenarios(*this);
     registerAblationScenarios(*this);
+    registerPerfScenarios(*this);
 }
 
 ScenarioRegistry &
@@ -101,7 +103,10 @@ runScenario(const std::string &name, const ScenarioOptions &opts,
         s.build(resolveScenarioInsts(s, opts.maxInsts));
     CampaignOptions copts;
     copts.jobs = opts.jobs;
+    copts.profile = opts.profile || s.profile;
     CampaignReport report = campaign.run(copts);
+    if (s.emit)
+        s.emit(report);
     if (s.render) {
         // Custom renderers index into the grid; an empty report is
         // a broken builder, not a renderable state.

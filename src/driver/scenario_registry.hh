@@ -40,14 +40,23 @@ struct RegisteredScenario
      * binary historically used; DVI_BENCH_INSTS still overrides). */
     std::uint64_t defaultInsts = 200000;
 
+    /** Always run with per-job wall-clock profiling (throughput
+     * scenarios); otherwise profiling is opt-in via --profile. */
+    bool profile = false;
+
     /** Build the job grid for the given budget (never 0 — the
      * registry resolves defaults before calling). */
     std::function<Campaign(std::uint64_t insts)> build;
 
     /** Fold an index-ordered report into the scenario's tables; when
-     * null, callers fall back to the generic report table. */
+     * null, callers fall back to the generic report table. Display
+     * only — suppressed by --quiet and preset filters. */
     std::function<void(const CampaignReport &, std::ostream &)>
         render;
+
+    /** Emit the scenario's machine-readable artifacts (e.g. a BENCH
+     * file). Always invoked after a run, quiet or not. */
+    std::function<void(const CampaignReport &)> emit;
 };
 
 /** Name-to-scenario resolution. */
@@ -85,6 +94,7 @@ struct ScenarioOptions
 {
     unsigned jobs = 1;          ///< worker threads (0 = hardware)
     std::uint64_t maxInsts = 0; ///< 0 = scenario default
+    bool profile = false;       ///< per-job wall-clock in reports
 };
 
 /** Build, run, and render one scenario; returns the report. */

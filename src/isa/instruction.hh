@@ -229,6 +229,194 @@ struct Instruction
     }
 };
 
+// Hot classification queries, inline: the timing core and the
+// emulator call these for every dynamic instruction.
+
+inline bool
+Instruction::isCondBranch() const
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge;
+}
+
+inline bool
+Instruction::isLoad() const
+{
+    return op == Opcode::Load || op == Opcode::LiveLoad ||
+           op == Opcode::Fload || op == Opcode::LvmLoad;
+}
+
+inline bool
+Instruction::isStore() const
+{
+    return op == Opcode::Store || op == Opcode::LiveStore ||
+           op == Opcode::Fstore || op == Opcode::LvmSave;
+}
+
+inline bool
+Instruction::writesIntReg() const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Lui:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::Call:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline bool
+Instruction::writesFpReg() const
+{
+    return op == Opcode::Fadd || op == Opcode::Fmul ||
+           op == Opcode::Fload;
+}
+
+inline unsigned
+Instruction::srcIntRegs(RegIndex out[2]) const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::Fload:
+      case Opcode::Ret:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        out[0] = rs1;
+        return 1;
+      case Opcode::Store:
+      case Opcode::LiveStore:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Fstore:
+        out[0] = rs1; // base address only; data is FP
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+inline unsigned
+Instruction::srcFpRegs(RegIndex out[2]) const
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+        out[0] = rs1;
+        out[1] = rs2;
+        return 2;
+      case Opcode::Fstore:
+        out[0] = rs2;
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+inline RegIndex
+Instruction::saveRestoreReg() const
+{
+    if (op == Opcode::LiveStore)
+        return rs2;
+    if (op == Opcode::LiveLoad)
+        return rd;
+    panic("saveRestoreReg() on non save/restore instruction");
+}
+
+inline FuClass
+Instruction::fuClass() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Kill:
+        return FuClass::None;
+      case Opcode::Mul:
+      case Opcode::Div:
+        return FuClass::IntMulDiv;
+      case Opcode::Fadd:
+        return FuClass::FpAlu;
+      case Opcode::Fmul:
+        return FuClass::FpMulDiv;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::LiveLoad:
+      case Opcode::LiveStore:
+      case Opcode::Fload:
+      case Opcode::Fstore:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        return FuClass::MemPort;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jump:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return FuClass::Branch;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+inline unsigned
+Instruction::execLatency() const
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Div:
+        return 12;
+      case Opcode::Fadd:
+        return 2;
+      case Opcode::Fmul:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
 } // namespace isa
 } // namespace dvi
 

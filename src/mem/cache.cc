@@ -2,6 +2,8 @@
 
 #include "base/logging.hh"
 
+#include "base/bits.hh"
+
 namespace dvi
 {
 namespace mem
@@ -18,46 +20,23 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = static_cast<unsigned>(nlines / params_.assoc);
     fatal_if(numSets_ == 0, "cache ", params_.name, ": zero sets");
     lines.assign(nlines, Line{});
+
+    const bool line_pow2 =
+        (params_.lineBytes & (params_.lineBytes - 1)) == 0;
+    const bool sets_pow2 = (numSets_ & (numSets_ - 1)) == 0;
+    if (line_pow2 && sets_pow2) {
+        pow2Geometry_ = true;
+        lineShift_ = countrZero64(params_.lineBytes);
+        setMask_ = numSets_ - 1;
+    }
 }
 
-bool
-Cache::access(Addr addr, bool is_write)
-{
-    (void)is_write;  // write-allocate: same tag behavior as reads
-    ++tick;
-    const Addr la = lineAddr(addr);
-    const unsigned set = static_cast<unsigned>(la % numSets_);
-    Line *base = &lines[static_cast<std::size_t>(set) * params_.assoc];
-
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == la) {
-            base[w].lastUse = tick;
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-    // Fill: choose invalid way, else LRU.
-    Line *victim = &base[0];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-    victim->valid = true;
-    victim->tag = la;
-    victim->lastUse = tick;
-    return false;
-}
 
 bool
 Cache::probe(Addr addr) const
 {
     const Addr la = lineAddr(addr);
-    const unsigned set = static_cast<unsigned>(la % numSets_);
+    const unsigned set = setOf(la);
     const Line *base =
         &lines[static_cast<std::size_t>(set) * params_.assoc];
     for (unsigned w = 0; w < params_.assoc; ++w)

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/bits.hh"
 #include "base/types.hh"
 
 namespace dvi
@@ -41,9 +42,44 @@ class Cache
 
     /**
      * Access a byte address for read or write; returns true on hit.
-     * A miss fills the line (replacing LRU).
+     * A miss fills the line (replacing LRU). Inline: this runs for
+     * every data reference, committed store, and fetched line of a
+     * timing simulation, with shift/mask indexing for the
+     * power-of-two geometries (precomputed at construction).
      */
-    bool access(Addr addr, bool is_write);
+    bool
+    access(Addr addr, bool is_write)
+    {
+        (void)is_write;  // write-allocate: same tag behavior as reads
+        ++tick;
+        const Addr la = lineAddr(addr);
+        const unsigned set = setOf(la);
+        Line *base =
+            &lines[static_cast<std::size_t>(set) * params_.assoc];
+
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (base[w].valid && base[w].tag == la) {
+                base[w].lastUse = tick;
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        // Fill: choose invalid way, else LRU.
+        Line *victim = &base[0];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        victim->valid = true;
+        victim->tag = la;
+        victim->lastUse = tick;
+        return false;
+    }
 
     /** True without side effects. */
     bool probe(Addr addr) const;
@@ -73,10 +109,28 @@ class Cache
         std::uint64_t lastUse = 0;  ///< LRU timestamp
     };
 
-    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return pow2Geometry_ ? addr >> lineShift_
+                             : addr / params_.lineBytes;
+    }
+
+    unsigned
+    setOf(Addr line_addr) const
+    {
+        return pow2Geometry_
+                   ? static_cast<unsigned>(line_addr & setMask_)
+                   : static_cast<unsigned>(line_addr % numSets_);
+    }
 
     CacheParams params_;
     unsigned numSets_;
+    /** Power-of-two line size and set count: index with shift/mask
+     * instead of div/mod. */
+    bool pow2Geometry_ = false;
+    unsigned lineShift_ = 0;
+    Addr setMask_ = 0;
     std::vector<Line> lines;  ///< numSets_ x assoc
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -1,8 +1,6 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 
 #include "base/logging.hh"
 #include "uarch/core.hh"
@@ -40,27 +38,44 @@ class TimingRunner : public Runner
         return r;
     }
 
-    Metrics
-    metrics(const RunResult &r) const override
+    std::vector<std::string>
+    metricNames() const override
     {
-        return {
-            {"cycles", MetricValue::ofU64(r.core.cycles)},
-            {"committedProgInsts",
-             MetricValue::ofU64(r.core.committedProgInsts)},
-            {"committedKills",
-             MetricValue::ofU64(r.core.committedKills)},
-            {"ipc", MetricValue::ofF64(r.ipc)},
-            {"savesSeen", MetricValue::ofU64(r.core.savesSeen)},
-            {"savesEliminated",
-             MetricValue::ofU64(r.core.savesEliminated)},
-            {"restoresSeen", MetricValue::ofU64(r.core.restoresSeen)},
-            {"restoresEliminated",
-             MetricValue::ofU64(r.core.restoresEliminated)},
-            {"branchMispredicts",
-             MetricValue::ofU64(r.core.branchMispredicts)},
-            {"dl1Misses", MetricValue::ofU64(r.core.dl1Misses)},
-            {"il1Misses", MetricValue::ofU64(r.core.il1Misses)},
-        };
+        return {"cycles",
+                "committedProgInsts",
+                "committedKills",
+                "ipc",
+                "savesSeen",
+                "savesEliminated",
+                "restoresSeen",
+                "restoresEliminated",
+                "branchMispredicts",
+                "dl1Misses",
+                "il1Misses"};
+    }
+
+    void
+    metricValues(const RunResult &r,
+                 std::vector<MetricValue> &out) const override
+    {
+        out.clear();
+        out.push_back(MetricValue::ofU64(r.core.cycles));
+        out.push_back(MetricValue::ofU64(r.core.committedProgInsts));
+        out.push_back(MetricValue::ofU64(r.core.committedKills));
+        out.push_back(MetricValue::ofF64(r.ipc));
+        out.push_back(MetricValue::ofU64(r.core.savesSeen));
+        out.push_back(MetricValue::ofU64(r.core.savesEliminated));
+        out.push_back(MetricValue::ofU64(r.core.restoresSeen));
+        out.push_back(MetricValue::ofU64(r.core.restoresEliminated));
+        out.push_back(MetricValue::ofU64(r.core.branchMispredicts));
+        out.push_back(MetricValue::ofU64(r.core.dl1Misses));
+        out.push_back(MetricValue::ofU64(r.core.il1Misses));
+    }
+
+    std::uint64_t
+    simulatedInsts(const RunResult &r) const override
+    {
+        return r.core.committedProgInsts;
     }
 };
 
@@ -86,23 +101,35 @@ class OracleRunner : public Runner
         return r;
     }
 
-    Metrics
-    metrics(const RunResult &r) const override
+    std::vector<std::string>
+    metricNames() const override
     {
-        return {
-            {"insts", MetricValue::ofU64(r.oracle.insts)},
-            {"progInsts", MetricValue::ofU64(r.oracle.progInsts)},
-            {"kills", MetricValue::ofU64(r.oracle.kills)},
-            {"memRefs", MetricValue::ofU64(r.oracle.memRefs)},
-            {"saves", MetricValue::ofU64(r.oracle.saves)},
-            {"restores", MetricValue::ofU64(r.oracle.restores)},
-            {"saveElimOracle",
-             MetricValue::ofU64(r.oracle.saveElimOracle)},
-            {"restoreElimOracle",
-             MetricValue::ofU64(r.oracle.restoreElimOracle)},
-            {"maxCallDepth",
-             MetricValue::ofU64(r.oracle.maxCallDepth)},
-        };
+        return {"insts", "progInsts", "kills", "memRefs", "saves",
+                "restores", "saveElimOracle", "restoreElimOracle",
+                "maxCallDepth"};
+    }
+
+    void
+    metricValues(const RunResult &r,
+                 std::vector<MetricValue> &out) const override
+    {
+        out.clear();
+        out.push_back(MetricValue::ofU64(r.oracle.insts));
+        out.push_back(MetricValue::ofU64(r.oracle.progInsts));
+        out.push_back(MetricValue::ofU64(r.oracle.kills));
+        out.push_back(MetricValue::ofU64(r.oracle.memRefs));
+        out.push_back(MetricValue::ofU64(r.oracle.saves));
+        out.push_back(MetricValue::ofU64(r.oracle.restores));
+        out.push_back(MetricValue::ofU64(r.oracle.saveElimOracle));
+        out.push_back(
+            MetricValue::ofU64(r.oracle.restoreElimOracle));
+        out.push_back(MetricValue::ofU64(r.oracle.maxCallDepth));
+    }
+
+    std::uint64_t
+    simulatedInsts(const RunResult &r) const override
+    {
+        return r.oracle.insts;
     }
 };
 
@@ -132,50 +159,104 @@ class SwitchRunner : public Runner
         return r;
     }
 
-    Metrics
-    metrics(const RunResult &r) const override
+    std::vector<std::string>
+    metricNames() const override
     {
-        return {
-            {"contextSwitches",
-             MetricValue::ofU64(r.sw.contextSwitches)},
-            {"totalInsts", MetricValue::ofU64(r.sw.totalInsts)},
-            {"baselineIntSaveRestores",
-             MetricValue::ofU64(r.sw.baselineIntSaveRestores)},
-            {"dviIntSaveRestores",
-             MetricValue::ofU64(r.sw.dviIntSaveRestores)},
-            {"baselineFpSaveRestores",
-             MetricValue::ofU64(r.sw.baselineFpSaveRestores)},
-            {"dviFpSaveRestores",
-             MetricValue::ofU64(r.sw.dviFpSaveRestores)},
-            {"intReductionPercent",
-             MetricValue::ofF64(r.sw.intReductionPercent())},
-            {"fpReductionPercent",
-             MetricValue::ofF64(r.sw.fpReductionPercent())},
-            {"meanLiveIntAtSwitch",
-             MetricValue::ofF64(r.sw.liveIntAtSwitch.mean())},
-        };
+        return {"contextSwitches", "totalInsts",
+                "baselineIntSaveRestores", "dviIntSaveRestores",
+                "baselineFpSaveRestores", "dviFpSaveRestores",
+                "intReductionPercent", "fpReductionPercent",
+                "meanLiveIntAtSwitch"};
+    }
+
+    void
+    metricValues(const RunResult &r,
+                 std::vector<MetricValue> &out) const override
+    {
+        out.clear();
+        out.push_back(MetricValue::ofU64(r.sw.contextSwitches));
+        out.push_back(MetricValue::ofU64(r.sw.totalInsts));
+        out.push_back(
+            MetricValue::ofU64(r.sw.baselineIntSaveRestores));
+        out.push_back(MetricValue::ofU64(r.sw.dviIntSaveRestores));
+        out.push_back(
+            MetricValue::ofU64(r.sw.baselineFpSaveRestores));
+        out.push_back(MetricValue::ofU64(r.sw.dviFpSaveRestores));
+        out.push_back(
+            MetricValue::ofF64(r.sw.intReductionPercent()));
+        out.push_back(
+            MetricValue::ofF64(r.sw.fpReductionPercent()));
+        out.push_back(
+            MetricValue::ofF64(r.sw.liveIntAtSwitch.mean()));
+    }
+
+    std::uint64_t
+    simulatedInsts(const RunResult &r) const override
+    {
+        return r.sw.totalInsts;
     }
 };
 
 } // namespace
 
-struct RunnerRegistry::Impl
+const std::vector<std::string> &
+Runner::metricKeys() const
 {
-    mutable std::mutex mu;
-    std::map<std::string, std::unique_ptr<Runner>> runners;
-};
-
-RunnerRegistry::RunnerRegistry() : impl(std::make_shared<Impl>())
-{
-    add(std::make_unique<TimingRunner>());
-    add(std::make_unique<OracleRunner>());
-    add(std::make_unique<SwitchRunner>());
+    std::call_once(keysOnce_, [this] { keys_ = metricNames(); });
+    return keys_;
 }
+
+Metrics
+Runner::metrics(const RunResult &r) const
+{
+    const std::vector<std::string> &keys = metricKeys();
+    std::vector<MetricValue> values;
+    metricValues(r, values);
+    panic_if(values.size() != keys.size(),
+             "runner '", name(), "': metricValues produced ",
+             values.size(), " values for ", keys.size(), " keys");
+    Metrics out;
+    out.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        out.emplace_back(keys[i], values[i]);
+    return out;
+}
+
+/** Immutable sorted (name, runner) snapshot; find() binary-searches
+ * it without locking. */
+struct RunnerRegistry::Snapshot
+{
+    std::vector<std::pair<std::string, std::shared_ptr<const Runner>>>
+        entries;
+
+    const Runner *
+    find(const std::string &name) const
+    {
+        const auto it = std::lower_bound(
+            entries.begin(), entries.end(), name,
+            [](const auto &e, const std::string &n) {
+                return e.first < n;
+            });
+        return it != entries.end() && it->first == name
+                   ? it->second.get()
+                   : nullptr;
+    }
+};
 
 RunnerRegistry &
 RunnerRegistry::instance()
 {
     static RunnerRegistry registry;
+    // Built-ins registered exactly once, here rather than via static
+    // initializers: the library is linked statically, and an object
+    // file whose only job is self-registration would be dropped by
+    // the linker.
+    static std::once_flag builtins;
+    std::call_once(builtins, [] {
+        registry.add(std::make_unique<TimingRunner>());
+        registry.add(std::make_unique<OracleRunner>());
+        registry.add(std::make_unique<SwitchRunner>());
+    });
     return registry;
 }
 
@@ -183,29 +264,45 @@ void
 RunnerRegistry::add(std::unique_ptr<Runner> runner)
 {
     const std::string key = runner->name();
-    std::lock_guard<std::mutex> lk(impl->mu);
-    fatal_if(impl->runners.count(key), "runner '", key,
-             "' is already registered");
-    impl->runners.emplace(key, std::move(runner));
+    std::lock_guard<std::mutex> lk(writeMu_);
+    const std::shared_ptr<const Snapshot> old =
+        std::atomic_load(&snap_);
+    auto next = std::make_shared<Snapshot>();
+    if (old)
+        next->entries = old->entries;
+    const auto it = std::lower_bound(
+        next->entries.begin(), next->entries.end(), key,
+        [](const auto &e, const std::string &n) {
+            return e.first < n;
+        });
+    fatal_if(it != next->entries.end() && it->first == key,
+             "runner '", key, "' is already registered");
+    next->entries.emplace(
+        it, key, std::shared_ptr<const Runner>(std::move(runner)));
+    std::atomic_store(&snap_,
+                      std::shared_ptr<const Snapshot>(next));
 }
 
 const Runner *
 RunnerRegistry::find(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lk(impl->mu);
-    const auto it = impl->runners.find(name);
-    return it == impl->runners.end() ? nullptr : it->second.get();
+    const std::shared_ptr<const Snapshot> snap =
+        std::atomic_load(&snap_);
+    return snap ? snap->find(name) : nullptr;
 }
 
 std::vector<std::string>
 RunnerRegistry::names() const
 {
-    std::lock_guard<std::mutex> lk(impl->mu);
+    const std::shared_ptr<const Snapshot> snap =
+        std::atomic_load(&snap_);
     std::vector<std::string> out;
-    out.reserve(impl->runners.size());
-    for (const auto &kv : impl->runners)
-        out.push_back(kv.first);
-    return out;  // std::map iteration is already sorted
+    if (!snap)
+        return out;
+    out.reserve(snap->entries.size());
+    for (const auto &e : snap->entries)
+        out.push_back(e.first);
+    return out;  // entries are sorted by construction
 }
 
 const Runner &

@@ -20,6 +20,7 @@
 #define DVI_SIM_RUNNER_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -102,14 +103,52 @@ class Runner
     virtual RunResult run(const Scenario &s,
                           const comp::Executable &exe) const = 0;
 
-    /** The result's report fields, in stable emission order. */
-    virtual Metrics metrics(const RunResult &r) const = 0;
+    /**
+     * The result's report field names, in stable emission order.
+     * Called once per runner (the keys are interned by
+     * metricKeys()); values are produced separately by
+     * metricValues(), so report emission never rebuilds the
+     * std::string key set per job.
+     */
+    virtual std::vector<std::string> metricNames() const = 0;
+
+    /** Append the values matching metricNames(), in the same
+     * order, to out (cleared first). */
+    virtual void metricValues(const RunResult &r,
+                              std::vector<MetricValue> &out)
+        const = 0;
+
+    /** Interned key set: metricNames() computed once per runner
+     * instance, thread-safe. */
+    const std::vector<std::string> &metricKeys() const;
+
+    /** Simulated instructions a result represents (throughput
+     * accounting: program instructions for timing runs, retired
+     * instructions for functional runs); 0 when not meaningful. */
+    virtual std::uint64_t
+    simulatedInsts(const RunResult &r) const
+    {
+        (void)r;
+        return 0;
+    }
+
+    /** Convenience zip of metricKeys() and metricValues(). */
+    Metrics metrics(const RunResult &r) const;
+
+  private:
+    mutable std::once_flag keysOnce_;
+    mutable std::vector<std::string> keys_;
 };
 
 /**
- * Name-to-runner resolution. The three built-in runners are
- * registered on first use; clients may add their own at any time
- * before the campaign that references them runs.
+ * Name-to-runner resolution. The built-in runners are registered
+ * exactly once (std::call_once) on first use; clients may add their
+ * own at any time before the campaign that references them runs.
+ *
+ * Lookups are lock-free: the registry keeps an immutable, sorted
+ * snapshot behind an atomically-swapped shared_ptr, so the per-job
+ * find() on the campaign hot path takes no mutex — only the rare
+ * add() serializes, copy-on-write.
  */
 class RunnerRegistry
 {
@@ -119,17 +158,20 @@ class RunnerRegistry
     /** Register a runner under runner->name(); fatal on duplicate. */
     void add(std::unique_ptr<Runner> runner);
 
-    /** Look up by name; nullptr if unknown. */
+    /** Look up by name; nullptr if unknown. Lock-free. */
     const Runner *find(const std::string &name) const;
 
-    /** All registered names, sorted. */
+    /** All registered names, sorted. Lock-free. */
     std::vector<std::string> names() const;
 
   private:
-    RunnerRegistry();
+    RunnerRegistry() = default;
 
-    struct Impl;
-    std::shared_ptr<Impl> impl;
+    /** Immutable sorted (name, runner) snapshot. */
+    struct Snapshot;
+
+    std::shared_ptr<const Snapshot> snap_;
+    std::mutex writeMu_;
 };
 
 /** Resolve a runner by name; fatal with the known names if absent. */

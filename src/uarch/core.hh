@@ -15,6 +15,19 @@
  * it resolves rather than fetching wrong-path instructions (see
  * DESIGN.md §2 for why this substitution preserves the penalty).
  *
+ * Scheduling is event-driven (see DESIGN.md "Event-driven timing
+ * core"): instead of scanning the whole window every cycle, the core
+ * keeps a ready bitmap ordered by age, per-physical-register wakeup
+ * lists that move instructions into it when their last operand's
+ * producer completes, a calendar wheel of pending completions
+ * keyed by doneCycle, and a last-store-to-address table for
+ * forwarding. When
+ * a cycle makes no progress the clock jumps straight to the next
+ * completion or fetch-resume event, bulk-accounting the per-cycle
+ * stall statistics. All of this is bookkeeping only: CoreStats is
+ * cycle-for-cycle, bit-for-bit identical to the original scan-based
+ * scheduler (enforced by tests/uarch_golden_test.cc).
+ *
  * DVI hooks, mapped to the paper:
  *  - §4.1: a kill (explicit or implied by call/return) unmaps the
  *    architectural register at rename; the previous mapping is freed
@@ -31,11 +44,14 @@
 #ifndef DVI_UARCH_CORE_HH
 #define DVI_UARCH_CORE_HH
 
-#include <deque>
-#include <optional>
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "arch/emulator.hh"
+#include "base/ring_buffer.hh"
+#include "base/small_vec.hh"
 #include "core/lvm.hh"
 #include "core/lvm_stack.hh"
 #include "core/renamer.hh"
@@ -70,7 +86,10 @@ class Core
         Done,
     };
 
-    /** One unified-window (RUU) entry. */
+    /** One unified-window (RUU) entry. Entries occupy a stable
+     * physical slot in the window ring for their whole lifetime, so
+     * the scheduler's side structures (ready bitmap, wakeup lists,
+     * completion heap) address them by slot. */
     struct WindowEntry
     {
         arch::TraceRecord tr;
@@ -81,8 +100,10 @@ class Core
         bool hasDest = false;
         PhysRegIndex destPreg = invalidPhysReg;
         PhysRegIndex prevPreg = invalidPhysReg;
-        /** Mappings a committed DVI kill releases. */
-        std::vector<PhysRegIndex> killFrees;
+        /** Mappings this entry's committed DVI kill releases: count
+         * of this entry's slice of killFreeQueue_ (entries commit in
+         * order, so the queue pops in dispatch order). */
+        std::uint8_t killFreeCount = 0;
 
         unsigned numSrcs = 0;
         PhysRegIndex srcPregs[2] = {invalidPhysReg, invalidPhysReg};
@@ -97,11 +118,51 @@ class Core
         bool hasFpDest = false;
         RegIndex fpDest = 0;
 
+        /** Window slots of consumers waiting on this entry's FP
+         * write; woken when it completes. */
+        SmallVec<std::uint32_t, 4> fpDeps;
+
+        /** Pending source operands; ready to issue at zero. */
+        std::uint8_t waitCount = 0;
+
+        /** Next-older in-window store in the same forwarding-table
+         * bucket; noSlot at the chain tail. */
+        std::uint32_t prevSameBucket = noSlot;
+
         bool isLoad = false;
         bool isStore = false;
         bool noExec = false;       ///< kill: completes at dispatch
         bool mispredicted = false; ///< resolution unblocks fetch
+
+        /** Reinitialize a recycled ring slot for a new instruction
+         * (see RingBuffer::push_uninitialized). */
+        void
+        reset(const arch::TraceRecord &rec, InstSeqNum s)
+        {
+            tr = rec;
+            seq = s;
+            state = EntryState::Waiting;
+            doneCycle = 0;
+            hasDest = false;
+            destPreg = invalidPhysReg;
+            prevPreg = invalidPhysReg;
+            killFreeCount = 0;
+            numSrcs = 0;
+            numFpSrcs = 0;
+            hasFpDest = false;
+            fpDest = 0;
+            fpDeps.clear();
+            waitCount = 0;
+            prevSameBucket = noSlot;
+            isLoad = false;
+            isStore = false;
+            noExec = false;
+            mispredicted = false;
+        }
     };
+
+    /** Sentinel window-slot index. */
+    static constexpr std::uint32_t noSlot = ~0u;
 
     /** A fetched instruction waiting for decode. */
     struct FetchedInst
@@ -120,8 +181,33 @@ class Core
     void dispatchKill(const arch::TraceRecord &tr);
     RegMask effectiveKillMask(const isa::Instruction &inst) const;
     void applyKillToRenamer(RegMask mask, WindowEntry &entry);
-    bool operandsReady(const WindowEntry &e) const;
-    std::size_t inFlightHeld() const;
+
+    /** Compute waitCount for a just-dispatched entry, registering it
+     * on producer wakeup lists; marks it ready when zero. */
+    void initReadiness(WindowEntry &e, std::uint32_t slot);
+
+    /** Decrement each listed consumer's waitCount; ready at zero.
+     * Clears the list. */
+    void wakeConsumers(SmallVec<std::uint32_t, 4> &consumers);
+
+    /** Advance the clock over provably idle cycles to the next
+     * completion / fetch-resume event, bulk-adding the per-cycle
+     * stall statistics the scan-based loop would have counted. */
+    void skipDeadCycles();
+
+    /** @name Age-ordered slot bitmaps @{ */
+    void setBit(std::vector<std::uint64_t> &bits, std::size_t slot)
+    {
+        bits[slot >> 6] |= 1ull << (slot & 63);
+    }
+    void clearBit(std::vector<std::uint64_t> &bits, std::size_t slot)
+    {
+        bits[slot >> 6] &= ~(1ull << (slot & 63));
+    }
+    template <typename F>
+    void forEachSetSlot(const std::vector<std::uint64_t> &bits,
+                        F &&f) const;
+    /** @} */
 
     /** Owned copy, for the same lifetime-safety reason as
      * arch::Emulator. */
@@ -130,8 +216,10 @@ class Core
     CoreStats stats_;
 
     arch::Emulator emu;
-    bool tracePending = false;
-    arch::TraceRecord pending;
+
+    /** Consumer cursor into traceBuf_ (batched trace delivery). */
+    std::uint32_t tracePos_ = 0;
+    std::uint32_t traceLen_ = 0;
 
     core::Renamer renamer;
     core::Lvm lvm;
@@ -140,24 +228,106 @@ class Core
     /** Last dispatched writer of each architectural FP register. */
     std::vector<InstSeqNum> fpWriterSeq;
 
+    /** Wakeup lists: window slots of consumers waiting on each
+     * physical register's pending write. */
+    std::vector<SmallVec<std::uint32_t, 4>> wakeup_;
+
     mem::MemoryHierarchy memsys;
     predictor::BranchPredictor bpred;
     predictor::Btb btb;
     predictor::ReturnAddressStack ras;
 
-    std::deque<FetchedInst> fetchQueue;
-    std::deque<WindowEntry> window;
+    RingBuffer<FetchedInst> fetchQueue;
+    RingBuffer<WindowEntry> window;
+
+    /** Waiting entries whose operands are all ready, by slot. */
+    std::vector<std::uint64_t> readyBits_;
+    /** Stores still in EntryState::Waiting, by slot (ordering gate
+     * for loads). */
+    std::vector<std::uint64_t> waitingStoreBits_;
+
+    /**
+     * Pending completions as a calendar wheel: bucket (c & mask)
+     * holds the slots whose doneCycle is c. Sized past the largest
+     * possible execution latency, so a bucket never aliases two
+     * cycles and doComplete drains exactly bucket[now & mask].
+     */
+    std::vector<SmallVec<std::uint32_t, 6>> wheel_;
+    Cycle wheelMask_ = 0;
+    std::size_t pendingCompletions_ = 0;
+
+    /** Earliest cycle >= now holding a pending completion;
+     * infiniteCycle when none. O(wheel) scan, used only when the
+     * clock is about to skip. */
+    Cycle nextCompletionCycle() const;
+
+    /**
+     * Store-to-load forwarding table: a direct-mapped bucket array
+     * over effective addresses whose chains thread through the
+     * window slots (prevSameBucket, youngest first). Bounded by the
+     * window — no allocation, rehash, or erase on the hot path;
+     * maintained at dispatch and commit instead of scanned per
+     * issue. Chains hold only in-window stores, so a load probe
+     * walks at most the stores sharing its bucket.
+     */
+    std::vector<std::uint32_t> storeBuckets_;
+    Addr storeBucketMask_ = 0;
+
+    std::size_t
+    storeBucketOf(Addr addr) const
+    {
+        // Simulated data is 8-byte granular; fold some upper bits
+        // so stack frames and globals spread across buckets.
+        return static_cast<std::size_t>(((addr >> 3) ^ (addr >> 11)) &
+                                        storeBucketMask_);
+    }
+
+    /** Physical registers held by in-flight instructions (pending
+     * prevPreg frees plus pending kill frees), maintained
+     * incrementally for Renamer::checkConservation. */
+    std::size_t heldCount_ = 0;
+
+    /** Pending DVI kill frees, dispatch-ordered; each window entry
+     * owns the next killFreeCount of them at commit. Bounded by the
+     * physical register file (a register is held at most once). */
+    RingBuffer<PhysRegIndex> killFreeQueue_;
 
     Cycle now = 0;
     InstSeqNum nextSeq = 1;
 
     bool fetchBlocked = false;       ///< mispredict: wait for resolve
-    InstSeqNum fetchBlockedOn = 0;
     Cycle fetchAvailCycle = 0;       ///< I-cache miss / redirect
     Addr lastFetchLine = ~0ull;
 
+    /** log2(il1 line bytes) when it is a power of two (the fetch
+     * locality check without a division per instruction); 0 falls
+     * back to division. A 1-byte "line" (shift 0) also divides,
+     * which is equivalent. */
+    unsigned il1LineShift_ = 0;
+
+    /** Any set ready bit (cheap word-OR early-out for doIssue). */
+    bool
+    readyAny() const
+    {
+        std::uint64_t any = 0;
+        for (std::uint64_t w : readyBits_)
+            any |= w;
+        return any != 0;
+    }
+
     unsigned portsUsedThisCycle = 0;
     Cycle lastCommitCycle = 0;
+
+    /** @name Per-cycle progress tracking for dead-cycle skipping @{ */
+    bool cycleProgress_ = false;
+    bool dispStallWindow_ = false;
+    bool dispStallRename_ = false;
+    /** @} */
+
+    /** Batched trace delivery from the emulator (replaces one
+     * step() call per record). Last member: 10 KB that should not
+     * split the hot scheduler state across cache lines. */
+    std::array<arch::TraceRecord, 256> traceBuf_;
 };
 
 } // namespace uarch

@@ -9,6 +9,8 @@
 
 #include "base/dyn_bitset.hh"
 #include "base/reg_mask.hh"
+#include "base/ring_buffer.hh"
+#include "base/small_vec.hh"
 #include "base/rng.hh"
 
 namespace dvi
@@ -231,6 +233,95 @@ TEST(RngDeath, PickEmptyPanics)
     Rng rng(1);
     std::vector<int> empty;
     EXPECT_DEATH((void)rng.pick(empty), "empty");
+}
+
+TEST(RingBuffer, FifoOrderAndWraparound)
+{
+    RingBuffer<int> rb(5);  // rounds up to 8
+    EXPECT_EQ(rb.capacity(), 8u);
+    EXPECT_TRUE(rb.empty());
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 6; ++i)
+            rb.push_back(round * 10 + i);
+        EXPECT_EQ(rb.size(), 6u);
+        for (int i = 0; i < 6; ++i)
+            EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                      round * 10 + i);
+        for (int i = 0; i < 6; ++i) {
+            EXPECT_EQ(rb.front(), round * 10 + i);
+            rb.pop_front();
+        }
+        EXPECT_TRUE(rb.empty());
+    }
+}
+
+TEST(RingBuffer, PhysicalSlotsAreStable)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    const std::size_t slot1 = rb.physIndex(1);
+    rb.pop_front();  // head moves; element 2's slot must not
+    EXPECT_EQ(rb.atPhys(slot1), 2);
+    EXPECT_EQ(rb.physIndex(0), slot1);
+}
+
+TEST(RingBuffer, PushUninitializedExposesTailSlot)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(7);
+    int &slot = rb.push_uninitialized();
+    slot = 9;
+    EXPECT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb[1], 9);
+}
+
+TEST(RingBufferDeath, OverflowAndUnderflowPanic)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_DEATH(rb.push_back(3), "overflow");
+    rb.pop_front();
+    rb.pop_front();
+    EXPECT_DEATH(rb.pop_front(), "underflow");
+}
+
+TEST(SmallVec, InlineThenSpill)
+{
+    SmallVec<int, 2> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);  // spills
+    v.push_back(4);
+    ASSERT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i + 1);
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 10);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(42);  // reusable after clear
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVec, MoveLeavesSourceEmpty)
+{
+    SmallVec<int, 2> v;
+    v.push_back(5);
+    v.push_back(6);
+    v.push_back(7);
+    SmallVec<int, 2> w(std::move(v));
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[2], 7);
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 1);
 }
 
 } // namespace

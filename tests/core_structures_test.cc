@@ -259,6 +259,19 @@ TEST(RenamerDeath, DoubleFreePanics)
     EXPECT_DEATH(r.freePhysReg(rd.prevPreg), "double free");
 }
 
+TEST(RenamerDeath, FreeWhileMappedPanicsEvenAfterRestore)
+{
+    // The free-while-mapped check runs against the O(1) isMapped
+    // flags, which restore() must rebuild from the checkpointed map
+    // — not leave cleared.
+    Renamer r(40);
+    const auto rd = r.renameDest(4);
+    const auto cp = r.checkpoint();
+    r.renameDest(5);  // speculative work
+    r.restore(cp);
+    EXPECT_DEATH(r.freePhysReg(rd.newPreg), "still mapped");
+}
+
 TEST(RenamerDeath, FreeingMappedRegisterPanics)
 {
     Renamer r(40);

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared definition of the golden-stats scenario set.
+ *
+ * Used by two translation units that must agree exactly:
+ *
+ *  - tools/golden_stats.cc (the `dvi-golden` tool) runs the set and
+ *    emits tests/uarch_golden_values.inc;
+ *  - tests/uarch_golden_test.cc runs the same set and compares every
+ *    CoreStats field against that .inc.
+ *
+ * The recorded values were generated from the original scan-based
+ * Core::run() before the event-driven scheduler rewrite, so the test
+ * proves the rewrite is cycle-exact. Regenerate only for a change
+ * that *intends* to alter timing behavior:
+ *
+ *     build/dvi-golden > tests/uarch_golden_values.inc
+ */
+
+#ifndef DVI_TESTS_GOLDEN_COMMON_HH
+#define DVI_TESTS_GOLDEN_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "compiler/compile.hh"
+#include "sim/scenario.hh"
+#include "uarch/core.hh"
+#include "uarch/stats_digest.hh"
+#include "workload/benchmarks.hh"
+
+namespace dvi
+{
+namespace golden
+{
+
+/** One locked configuration: a (workload, DVI preset, register-file
+ * size, budget) point. */
+struct GoldenScenario
+{
+    const char *benchmark;
+    const char *preset;
+    unsigned numPhysRegs;
+    std::uint64_t maxInsts;
+};
+
+/** A scenario plus its recorded pre-rewrite digest. */
+struct GoldenRecord
+{
+    GoldenScenario scenario;
+    uarch::CoreStatsDigest expect;
+};
+
+/** The locked set: four workloads (ijpeg covers the FP-dependency
+ * path, li the deep call stacks) x the four DVI presets x a roomy
+ * and a pressured register file. */
+inline std::vector<GoldenScenario>
+goldenScenarios()
+{
+    static const char *benchmarks[] = {"compress", "li", "gcc",
+                                       "ijpeg"};
+    static const char *presets[] = {"none", "idvi", "full", "dense"};
+    static const unsigned regs[] = {80, 40};
+
+    std::vector<GoldenScenario> out;
+    for (const char *b : benchmarks)
+        for (const char *p : presets)
+            for (unsigned r : regs)
+                out.push_back(GoldenScenario{b, p, r, 20000});
+    return out;
+}
+
+/** Execute one golden scenario on the timing core. */
+inline uarch::CoreStatsDigest
+runGolden(const GoldenScenario &g)
+{
+    workload::BenchmarkId id = workload::BenchmarkId::Compress;
+    bool found = false;
+    for (workload::BenchmarkId b : workload::allBenchmarks()) {
+        if (workload::benchmarkName(b) == g.benchmark) {
+            id = b;
+            found = true;
+        }
+    }
+    fatal_if(!found, "unknown golden benchmark '", g.benchmark, "'");
+
+    const std::optional<sim::DviPreset> preset =
+        sim::parsePreset(g.preset);
+    fatal_if(!preset, "unknown golden preset '", g.preset, "'");
+
+    const comp::Executable exe =
+        comp::compile(workload::generateBenchmark(id),
+                      comp::CompileOptions{preset->edvi});
+
+    uarch::CoreConfig cfg;
+    cfg.dvi = preset->hw;
+    cfg.numPhysRegs = g.numPhysRegs;
+    cfg.maxInsts = g.maxInsts;
+    uarch::Core core(exe, cfg);
+    return uarch::digestOf(core.run());
+}
+
+} // namespace golden
+} // namespace dvi
+
+#endif // DVI_TESTS_GOLDEN_COMMON_HH

@@ -135,11 +135,18 @@ TEST(RunnerRegistry, CustomRunnerPlugsIntoTheDriver)
             r.oracle.kills = exe.countKills();
             return r;
         }
-        sim::Metrics
-        metrics(const sim::RunResult &r) const override
+        std::vector<std::string>
+        metricNames() const override
         {
-            return {{"kills",
-                     sim::MetricValue::ofU64(r.oracle.kills)}};
+            return {"kills"};
+        }
+        void
+        metricValues(const sim::RunResult &r,
+                     std::vector<sim::MetricValue> &out)
+            const override
+        {
+            out.clear();
+            out.push_back(sim::MetricValue::ofU64(r.oracle.kills));
         }
     };
     if (!sim::RunnerRegistry::instance().find("kill-count"))

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Golden-stats regression test for the timing core.
+ *
+ * Locks the complete CoreStats record — every counter plus the
+ * sampled occupancy histograms — for a fixed grid of workloads x DVI
+ * presets (none / idvi / full / dense) x register-file sizes. The
+ * expected values in uarch_golden_values.inc were recorded from the
+ * original scan-based scheduler, so a pass proves the event-driven
+ * scheduler is cycle-exact with it; any future scheduler or
+ * performance change that shifts a single counter anywhere in this
+ * grid fails loudly instead of silently drifting the paper's
+ * reproduction.
+ *
+ * Regenerate (only for an intentional behavior change):
+ *
+ *     build/dvi-golden > tests/uarch_golden_values.inc
+ */
+
+#include <gtest/gtest.h>
+
+#include "golden_common.hh"
+
+namespace dvi
+{
+namespace golden
+{
+namespace
+{
+
+const GoldenRecord kGoldenRecords[] = {
+#include "uarch_golden_values.inc"
+};
+
+void
+expectHistogramEq(const uarch::HistogramDigest &expect,
+                  const uarch::HistogramDigest &got)
+{
+    EXPECT_EQ(expect.samples, got.samples);
+    EXPECT_EQ(expect.sum, got.sum);
+    EXPECT_EQ(expect.min, got.min);
+    EXPECT_EQ(expect.max, got.max);
+    EXPECT_EQ(expect.buckets, got.buckets);
+    EXPECT_EQ(expect.countsHash, got.countsHash);
+}
+
+class GoldenStatsTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GoldenStatsTest, CoreStatsAreByteIdentical)
+{
+    const GoldenRecord &rec = kGoldenRecords[GetParam()];
+    const uarch::CoreStatsDigest got = runGolden(rec.scenario);
+    const uarch::CoreStatsDigest &e = rec.expect;
+
+    EXPECT_EQ(e.cycles, got.cycles);
+    EXPECT_EQ(e.fetchedInsts, got.fetchedInsts);
+    EXPECT_EQ(e.fetchedKills, got.fetchedKills);
+    EXPECT_EQ(e.decodedInsts, got.decodedInsts);
+    EXPECT_EQ(e.committedProgInsts, got.committedProgInsts);
+    EXPECT_EQ(e.committedKills, got.committedKills);
+    EXPECT_EQ(e.savesSeen, got.savesSeen);
+    EXPECT_EQ(e.restoresSeen, got.restoresSeen);
+    EXPECT_EQ(e.savesEliminated, got.savesEliminated);
+    EXPECT_EQ(e.restoresEliminated, got.restoresEliminated);
+    EXPECT_EQ(e.loadsExecuted, got.loadsExecuted);
+    EXPECT_EQ(e.storesExecuted, got.storesExecuted);
+    EXPECT_EQ(e.loadForwards, got.loadForwards);
+    EXPECT_EQ(e.condBranches, got.condBranches);
+    EXPECT_EQ(e.branchMispredicts, got.branchMispredicts);
+    EXPECT_EQ(e.rasMispredicts, got.rasMispredicts);
+    EXPECT_EQ(e.btbMissBubbles, got.btbMissBubbles);
+    EXPECT_EQ(e.renameStallCycles, got.renameStallCycles);
+    EXPECT_EQ(e.windowFullCycles, got.windowFullCycles);
+    EXPECT_EQ(e.fetchBlockedCycles, got.fetchBlockedCycles);
+    EXPECT_EQ(e.il1Misses, got.il1Misses);
+    EXPECT_EQ(e.dl1Misses, got.dl1Misses);
+    EXPECT_EQ(e.dl1Accesses, got.dl1Accesses);
+    EXPECT_EQ(e.l2Misses, got.l2Misses);
+    expectHistogramEq(e.pregsInUse, got.pregsInUse);
+    expectHistogramEq(e.liveRegs, got.liveRegs);
+}
+
+TEST(GoldenStats, TableMatchesTheScenarioSet)
+{
+    // The .inc must cover exactly the locked scenario grid, in
+    // order; a stale regeneration shows up here first.
+    const std::vector<GoldenScenario> set = goldenScenarios();
+    ASSERT_EQ(set.size(),
+              sizeof(kGoldenRecords) / sizeof(kGoldenRecords[0]));
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_STREQ(set[i].benchmark,
+                     kGoldenRecords[i].scenario.benchmark);
+        EXPECT_STREQ(set[i].preset,
+                     kGoldenRecords[i].scenario.preset);
+        EXPECT_EQ(set[i].numPhysRegs,
+                  kGoldenRecords[i].scenario.numPhysRegs);
+        EXPECT_EQ(set[i].maxInsts,
+                  kGoldenRecords[i].scenario.maxInsts);
+    }
+}
+
+std::string
+goldenTestName(const ::testing::TestParamInfo<std::size_t> &info)
+{
+    const GoldenScenario &g = kGoldenRecords[info.param].scenario;
+    return std::string(g.benchmark) + "_" + g.preset + "_r" +
+           std::to_string(g.numPhysRegs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GoldenStatsTest,
+    ::testing::Range<std::size_t>(0, sizeof(kGoldenRecords) /
+                                         sizeof(kGoldenRecords[0])),
+    goldenTestName);
+
+} // namespace
+} // namespace golden
+} // namespace dvi

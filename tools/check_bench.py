@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_core_throughput.json run against the committed
+baseline and fail on a large throughput regression.
+
+Usage:
+    tools/check_bench.py CURRENT.json BASELINE.json [--max-regression 0.30]
+
+Compares total simulated-instructions-per-second. The threshold is
+deliberately loose (30% by default): the baseline was recorded on one
+machine and CI runners differ, so this is a smoke test for large
+regressions (an accidental O(window) scan creeping back into the
+timing core), not a microbenchmark.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("current")
+    p.add_argument("baseline")
+    p.add_argument("--max-regression", type=float, default=0.30,
+                   help="maximum allowed fractional drop in total "
+                        "insts/sec (default 0.30)")
+    args = p.parse_args()
+
+    with open(args.current) as f:
+        cur = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    cur_ips = cur["total"]["instsPerSec"]
+    base_ips = base["total"]["instsPerSec"]
+    if base_ips <= 0:
+        print("baseline total.instsPerSec is not positive; "
+              "regenerate the baseline", file=sys.stderr)
+        return 2
+
+    ratio = cur_ips / base_ips
+    print(f"throughput: current {cur_ips / 1e6:.2f} Minsts/s, "
+          f"baseline {base_ips / 1e6:.2f} Minsts/s "
+          f"(ratio {ratio:.3f})")
+
+    for preset, agg in sorted(cur.get("presets", {}).items()):
+        b = base.get("presets", {}).get(preset)
+        if b and b.get("instsPerSec", 0) > 0:
+            print(f"  {preset:8s} {agg['instsPerSec'] / 1e6:8.2f} "
+                  f"vs {b['instsPerSec'] / 1e6:8.2f} Minsts/s "
+                  f"({agg['instsPerSec'] / b['instsPerSec']:.3f}x)")
+
+    if ratio < 1.0 - args.max_regression:
+        print(f"FAIL: throughput regressed by "
+              f"{100 * (1 - ratio):.1f}% "
+              f"(> {100 * args.max_regression:.0f}% allowed)",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,9 @@ usage(const char *argv0)
         "  --mode M        run only the jobs of one DVI preset\n"
         "                  (none, idvi, full, dense); renders the\n"
         "                  generic report table\n"
+        "  --profile       measure per-job wall-clock; adds wallSeconds\n"
+        "                  and instsPerSec to reports (breaks report\n"
+        "                  byte-stability across runs)\n"
         "  --out FILE      write a machine-readable report\n"
         "  --format F      report format: json (default) or csv\n"
         "  --quiet         suppress the tables on stdout\n"
@@ -120,6 +123,8 @@ main(int argc, char **argv)
             out_path = value();
         } else if (arg == "--format") {
             format = value();
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -187,10 +192,16 @@ main(int argc, char **argv)
 
     driver::CampaignOptions copts;
     copts.jobs = opts.jobs;
+    copts.profile = opts.profile || entry.profile;
 
     const auto t0 = std::chrono::steady_clock::now();
     const driver::CampaignReport report = campaign.run(copts);
     const auto t1 = std::chrono::steady_clock::now();
+
+    // Artifact emission (e.g. BENCH files) is not display: it runs
+    // under --quiet and preset filters alike.
+    if (entry.emit)
+        entry.emit(report);
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 
