@@ -4,7 +4,7 @@
  *
  * Usage:
  *   dvi_sim [--benchmark NAME] [--edvi none|callsites|dense]
- *           [--mode none|idvi|full] [--insts N] [--regfile N]
+ *           [--mode none|idvi|full|dense] [--insts N] [--regfile N]
  *           [--ports N] [--width N] [--disasm] [--oracle]
  *
  * Examples:
@@ -20,7 +20,6 @@
 
 #include "arch/emulator.hh"
 #include "compiler/compile.hh"
-#include "harness/experiment.hh"
 #include "sim/scenario.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
@@ -38,7 +37,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--benchmark NAME] [--edvi "
                  "none|callsites|dense]\n"
-                 "          [--mode none|idvi|full] [--insts N] "
+                 "          [--mode none|idvi|full|dense] [--insts N] "
                  "[--regfile N]\n"
                  "          [--ports N] [--width N] [--disasm] "
                  "[--oracle]\n",
@@ -63,7 +62,7 @@ main(int argc, char **argv)
 {
     workload::BenchmarkId bench = workload::BenchmarkId::Perl;
     comp::EdviPolicy edvi = comp::EdviPolicy::CallSites;
-    harness::DviMode mode = harness::DviMode::Full;
+    sim::DviPreset mode = sim::presetFull();
     std::uint64_t insts = 200000;
     unsigned regfile = 80;
     unsigned ports = 2;
@@ -91,12 +90,12 @@ main(int argc, char **argv)
             edvi = *parsed;
         } else if (arg == "--mode") {
             const std::string v = next();
-            const auto parsed = harness::parseDviMode(v);
+            const auto parsed = sim::parsePreset(v);
             if (!parsed) {
                 std::fprintf(stderr,
                              "unknown DVI mode '%s' (valid: %s)\n",
                              v.c_str(),
-                             harness::dviModeTokens().c_str());
+                             sim::presetTokens().c_str());
                 usage(argv[0]);
             }
             mode = *parsed;
@@ -168,12 +167,11 @@ main(int argc, char **argv)
     cfg.cachePorts = ports;
     cfg.numPhysRegs = regfile;
     cfg.maxInsts = insts;
-    cfg.dvi = harness::dviConfigFor(mode);
+    cfg.dvi = mode.hw;
     uarch::Core core(exe, cfg);
     const uarch::CoreStats &s = core.run();
 
-    Table t("timing simulation (" + harness::dviModeName(mode) +
-            ")");
+    Table t("timing simulation (" + mode.display + ")");
     t.setHeader({"metric", "value"});
     t.addRow({"cycles", Table::fmt(s.cycles)});
     t.addRow({"instructions", Table::fmt(s.committedProgInsts)});

@@ -1,0 +1,294 @@
+#include "base/fields.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace fields
+{
+
+void
+FieldSet::add(Field f)
+{
+    panic_if(f.path.empty(), "field binding needs a path");
+    panic_if(!f.get || !f.set, "field '", f.path,
+             "' needs both a getter and a setter");
+    panic_if(find(f.path), "field '", f.path,
+             "' is bound twice");
+    fields_.push_back(std::move(f));
+}
+
+namespace
+{
+
+/** One binding shape for every unsigned integral width: a u64 JSON
+ * value narrowed with a round-trip check. */
+template <typename T>
+FieldSet::Field
+integralField(std::string path, T &ref)
+{
+    FieldSet::Field f;
+    f.path = std::move(path);
+    f.kind = "u64";
+    f.get = [&ref]() {
+        return json::Value(static_cast<std::uint64_t>(ref));
+    };
+    f.set = [&ref](const json::Value &v) -> std::string {
+        if (!v.isU64())
+            return std::string(
+                       "expected an unsigned integer, got ") +
+                   v.typeName();
+        const T narrowed = static_cast<T>(v.u64());
+        if (static_cast<std::uint64_t>(narrowed) != v.u64())
+            return "value " + std::to_string(v.u64()) +
+                   " is out of range (max " +
+                   std::to_string(std::numeric_limits<T>::max()) +
+                   ")";
+        ref = narrowed;
+        return "";
+    };
+    return f;
+}
+
+} // namespace
+
+void
+FieldSet::bindU64(std::string path, std::uint64_t &ref)
+{
+    add(integralField(std::move(path), ref));
+}
+
+void
+FieldSet::bindUnsigned(std::string path, unsigned &ref)
+{
+    add(integralField(std::move(path), ref));
+}
+
+void
+FieldSet::bindSize(std::string path, std::size_t &ref)
+{
+    add(integralField(std::move(path), ref));
+}
+
+void
+FieldSet::bindBool(std::string path, bool &ref)
+{
+    Field f;
+    f.path = std::move(path);
+    f.kind = "bool";
+    f.get = [&ref]() { return json::Value(ref); };
+    f.set = [&ref](const json::Value &v) -> std::string {
+        if (!v.isBool())
+            return std::string("expected true or false, got ") +
+                   v.typeName();
+        ref = v.boolean();
+        return "";
+    };
+    add(std::move(f));
+}
+
+void
+FieldSet::bindF64(std::string path, double &ref)
+{
+    Field f;
+    f.path = std::move(path);
+    f.kind = "f64";
+    f.get = [&ref]() { return json::Value(ref); };
+    f.set = [&ref](const json::Value &v) -> std::string {
+        if (!v.isF64() && !v.isU64())
+            return std::string("expected a number, got ") +
+                   v.typeName();
+        ref = v.number();
+        return "";
+    };
+    add(std::move(f));
+}
+
+void
+FieldSet::bindString(std::string path, std::string &ref)
+{
+    Field f;
+    f.path = std::move(path);
+    f.kind = "string";
+    f.get = [&ref]() { return json::Value(ref); };
+    f.set = [&ref](const json::Value &v) -> std::string {
+        if (!v.isString())
+            return std::string("expected a string, got ") +
+                   v.typeName();
+        ref = v.str();
+        return "";
+    };
+    add(std::move(f));
+}
+
+std::string
+FieldSet::joinTokens(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+const FieldSet::Field *
+FieldSet::find(const std::string &path) const
+{
+    for (const Field &f : fields_)
+        if (f.path == path)
+            return &f;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Descend into (creating) the object at the path's parent segments
+ * and set the leaf member. */
+void
+setNested(json::Value &root, const std::string &path,
+          json::Value leaf)
+{
+    json::Value *node = &root;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos)
+            break;
+        const std::string seg = path.substr(start, dot - start);
+        if (!node->find(seg))
+            node->set(seg, json::Value::object());
+        // find() returns const; set()/find() address stable only
+        // until the next set() on this node, which is fine for one
+        // descend-then-write pass.
+        node = const_cast<json::Value *>(node->find(seg));
+        start = dot + 1;
+    }
+    node->set(path.substr(start), std::move(leaf));
+}
+
+} // namespace
+
+json::Value
+FieldSet::toJson() const
+{
+    json::Value out = json::Value::object();
+    for (const Field &f : fields_)
+        setNested(out, f.path, f.get());
+    return out;
+}
+
+json::Value
+FieldSet::toJsonDiff(const FieldSet &defaults,
+                     const std::vector<std::string> &force) const
+{
+    json::Value out = json::Value::object();
+    for (const Field &f : fields_) {
+        const Field *base = defaults.find(f.path);
+        panic_if(!base, "toJsonDiff: defaults have no field '",
+                 f.path, "'");
+        const bool forced =
+            std::find(force.begin(), force.end(), f.path) !=
+            force.end();
+        const json::Value v = f.get();
+        if (forced || v != base->get())
+            setNested(out, f.path, v);
+    }
+    return out;
+}
+
+std::string
+FieldSet::applyObject(const json::Value &obj,
+                      const std::string &prefix)
+{
+    for (const auto &kv : obj.members()) {
+        const std::string path = prefix.empty()
+                                     ? kv.first
+                                     : prefix + "." + kv.first;
+        if (const Field *f = find(path)) {
+            const std::string err = f->set(kv.second);
+            if (!err.empty())
+                return path + ": " + err;
+            continue;
+        }
+        // Not a leaf: recurse when some binding lives below it,
+        // otherwise the key is unknown at this level.
+        bool interior = false;
+        const std::string sub = path + ".";
+        for (const Field &f : fields_) {
+            if (f.path.compare(0, sub.size(), sub) == 0) {
+                interior = true;
+                break;
+            }
+        }
+        if (!interior)
+            return path + ": unknown field";
+        if (!kv.second.isObject())
+            return path + ": expected an object, got " +
+                   std::string(kv.second.typeName());
+        const std::string err = applyObject(kv.second, path);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+std::string
+FieldSet::applyJson(const json::Value &obj)
+{
+    if (!obj.isObject())
+        return std::string("expected an object, got ") +
+               obj.typeName();
+    return applyObject(obj, "");
+}
+
+std::string
+FieldSet::applyString(const std::string &path,
+                      const std::string &value)
+{
+    const Field *f = find(path);
+    if (!f)
+        return path + ": unknown field";
+
+    json::Value v;
+    if (f->kind == "u64") {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        if (value.empty() || value[0] == '-' || errno != 0 ||
+            !end || *end != '\0')
+            return path + ": expected an unsigned integer, got '" +
+                   value + "'";
+        v = json::Value(static_cast<std::uint64_t>(parsed));
+    } else if (f->kind == "bool") {
+        if (value == "true" || value == "1")
+            v = json::Value(true);
+        else if (value == "false" || value == "0")
+            v = json::Value(false);
+        else
+            return path + ": expected true or false, got '" + value +
+                   "'";
+    } else if (f->kind == "f64") {
+        char *end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (value.empty() || !end || *end != '\0')
+            return path + ": expected a number, got '" + value + "'";
+        v = json::Value(parsed);
+    } else {  // "string" / "enum"
+        v = json::Value(value);
+    }
+
+    const std::string err = f->set(v);
+    return err.empty() ? "" : path + ": " + err;
+}
+
+} // namespace fields
+} // namespace dvi

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Declarative field bindings: one named, typed, dotted-path list per
+ * config struct.
+ *
+ * A FieldSet binds the scalar fields of a live object tree to dotted
+ * paths ("hardware.core.windowSize", "binary.edvi", ...), each with
+ * a JSON-facing getter and a validating setter. Everything the
+ * configuration surface needs falls out of that one list:
+ *
+ *  - **Serialization** — toJson() nests the dotted paths back into a
+ *    JSON object, in registration order; toJsonDiff() emits only the
+ *    fields that differ from a parallel default-bound set, so
+ *    manifests stay small while remaining complete.
+ *  - **Deserialization** — applyJson() walks a JSON object in
+ *    document order and applies each leaf through its binding;
+ *    unknown keys, wrong types, out-of-range values, and bad enum
+ *    tokens all fail softly with the offending dotted path in the
+ *    message, never with an abort.
+ *  - **Overrides** — applyString() parses one "--set path=value"
+ *    textual override through the same bindings, so the CLI, the
+ *    manifest loader, and report provenance cannot drift apart.
+ *
+ * Per-struct describeFields() overloads (sim/manifest.hh) register
+ * the bindings; this header is the struct-agnostic machinery. A
+ * FieldSet holds references into the bound object and must not
+ * outlive it.
+ */
+
+#ifndef DVI_BASE_FIELDS_HH
+#define DVI_BASE_FIELDS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace dvi
+{
+namespace fields
+{
+
+/** Ordered (token, value) spellings of an enum-like field. */
+template <typename E>
+using EnumTokens = std::vector<std::pair<std::string, E>>;
+
+/** A declarative list of named, typed field bindings. */
+class FieldSet
+{
+  public:
+    /** One leaf binding. `set` returns "" on success or a reason
+     * (without the path — FieldSet prefixes it). */
+    struct Field
+    {
+        std::string path;   ///< full dotted path
+        std::string kind;   ///< "u64" / "bool" / "f64" / "string" / "enum"
+        std::string tokens; ///< comma-joined valid tokens (enums only)
+        std::function<json::Value()> get;
+        std::function<std::string(const json::Value &)> set;
+    };
+
+    // ------------------------------------------------- registration
+
+    /** Register a fully custom binding (e.g. a field whose setter
+     * has side effects, like a preset token). */
+    void add(Field f);
+
+    void bindU64(std::string path, std::uint64_t &ref);
+    /** Range-checked u64 narrowing to `unsigned`. */
+    void bindUnsigned(std::string path, unsigned &ref);
+    void bindSize(std::string path, std::size_t &ref);
+    void bindBool(std::string path, bool &ref);
+    void bindF64(std::string path, double &ref);
+    void bindString(std::string path, std::string &ref);
+
+    /** Enum field spelled as one of `tokens`' names. */
+    template <typename E>
+    void
+    bindEnum(std::string path, E &ref, const EnumTokens<E> &tokens)
+    {
+        // One shared copy serves both closures (token maps are
+        // usually static singletons, but a caller may pass a
+        // temporary, so the binding owns its copy).
+        auto map = std::make_shared<const EnumTokens<E>>(tokens);
+        Field f;
+        f.path = std::move(path);
+        f.kind = "enum";
+        f.tokens = joinTokens(tokenNames(tokens));
+        f.get = [&ref, map]() -> json::Value {
+            for (const auto &t : *map)
+                if (t.second == ref)
+                    return json::Value(t.first);
+            return json::Value("<unnamed>");
+        };
+        const std::string valid = f.tokens;
+        f.set = [&ref, map, valid](
+                    const json::Value &v) -> std::string {
+            if (!v.isString())
+                return std::string("expected a string token, got ") +
+                       v.typeName();
+            for (const auto &t : *map) {
+                if (t.first == v.str()) {
+                    ref = t.second;
+                    return "";
+                }
+            }
+            return "unknown token '" + v.str() + "' (valid: " +
+                   valid + ")";
+        };
+        add(std::move(f));
+    }
+
+    // ------------------------------------------------------- access
+
+    const std::vector<Field> &fields() const { return fields_; }
+    const Field *find(const std::string &path) const;
+
+    /** Every field, nested by dotted path, in registration order. */
+    json::Value toJson() const;
+
+    /**
+     * Only the fields whose value differs from the same path in
+     * `defaults` (a FieldSet with an identical path list, bound to a
+     * baseline object). Paths absent from the diff therefore mean
+     * "the default", making sparse documents complete. Paths in
+     * `force` are emitted even when equal (identity fields a reader
+     * should always see), in registration order like the rest.
+     */
+    json::Value
+    toJsonDiff(const FieldSet &defaults,
+               const std::vector<std::string> &force = {}) const;
+
+    /**
+     * Apply a nested JSON object in document order. Returns "" on
+     * success, else one "path: reason" diagnostic for the first
+     * unknown key, type mismatch, out-of-range value, or bad token.
+     */
+    std::string applyJson(const json::Value &obj);
+
+    /** Apply one "--set"-style override; `value` is parsed according
+     * to the field's kind. Same soft-error contract as applyJson. */
+    std::string applyString(const std::string &path,
+                            const std::string &value);
+
+  private:
+    template <typename E>
+    static std::vector<std::string>
+    tokenNames(const EnumTokens<E> &tokens)
+    {
+        std::vector<std::string> names;
+        names.reserve(tokens.size());
+        for (const auto &t : tokens)
+            names.push_back(t.first);
+        return names;
+    }
+
+    static std::string joinTokens(const std::vector<std::string> &);
+
+    std::string applyObject(const json::Value &obj,
+                            const std::string &prefix);
+
+    std::vector<Field> fields_;
+};
+
+} // namespace fields
+} // namespace dvi
+
+#endif // DVI_BASE_FIELDS_HH

@@ -1,0 +1,647 @@
+#include "base/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace json
+{
+
+Value::Value(int v)
+{
+    panic_if(v < 0, "json::Value(int) requires a non-negative value; "
+                    "use Value(double) for ", v);
+    type_ = Type::U64;
+    u64_ = static_cast<std::uint64_t>(v);
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+const char *
+Value::typeName() const
+{
+    switch (type_) {
+      case Type::Null: return "null";
+      case Type::Bool: return "boolean";
+      case Type::U64: return "unsigned integer";
+      case Type::F64: return "number";
+      case Type::String: return "string";
+      case Type::Array: return "array";
+      case Type::Object: return "object";
+    }
+    panic("bad json::Value::Type");
+}
+
+double
+Value::number() const
+{
+    return type_ == Type::U64 ? static_cast<double>(u64_) : f64_;
+}
+
+void
+Value::push(Value v)
+{
+    panic_if(type_ != Type::Array, "json::Value::push on a ",
+             typeName());
+    arr_.push_back(std::move(v));
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    panic_if(type_ != Type::Object, "json::Value::set on a ",
+             typeName());
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+Value::operator==(const Value &o) const
+{
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == o.bool_;
+      case Type::U64: return u64_ == o.u64_;
+      case Type::F64: return f64_ == o.f64_;
+      case Type::String: return str_ == o.str_;
+      case Type::Array: return arr_ == o.arr_;
+      case Type::Object: return obj_ == o.obj_;
+    }
+    return false;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    // NaN and infinity have no JSON spelling; emit null (the
+    // documented policy) rather than producing an unparsable file.
+    if (!std::isfinite(v))
+        return "null";
+    // Shortest representation that round-trips: try increasing
+    // precision until the value parses back exactly. Deterministic
+    // for a given bit pattern, so emission stays byte-stable.
+    char buf[40];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    // Containers only: scalar leaves dominate a report dump and
+    // must not pay for indentation strings they never use.
+    const auto pad = [&] {
+        return std::string(static_cast<std::size_t>(indent) *
+                               (static_cast<std::size_t>(depth) + 1),
+                           ' ');
+    };
+    const auto close_pad = [&] {
+        return std::string(static_cast<std::size_t>(indent) *
+                               static_cast<std::size_t>(depth),
+                           ' ');
+    };
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *sp = indent > 0 ? "" : " ";
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::U64:
+        out += std::to_string(u64_);
+        break;
+      case Type::F64:
+        out += formatDouble(f64_);
+        break;
+      case Type::String:
+        out += '"';
+        out += escape(str_);
+        out += '"';
+        break;
+      case Type::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        const std::string p = indent ? pad() : std::string();
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += i ? "," : "";
+            out += i && !indent ? sp : "";
+            out += nl;
+            out += p;
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        out += nl;
+        if (indent)
+            out += close_pad();
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        const std::string p = indent ? pad() : std::string();
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            out += i ? "," : "";
+            out += i && !indent ? sp : "";
+            out += nl;
+            out += p;
+            out += '"';
+            out += escape(obj_[i].first);
+            out += "\": ";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        out += nl;
+        if (indent)
+            out += close_pad();
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a flat byte buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ParseResult
+    parseDocument()
+    {
+        ParseResult r;
+        skipWs();
+        if (!parseValue(r.value)) {
+            r.error = positioned(err_);
+            return r;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            r.error = positioned("trailing characters after the "
+                                 "JSON document");
+            r.value = Value();
+        }
+        return r;
+    }
+
+  private:
+    bool
+    fail(std::string why)
+    {
+        if (err_.empty())
+            err_ = std::move(why);
+        return false;
+    }
+
+    std::string
+    positioned(const std::string &why) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return "line " + std::to_string(line) + ", column " +
+               std::to_string(col) + ": " + why;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return text_[pos_];
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(const char *word, Value v, Value &out)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("invalid token (expected '") +
+                        word + "'?)");
+        pos_ += n;
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        // A recursion bound keeps hostile or runaway nesting a soft
+        // error instead of a stack overflow (the contract is that
+        // parse() never crashes or aborts).
+        if (depth_ >= kMaxDepth)
+            return fail("nesting deeper than " +
+                        std::to_string(kMaxDepth) + " levels");
+        ++depth_;
+        const bool ok = parseValueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Value &out)
+    {
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': return parseString(out);
+          case 't': return literal("true", Value(true), out);
+          case 'f': return literal("false", Value(false), out);
+          case 'n': return literal("null", Value(), out);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos_;  // '{'
+        out = Value::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected a '\"'-quoted object key");
+            Value key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key \"" +
+                            key.str() + "\"");
+            skipWs();
+            Value member;
+            if (!parseValue(member))
+                return false;
+            if (out.find(key.str()))
+                return fail("duplicate object key \"" + key.str() +
+                            "\"");
+            out.set(key.str(), std::move(member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos_;  // '['
+        out = Value::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            Value element;
+            if (!parseValue(element))
+                return false;
+            out.push(std::move(element));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    /** Append a code point as UTF-8. */
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xf0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        ++pos_;  // '"'
+        std::string s;
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape sequence");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  if (!parseHex4(cp))
+                      return false;
+                  // Surrogate pair -> one code point.
+                  if (cp >= 0xd800 && cp <= 0xdbff &&
+                      pos_ + 1 < text_.size() &&
+                      text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                      pos_ += 2;
+                      unsigned lo = 0;
+                      if (!parseHex4(lo))
+                          return false;
+                      if (lo < 0xdc00 || lo > 0xdfff)
+                          return fail("bad low surrogate in \\u "
+                                      "escape pair");
+                      cp = 0x10000 + ((cp - 0xd800) << 10) +
+                           (lo - 0xdc00);
+                  }
+                  // An unpaired surrogate would encode to invalid
+                  // UTF-8 that our own emitter then propagates;
+                  // reject it like any strict RFC 8259 parser.
+                  if (cp >= 0xd800 && cp <= 0xdfff)
+                      return fail("unpaired surrogate in \\u "
+                                  "escape");
+                  appendUtf8(s, cp);
+                  break;
+              }
+              default:
+                return fail(std::string("unknown escape '\\") + e +
+                            "'");
+            }
+        }
+        out = Value(std::move(s));
+        return true;
+    }
+
+    /** RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?
+     * ([eE][+-]?[0-9]+)? — leading zeros and bare dots are as
+     * invalid here as in every other strict parser. */
+    static bool
+    validNumberToken(const std::string &t)
+    {
+        const auto digit = [&](std::size_t i) {
+            return i < t.size() &&
+                   std::isdigit(static_cast<unsigned char>(t[i]));
+        };
+        std::size_t i = 0;
+        if (i < t.size() && t[i] == '-')
+            ++i;
+        if (!digit(i))
+            return false;
+        if (t[i] == '0')
+            ++i;
+        else
+            while (digit(i))
+                ++i;
+        if (i < t.size() && t[i] == '.') {
+            ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+            ++i;
+            if (i < t.size() && (t[i] == '+' || t[i] == '-'))
+                ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        return i == t.size();
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (!atEnd() && peek() == '-') {
+            integral = false;  // negatives parse as F64
+            ++pos_;
+        }
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (!atEnd() && (peek() == '.' || peek() == 'e' ||
+                         peek() == 'E')) {
+            integral = false;
+            while (!atEnd() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(peek())) ||
+                    peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                    peek() == '+' || peek() == '-'))
+                ++pos_;
+        }
+        if (pos_ == start)
+            return fail("invalid token");
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (!validNumberToken(tok)) {
+            pos_ = start;
+            return fail("malformed number '" + tok + "'");
+        }
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = Value(static_cast<std::uint64_t>(v));
+                return true;
+            }
+            // Overflowed u64: fall through to double (lossy but
+            // still a number; >2^64 literals are not simulator
+            // counters).
+        }
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0') {
+            pos_ = start;
+            return fail("malformed number '" + tok + "'");
+        }
+        out = Value(d);
+        return true;
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace json
+} // namespace dvi

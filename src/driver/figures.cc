@@ -6,7 +6,6 @@
 
 #include "base/logging.hh"
 #include "driver/scenario_registry.hh"
-#include "harness/experiment.hh"
 #include "stats/counter.hh"
 #include "timing/regfile_timing.hh"
 
@@ -31,14 +30,6 @@ fig5Sizes()
     return sizes;
 }
 
-const std::vector<harness::DviMode> &
-fig5Modes()
-{
-    static const std::vector<harness::DviMode> modes = {
-        harness::DviMode::None, harness::DviMode::Idvi,
-        harness::DviMode::Full};
-    return modes;
-}
 
 /** A timing-run prototype with the given budget. */
 Scenario
@@ -358,9 +349,9 @@ void
 renderFig5(const CampaignReport &report, std::ostream &os)
 {
     const std::vector<unsigned> sizes = fig5Sizes();
-    const std::vector<harness::DviMode> &modes = fig5Modes();
+    const std::vector<sim::DviPreset> &presets = sim::paperPresets();
     const harness::RegfileSweep sweep =
-        regfileSweepFromReport(report, sizes, modes);
+        regfileSweepFromReport(report, sizes, presets);
 
     Table t("Figure 5: Mean IPC vs. physical register file size");
     t.setHeader({"Registers", "No DVI", "I-DVI", "E-DVI and I-DVI"});
@@ -372,7 +363,7 @@ renderFig5(const CampaignReport &report, std::ostream &os)
     os << t.render();
 
     // Knee summary: smallest size reaching 90% of each curve's peak.
-    for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t m = 0; m < presets.size(); ++m) {
         double peak = 0.0;
         for (double v : sweep.meanIpc[m])
             peak = std::max(peak, v);
@@ -383,7 +374,7 @@ renderFig5(const CampaignReport &report, std::ostream &os)
                     buf, sizeof(buf),
                     "%-16s reaches 90%% of peak IPC (%.3f) at %u "
                     "registers\n",
-                    harness::dviModeName(modes[m]).c_str(), peak,
+                    presets[m].display.c_str(), peak,
                     sizes[s]);
                 os << buf;
                 break;
@@ -399,17 +390,17 @@ void
 renderFig6(const CampaignReport &report, std::ostream &os)
 {
     const std::vector<unsigned> sizes = fig5Sizes();
-    const std::vector<harness::DviMode> &modes = fig5Modes();
+    const std::vector<sim::DviPreset> &presets = sim::paperPresets();
     const harness::RegfileSweep sweep =
-        regfileSweepFromReport(report, sizes, modes);
+        regfileSweepFromReport(report, sizes, presets);
 
     const timing::RegFileTimingModel model;
     const unsigned issue_width = 4;
 
     // perf[m][s] = IPC / access time.
     std::vector<std::vector<double>> perf(
-        modes.size(), std::vector<double>(sizes.size(), 0.0));
-    for (std::size_t m = 0; m < modes.size(); ++m)
+        presets.size(), std::vector<double>(sizes.size(), 0.0));
+    for (std::size_t m = 0; m < presets.size(); ++m)
         for (std::size_t s = 0; s < sizes.size(); ++s)
             perf[m][s] = model.performance(sweep.meanIpc[m][s],
                                            sizes[s], issue_width);
@@ -477,15 +468,15 @@ regfileGrid(const std::vector<unsigned> &sizes,
 
 Campaign
 regfileCampaign(const std::vector<unsigned> &sizes,
-                const std::vector<harness::DviMode> &modes,
+                const std::vector<sim::DviPreset> &presets,
                 std::uint64_t max_insts, std::string name)
 {
     Campaign c(std::move(name));
-    for (harness::DviMode mode : modes) {
+    for (const sim::DviPreset &preset : presets) {
         for (unsigned size : sizes) {
             for (auto id : workload::allBenchmarks()) {
                 Scenario s = timingBase(max_insts);
-                sim::applyPreset(s, harness::presetFor(mode));
+                sim::applyPreset(s, preset);
                 s.hardware.core.numPhysRegs = size;
                 s.workload = id;
                 c.add(std::move(s));
@@ -498,20 +489,20 @@ regfileCampaign(const std::vector<unsigned> &sizes,
 harness::RegfileSweep
 regfileSweepFromReport(const CampaignReport &report,
                        const std::vector<unsigned> &sizes,
-                       const std::vector<harness::DviMode> &modes)
+                       const std::vector<sim::DviPreset> &presets)
 {
     const std::size_t nbench = workload::allBenchmarks().size();
     panic_if(report.results.size() !=
-                 modes.size() * sizes.size() * nbench,
+                 presets.size() * sizes.size() * nbench,
              "regfile report does not match the grid");
 
     harness::RegfileSweep sweep;
     sweep.sizes = sizes;
-    sweep.modes = modes;
-    sweep.meanIpc.assign(modes.size(),
+    sweep.presets = presets;
+    sweep.meanIpc.assign(presets.size(),
                          std::vector<double>(sizes.size(), 0.0));
     std::size_t i = 0;
-    for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t m = 0; m < presets.size(); ++m) {
         for (std::size_t s = 0; s < sizes.size(); ++s) {
             double sum = 0.0;
             for (std::size_t b = 0; b < nbench; ++b)

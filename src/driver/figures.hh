@@ -59,16 +59,16 @@ sim::ScenarioGrid regfileGrid(const std::vector<unsigned> &sizes,
  * runRegfileSweep uses.
  */
 Campaign regfileCampaign(const std::vector<unsigned> &sizes,
-                         const std::vector<harness::DviMode> &modes,
+                         const std::vector<sim::DviPreset> &presets,
                          std::uint64_t max_insts,
                          std::string name = "regfile-sweep");
 
 /** Fold a regfile-grid report into the Fig. 5 sweep structure
- * (mean IPC over the suite per [mode][size]). */
+ * (mean IPC over the suite per [preset][size]). */
 harness::RegfileSweep
 regfileSweepFromReport(const CampaignReport &report,
                        const std::vector<unsigned> &sizes,
-                       const std::vector<harness::DviMode> &modes);
+                       const std::vector<sim::DviPreset> &presets);
 
 /** Entry point for the thin per-figure bench mains: resolves the
  * figure's scenario and forwards to scenarioMain. */

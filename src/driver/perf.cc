@@ -3,8 +3,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "driver/report.hh"
 #include "sim/grid.hh"
@@ -91,15 +91,16 @@ buildCoreThroughput(std::uint64_t insts)
                         .overWorkloads(workload::allBenchmarks()));
 }
 
-void
-emitAgg(std::ostringstream &os, const Agg &a, const char *indent)
+json::Value
+aggJson(const Agg &a)
 {
-    os << "{\"simInsts\": " << a.simInsts
-       << ", \"cycles\": " << a.cycles << ",\n"
-       << indent << " \"wallSeconds\": " << jsonNumber(a.wallSeconds)
-       << ", \"instsPerSec\": " << jsonNumber(a.instsPerSec())
-       << ", \"cyclesPerSec\": " << jsonNumber(a.cyclesPerSec())
-       << "}";
+    json::Value o = json::Value::object();
+    o.set("simInsts", a.simInsts);
+    o.set("cycles", a.cycles);
+    o.set("wallSeconds", a.wallSeconds);
+    o.set("instsPerSec", a.instsPerSec());
+    o.set("cyclesPerSec", a.cyclesPerSec());
+    return o;
 }
 
 /** Resolved output path ($DVI_BENCH_OUT overrides the default). */
@@ -116,41 +117,37 @@ emitCoreThroughput(const CampaignReport &report)
     const sim::Runner &timing = sim::runnerFor("timing");
     const ThroughputAggs aggs = aggregate(report, timing);
 
-    std::ostringstream rows;
-    bool first_row = true;
+    // The BENCH file: per-scenario rows plus aggregates.
+    json::Value doc = json::Value::object();
+    doc.set("bench", "core-throughput");
+    doc.set("jobs",
+            static_cast<std::uint64_t>(report.results.size()));
+
+    json::Value rows = json::Value::array();
     for (const JobResult &r : report.results) {
         const sim::Scenario &s = r.spec.scenario;
-        rows << (first_row ? "\n    " : ",\n    ") << "{\"benchmark\": \""
-             << jsonEscape(workload::benchmarkName(s.workload))
-             << "\", \"preset\": \"" << jsonEscape(s.preset)
-             << "\", \"simInsts\": " << timing.simulatedInsts(r.run)
-             << ", \"cycles\": " << r.run.core.cycles
-             << ",\n     \"wallSeconds\": "
-             << jsonNumber(r.wallSeconds)
-             << ", \"instsPerSec\": "
-             << jsonNumber(r.instsPerSec(timing)) << "}";
-        first_row = false;
+        json::Value row = json::Value::object();
+        row.set("benchmark", workload::benchmarkName(s.workload));
+        row.set("preset", s.preset);
+        row.set("simInsts", timing.simulatedInsts(r.run));
+        row.set("cycles", r.run.core.cycles);
+        row.set("wallSeconds", r.wallSeconds);
+        row.set("instsPerSec", r.instsPerSec(timing));
+        rows.push(std::move(row));
     }
+    doc.set("scenarios", std::move(rows));
 
-    // The BENCH file: per-scenario rows plus aggregates.
-    std::ostringstream js;
-    js << "{\n  \"bench\": \"core-throughput\",\n";
-    js << "  \"jobs\": " << report.results.size() << ",\n";
-    js << "  \"scenarios\": [" << rows.str() << "\n  ],\n";
-    js << "  \"presets\": {";
-    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i) {
-        js << (i ? ",\n    " : "\n    ") << "\""
-           << jsonEscape(aggs.presetOrder[i]) << "\": ";
-        emitAgg(js, aggs.presetAggs[i], "    ");
-    }
-    js << "\n  },\n  \"total\": ";
-    emitAgg(js, aggs.total, "  ");
-    js << "\n}\n";
+    json::Value presets = json::Value::object();
+    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i)
+        presets.set(aggs.presetOrder[i],
+                    aggJson(aggs.presetAggs[i]));
+    doc.set("presets", std::move(presets));
+    doc.set("total", aggJson(aggs.total));
 
     const std::string path = benchOutPath();
     std::ofstream out(path, std::ios::binary);
     fatal_if(!out, "cannot open '", path, "' for writing");
-    out << js.str();
+    out << doc.dump() << "\n";
     out.flush();
     fatal_if(!out, "write to '", path, "' failed");
 }

@@ -1,11 +1,9 @@
 #include "driver/report.hh"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
 
 #include "base/logging.hh"
+#include "sim/manifest.hh"
 
 namespace dvi
 {
@@ -20,46 +18,6 @@ parseReportFormat(const std::string &name)
     if (name == "csv")
         return ReportFormat::Csv;
     fatal("unknown report format '", name, "' (want json or csv)");
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonNumber(double v)
-{
-    // Shortest representation that round-trips: try increasing
-    // precision until the value parses back exactly. Deterministic
-    // for a given bit pattern, so reports stay byte-stable.
-    char buf[40];
-    for (int prec = 6; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-        if (std::strtod(buf, nullptr) == v)
-            break;
-    }
-    return buf;
 }
 
 namespace
@@ -91,107 +49,25 @@ class RunnerCache
         entries_;
 };
 
-/** Streams one "key": value pair with JSON punctuation. */
-class JsonObject
+/** The runner's metrics as an insertion-ordered JSON object. */
+json::Value
+metricsJson(const JobResult &r, const sim::Runner &runner,
+            std::vector<sim::MetricValue> &values)
 {
-  public:
-    JsonObject(std::ostringstream &os, const char *indent)
-        : os_(os), indent_(indent)
-    {
-        os_ << "{";
-    }
-
-    void
-    field(const char *key, const std::string &value)
-    {
-        next();
-        os_ << "\"" << key << "\": \"" << jsonEscape(value) << "\"";
-    }
-
-    void
-    field(const char *key, std::uint64_t value)
-    {
-        next();
-        os_ << "\"" << key << "\": " << value;
-    }
-
-    void
-    field(const char *key, double value)
-    {
-        next();
-        os_ << "\"" << key << "\": " << jsonNumber(value);
-    }
-
-    void
-    field(const char *key, bool value)
-    {
-        next();
-        os_ << "\"" << key << "\": " << (value ? "true" : "false");
-    }
-
-    void
-    close()
-    {
-        os_ << "\n" << indent_ << "}";
-    }
-
-  private:
-    void
-    next()
-    {
-        os_ << (first_ ? "\n" : ",\n") << indent_ << "  ";
-        first_ = false;
-    }
-
-    std::ostringstream &os_;
-    const char *indent_;
-    bool first_ = true;
-};
-
-void
-emitResult(std::ostringstream &os, const JobResult &r,
-           bool profiled, RunnerCache &runners,
-           std::vector<sim::MetricValue> &values)
-{
-    const sim::Scenario &s = r.spec.scenario;
-    const sim::Runner &runner = runners.of(s.runner);
-
-    JsonObject o(os, "    ");
-    o.field("index", static_cast<std::uint64_t>(r.spec.index));
-    o.field("runner", s.runner);
-    o.field("benchmark", workload::benchmarkName(s.workload));
-    o.field("preset", s.preset);
-    o.field("edviPolicy", sim::edviPolicyName(s.binary.edvi));
-    o.field("label", s.label);
-    o.field("seed", r.spec.seed);
-    o.field("maxInsts", s.budget.maxInsts);
-    o.field("numPhysRegs",
-            static_cast<std::uint64_t>(s.hardware.core.numPhysRegs));
-    o.field("issueWidth",
-            static_cast<std::uint64_t>(s.hardware.core.issueWidth));
-    o.field("cachePorts",
-            static_cast<std::uint64_t>(s.hardware.core.cachePorts));
-    o.field("il1Bytes",
-            static_cast<std::uint64_t>(s.hardware.core.il1.sizeBytes));
-    o.field("textBytes", r.textBytes);
-
     const std::vector<std::string> &keys = runner.metricKeys();
     runner.metricValues(r.run, values);
     panic_if(values.size() != keys.size(), "runner '",
              runner.name(), "': metricValues produced ",
              values.size(), " values for ", keys.size(), " keys");
+    json::Value out = json::Value::object();
     for (std::size_t i = 0; i < keys.size(); ++i) {
         const sim::MetricValue &m = values[i];
         if (m.type == sim::MetricValue::Type::U64)
-            o.field(keys[i].c_str(), m.u);
+            out.set(keys[i], json::Value(m.u));
         else
-            o.field(keys[i].c_str(), m.f);
+            out.set(keys[i], json::Value(m.f));
     }
-    if (profiled) {
-        o.field("wallSeconds", r.wallSeconds);
-        o.field("instsPerSec", r.instsPerSec(runner));
-    }
-    o.close();
+    return out;
 }
 
 /** ';'-joined "name=value" runner metrics for the table column. */
@@ -266,23 +142,44 @@ CampaignReport::toCsv() const
     return toTable().renderCsv();
 }
 
-std::string
-CampaignReport::toJson() const
+json::Value
+CampaignReport::toJsonValue() const
 {
     RunnerCache runners;
     std::vector<sim::MetricValue> values;
 
-    std::ostringstream os;
-    os << "{\n";
-    os << "  \"campaign\": \"" << jsonEscape(campaign) << "\",\n";
-    os << "  \"jobs\": " << results.size() << ",\n";
-    os << "  \"results\": [";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        os << (i ? ",\n    " : "\n    ");
-        emitResult(os, results[i], profiled, runners, values);
+    json::Value doc = json::Value::object();
+    doc.set("campaign", campaign);
+    doc.set("jobs",
+            static_cast<std::uint64_t>(results.size()));
+    json::Value arr = json::Value::array();
+    for (const JobResult &r : results) {
+        const sim::Scenario &s = r.spec.scenario;
+        const sim::Runner &runner = runners.of(s.runner);
+
+        json::Value o = json::Value::object();
+        o.set("index", static_cast<std::uint64_t>(r.spec.index));
+        o.set("seed", r.spec.seed);
+        // Provenance: the fully resolved scenario through the same
+        // field bindings the manifest loader reads, so this report
+        // re-runs via `dvi-run --manifest`.
+        o.set("scenario", sim::scenarioToJsonDiff(s));
+        o.set("textBytes", r.textBytes);
+        o.set("metrics", metricsJson(r, runner, values));
+        if (profiled) {
+            o.set("wallSeconds", r.wallSeconds);
+            o.set("instsPerSec", r.instsPerSec(runner));
+        }
+        arr.push(std::move(o));
     }
-    os << "\n  ]\n}\n";
-    return os.str();
+    doc.set("results", std::move(arr));
+    return doc;
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    return toJsonValue().dump() + "\n";
 }
 
 void

@@ -4,10 +4,15 @@
  *
  * A CampaignReport is the index-ordered vector of JobResults plus
  * emitters: a human table (stats/table), CSV (the same table's CSV
- * rendering), and JSON. All three are pure functions of the results,
- * with no timestamps, wall-clock, host names, or thread counts, so a
- * report is byte-identical across serial and parallel runs of the
- * same campaign.
+ * rendering), and JSON built through base/json. All three are pure
+ * functions of the results, with no timestamps, wall-clock, host
+ * names, or thread counts, so a report is byte-identical across
+ * serial and parallel runs of the same campaign.
+ *
+ * Every JSON result embeds its job's fully resolved scenario through
+ * the field bindings (sim/manifest.hh), which makes a report a
+ * runnable artifact: `dvi-run --manifest report.json` replays the
+ * exact campaign that produced it.
  */
 
 #ifndef DVI_DRIVER_REPORT_HH
@@ -16,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "base/json.hh"
 #include "driver/job.hh"
 #include "stats/table.hh"
 
@@ -48,22 +54,19 @@ struct CampaignReport
     /** One row per job: identity, config, and headline stats. */
     Table toTable() const;
 
-    /** toTable() in CSV form. */
+    /** toTable() in CSV form (cells escaped per RFC 4180). */
     std::string toCsv() const;
 
-    /** Stable-key, stable-order JSON document. */
+    /** The report as a JSON document: campaign, job count, and one
+     * result object per job (scenario provenance + metrics). */
+    json::Value toJsonValue() const;
+
+    /** toJsonValue() serialized; stable keys, stable order. */
     std::string toJson() const;
 
     /** Write in the given format; fatal on I/O failure. */
     void writeFile(const std::string &path, ReportFormat fmt) const;
 };
-
-/** JSON string escaping (quotes, backslashes, control chars). */
-std::string jsonEscape(const std::string &s);
-
-/** Shortest round-trippable formatting of a double ("%.17g" pruned),
- * identical for identical bit patterns. */
-std::string jsonNumber(double v);
 
 } // namespace driver
 } // namespace dvi

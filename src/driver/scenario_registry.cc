@@ -94,6 +94,21 @@ resolveScenarioInsts(const RegisteredScenario &s,
                      : harness::benchInsts(s.defaultInsts);
 }
 
+sim::CampaignManifest
+scenarioManifest(const RegisteredScenario &s,
+                 std::uint64_t max_insts)
+{
+    const Campaign campaign =
+        s.build(resolveScenarioInsts(s, max_insts));
+    sim::CampaignManifest m;
+    m.name = campaign.name();
+    m.profile = s.profile;
+    m.scenarios.reserve(campaign.size());
+    for (const JobSpec &job : campaign.jobs())
+        m.scenarios.push_back(job.scenario);
+    return m;
+}
+
 CampaignReport
 runScenario(const std::string &name, const ScenarioOptions &opts,
             std::ostream &os)

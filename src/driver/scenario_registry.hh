@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "driver/campaign.hh"
+#include "sim/manifest.hh"
 
 namespace dvi
 {
@@ -88,6 +89,15 @@ const RegisteredScenario &scenarioFor(const std::string &name);
  * the scenario's default. */
 std::uint64_t resolveScenarioInsts(const RegisteredScenario &s,
                                    std::uint64_t max_insts);
+
+/**
+ * Expand a registered scenario into its manifest payload: the fully
+ * built job grid at the resolved budget (`dvi-run --emit-manifest`).
+ * Loading the result back (sim::manifestFromJson) and running it
+ * reproduces the registry-direct report byte for byte.
+ */
+sim::CampaignManifest scenarioManifest(const RegisteredScenario &s,
+                                       std::uint64_t max_insts);
 
 /** Options for runScenario / scenarioMain. */
 struct ScenarioOptions

@@ -1,6 +1,5 @@
 #include "harness/experiment.hh"
 
-#include <cctype>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -24,87 +23,23 @@ buildBenchmark(workload::BenchmarkId id)
     return b;
 }
 
-std::string
-dviModeName(DviMode mode)
+const comp::Executable &
+exeFor(const BuiltBenchmark &b, comp::EdviPolicy policy)
 {
-    switch (mode) {
-      case DviMode::None: return "No DVI";
-      case DviMode::Idvi: return "I-DVI";
-      case DviMode::Full: return "E-DVI and I-DVI";
+    switch (policy) {
+      case comp::EdviPolicy::None: return b.plain;
+      case comp::EdviPolicy::CallSites: return b.edvi;
+      case comp::EdviPolicy::Dense:
+        panic("BuiltBenchmark carries no dense-E-DVI binary; "
+              "compile one with comp::compile");
     }
-    panic("bad DviMode");
-}
-
-const std::vector<DviMode> &
-allDviModes()
-{
-    static const std::vector<DviMode> modes = {
-        DviMode::None, DviMode::Idvi, DviMode::Full};
-    return modes;
-}
-
-std::string
-dviModeToken(DviMode mode)
-{
-    switch (mode) {
-      case DviMode::None: return "none";
-      case DviMode::Idvi: return "idvi";
-      case DviMode::Full: return "full";
-    }
-    panic("bad DviMode");
-}
-
-std::string
-dviModeTokens()
-{
-    std::string out;
-    for (DviMode mode : allDviModes()) {
-        if (!out.empty())
-            out += ", ";
-        out += dviModeToken(mode);
-    }
-    return out;
-}
-
-std::optional<DviMode>
-parseDviMode(const std::string &name)
-{
-    std::string t = name;
-    for (char &c : t)
-        c = static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c)));
-    for (DviMode mode : allDviModes())
-        if (t == dviModeToken(mode))
-            return mode;
-    return std::nullopt;
+    panic("bad EdviPolicy");
 }
 
 const comp::Executable &
-exeFor(const BuiltBenchmark &b, DviMode mode)
+exeFor(const BuiltBenchmark &b, const sim::DviPreset &preset)
 {
-    return mode == DviMode::Full ? b.edvi : b.plain;
-}
-
-uarch::DviConfig
-dviConfigFor(DviMode mode)
-{
-    switch (mode) {
-      case DviMode::None: return uarch::DviConfig::none();
-      case DviMode::Idvi: return uarch::DviConfig::idviOnly();
-      case DviMode::Full: return uarch::DviConfig::full();
-    }
-    panic("bad DviMode");
-}
-
-sim::DviPreset
-presetFor(DviMode mode)
-{
-    switch (mode) {
-      case DviMode::None: return sim::presetNone();
-      case DviMode::Idvi: return sim::presetIdvi();
-      case DviMode::Full: return sim::presetFull();
-    }
-    panic("bad DviMode");
+    return exeFor(b, preset.edvi);
 }
 
 std::uint64_t

@@ -1,17 +1,21 @@
 /**
  * @file
  * Shared experiment plumbing for the bench binaries: benchmark
- * construction (generate -> compile with and without E-DVI), DVI
- * mode selection, run-length control, and oracle/timing runners.
+ * construction (generate -> compile with and without E-DVI),
+ * run-length control, and oracle/timing runners.
+ *
+ * The DVI-configuration axis lives in sim/scenario.hh as the named
+ * DviPreset constructors; the legacy three-way DviMode enum this
+ * header used to define (which conflated the binary and hardware
+ * axes) is gone, so there is exactly one spelling of the preset
+ * axis across the CLI, the benches, and the manifests.
  */
 
 #ifndef DVI_HARNESS_EXPERIMENT_HH
 #define DVI_HARNESS_EXPERIMENT_HH
 
 #include <cstdint>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "arch/emulator.hh"
 #include "compiler/compile.hh"
@@ -43,37 +47,14 @@ struct BuiltBenchmark
  */
 BuiltBenchmark buildBenchmark(workload::BenchmarkId id);
 
-/** The three DVI configurations of Fig. 5/6/12. */
-enum class DviMode
-{
-    None,  ///< baseline: no DVI at all, plain binary
-    Idvi,  ///< I-DVI only: plain binary, convention kills
-    Full,  ///< E-DVI + I-DVI: annotated binary, all sources
-};
+/** Binary matching an E-DVI policy (None -> plain, CallSites ->
+ * annotated; Dense has no pre-built binary here and panics). */
+const comp::Executable &exeFor(const BuiltBenchmark &b,
+                               comp::EdviPolicy policy);
 
-std::string dviModeName(DviMode mode);
-
-/** Canonical lower-case token ("none" / "idvi" / "full"). */
-std::string dviModeToken(DviMode mode);
-
-/** Comma-separated list of valid mode tokens, for usage errors. */
-std::string dviModeTokens();
-
-/** All three modes, in the paper's reporting order. */
-const std::vector<DviMode> &allDviModes();
-
-/** Parse a mode token, case-insensitively; nullopt if unknown (so
- * CLIs can print a usage error instead of aborting). */
-std::optional<DviMode> parseDviMode(const std::string &name);
-
-/** Binary appropriate for a DVI mode. */
-const comp::Executable &exeFor(const BuiltBenchmark &b, DviMode mode);
-
-/** Hardware DVI knobs for a mode. */
-uarch::DviConfig dviConfigFor(DviMode mode);
-
-/** The scenario-layer preset equivalent to a DviMode column. */
-sim::DviPreset presetFor(DviMode mode);
+/** Binary matching a preset's binary axis. */
+const comp::Executable &exeFor(const BuiltBenchmark &b,
+                               const sim::DviPreset &preset);
 
 /**
  * Per-run dynamic instruction budget: DVI_BENCH_INSTS from the

@@ -9,7 +9,7 @@ namespace harness
 
 RegfileSweep
 runRegfileSweep(const std::vector<unsigned> &sizes,
-                const std::vector<DviMode> &modes,
+                const std::vector<sim::DviPreset> &presets,
                 std::uint64_t max_insts, unsigned jobs)
 {
     // The grid runs as a driver campaign: jobs shard across worker
@@ -17,11 +17,11 @@ runRegfileSweep(const std::vector<unsigned> &sizes,
     // fold below reads results by index, so the sweep is identical
     // for any worker count.
     const driver::Campaign campaign =
-        driver::regfileCampaign(sizes, modes, max_insts);
+        driver::regfileCampaign(sizes, presets, max_insts);
     driver::CampaignOptions opts;
     opts.jobs = jobs;
     const driver::CampaignReport report = campaign.run(opts);
-    return driver::regfileSweepFromReport(report, sizes, modes);
+    return driver::regfileSweepFromReport(report, sizes, presets);
 }
 
 } // namespace harness

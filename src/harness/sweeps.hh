@@ -6,7 +6,6 @@
 #ifndef DVI_HARNESS_SWEEPS_HH
 #define DVI_HARNESS_SWEEPS_HH
 
-#include <map>
 #include <vector>
 
 #include "harness/experiment.hh"
@@ -20,21 +19,21 @@ namespace harness
 struct RegfileSweep
 {
     std::vector<unsigned> sizes;
-    std::vector<DviMode> modes;
-    /** meanIpc[mode index][size index]: unweighted mean over the
+    std::vector<sim::DviPreset> presets;
+    /** meanIpc[preset index][size index]: unweighted mean over the
      * benchmark suite (the paper's "average workload"). */
     std::vector<std::vector<double>> meanIpc;
 };
 
 /**
  * Run the Fig. 5 sweep: mean IPC over all benchmarks as a function
- * of physical register file size, per DVI mode. The grid is
+ * of physical register file size, per DVI preset. The grid is
  * submitted to the parallel campaign driver (src/driver/); `jobs`
  * worker threads shard it (1 = serial, 0 = one per hardware
  * thread). The result is identical for any worker count.
  */
 RegfileSweep runRegfileSweep(const std::vector<unsigned> &sizes,
-                             const std::vector<DviMode> &modes,
+                             const std::vector<sim::DviPreset> &presets,
                              std::uint64_t max_insts,
                              unsigned jobs = 1);
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Declarative scenario manifests.
+ *
+ * This is the layer that makes every Scenario *data*: per-struct
+ * describeFields() bindings (base/fields.hh) give each config struct
+ * a single declarative list of named, typed, dotted-path fields, and
+ * on top of that Scenarios and whole campaigns round-trip to/from
+ * JSON. The same bindings serve four surfaces, so they cannot drift:
+ *
+ *  - `dvi-run --emit-manifest NAME` writes any registered campaign
+ *    as an editable JSON manifest;
+ *  - `dvi-run --manifest FILE` runs a user-authored manifest without
+ *    recompiling anything (the SimpleScalar external-config
+ *    separation, done as a first-class API);
+ *  - `dvi-run --set path=value` overrides any bound field on any
+ *    scenario source;
+ *  - campaign reports embed each job's fully resolved scenario, so a
+ *    report is itself a loadable, re-runnable manifest.
+ *
+ * Scenario JSON is *sparse*: a scenario object lists only the fields
+ * that differ from its baseline (a default Scenario with the
+ * object's own `preset` applied), so absent paths mean "the
+ * default" and small manifests stay complete. Fields apply in
+ * document order; `preset` expands into the binary and hardware DVI
+ * axes when set, so put it before any field it would overwrite —
+ * emitted manifests already do.
+ *
+ * All loading is soft-error: malformed documents return a diagnostic
+ * naming the offending dotted path (never an abort), so CLIs can
+ * attach the file name and unit tests can assert on messages.
+ */
+
+#ifndef DVI_SIM_MANIFEST_HH
+#define DVI_SIM_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "base/fields.hh"
+#include "base/json.hh"
+#include "sim/scenario.hh"
+
+namespace dvi
+{
+namespace sim
+{
+
+// ------------------------------------------------ per-struct fields
+//
+// Each overload registers the struct's scalar fields under `prefix`
+// (e.g. "hardware.core."). Composite structs recurse into their
+// members, so describeFields(fs, "", scenario) yields the complete
+// dotted-path list for a run.
+
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    BinaryConfig &c);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    uarch::DviConfig &c);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    mem::CacheParams &c);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    predictor::PredictorParams &p);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    uarch::CoreConfig &c);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    HardwareConfig &c);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    arch::EmulatorOptions &o);
+void describeFields(fields::FieldSet &fs, const std::string &prefix,
+                    RunBudget &b);
+/** The whole run: runner, workload, preset, label, and every nested
+ * struct. The `preset` binding's setter expands the named preset
+ * (applyPreset) so manifests may say just {"preset": "full"}. */
+void describeFields(fields::FieldSet &fs, Scenario &s);
+
+/** Complete field set over a live scenario (which must outlive it). */
+fields::FieldSet scenarioFields(Scenario &s);
+
+// -------------------------------------------------- enum name maps
+
+/** Token map for comp::EdviPolicy ("none" / "callsites" / "dense"). */
+const fields::EnumTokens<comp::EdviPolicy> &edviPolicyTokenMap();
+
+/** Token map for workload::BenchmarkId (paper reporting order). */
+const fields::EnumTokens<workload::BenchmarkId> &benchmarkTokenMap();
+
+// -------------------------------------------- scenario <-> JSON
+
+/** Every bound field, fully expanded. */
+json::Value scenarioToJson(const Scenario &s);
+
+/** Sparse form: `preset` plus the fields that differ from a default
+ * scenario with that preset applied (see the file comment). This is
+ * what manifests and report provenance embed. */
+json::Value scenarioToJsonDiff(const Scenario &s);
+
+/** Apply a scenario object over `s` in document order. Returns ""
+ * or a "path: reason" diagnostic. */
+std::string scenarioFromJson(const json::Value &obj, Scenario &s);
+
+// -------------------------------------------- campaign manifests
+
+/** A named, fully expanded list of scenarios — the manifest payload
+ * (driver::Campaign adopts it verbatim). */
+struct CampaignManifest
+{
+    std::string name;
+    std::vector<Scenario> scenarios;
+
+    /** Run with per-job wall-clock profiling by default (recorded by
+     * --emit-manifest from the registered scenario). */
+    bool profile = false;
+};
+
+/** Serialize as {"campaign", "profile"?, "jobs": [sparse scenario
+ * objects]}; ends with a newline. */
+std::string manifestToJson(const CampaignManifest &m);
+
+/**
+ * Parse a manifest from JSON text. Three job sources are accepted:
+ *
+ *  - "jobs": an array of sparse scenario objects, each applied over
+ *    a copy of the "defaults" scenario (itself optional);
+ *  - "axes": a declarative grid — an array of {"path", "values",
+ *    "label"?} axes expanded as a cartesian product over the
+ *    defaults, first axis outermost (ScenarioGrid order); axes with
+ *    "label": true contribute their value to the row label,
+ *    "-"-joined;
+ *  - "results": a campaign report (each entry's "scenario" object is
+ *    loaded), so any report re-runs as a manifest.
+ *
+ * Exactly one source may be present; with none, the manifest is the
+ * single defaults scenario. Returns "" on success or a diagnostic
+ * naming the offending dotted path / entry index.
+ */
+std::string manifestFromJson(const std::string &text,
+                             CampaignManifest &out);
+
+} // namespace sim
+} // namespace dvi
+
+#endif // DVI_SIM_MANIFEST_HH

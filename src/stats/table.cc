@@ -90,10 +90,25 @@ Table::print() const
 std::string
 Table::renderCsv() const
 {
+    // RFC 4180 escaping: cells containing a comma, quote, or line
+    // break are quoted, with embedded quotes doubled. Scenario
+    // labels are free-form, so this cannot be skipped.
+    const auto cell = [](const std::string &s) -> std::string {
+        if (s.find_first_of(",\"\n\r") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            out += c;
+            if (c == '"')
+                out += '"';
+        }
+        out += '"';
+        return out;
+    };
     std::ostringstream os;
     auto emit = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < row.size(); ++c)
-            os << (c == 0 ? "" : ",") << row[c];
+            os << (c == 0 ? "" : ",") << cell(row[c]);
         os << "\n";
     };
     emit(header);

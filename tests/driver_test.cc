@@ -203,13 +203,6 @@ TEST(Report, JsonIsWellFormedEnough)
     EXPECT_EQ(depth, 0);
 }
 
-TEST(Report, Escaping)
-{
-    EXPECT_EQ(driver::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-    EXPECT_EQ(driver::jsonNumber(0.5), "0.5");
-    EXPECT_EQ(driver::jsonNumber(0.0), "0");
-}
-
 TEST(Report, FormatParse)
 {
     EXPECT_EQ(driver::parseReportFormat("json"),

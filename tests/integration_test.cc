@@ -64,26 +64,26 @@ TEST_P(IntegrationTest, StackDepthBenefitIsMonotonic)
     }
 }
 
-TEST_P(IntegrationTest, DviModesOrderedByCapability)
+TEST_P(IntegrationTest, DviPresetsOrderedByCapability)
 {
     harness::BuiltBenchmark b = harness::buildBenchmark(GetParam());
 
-    auto elim_at = [&](harness::DviMode mode) {
+    auto elim_at = [&](const sim::DviPreset &preset) {
         arch::EmulatorOptions opts;
         // A no-DVI machine has no LVM at all.
-        opts.trackLiveness = mode != harness::DviMode::None;
-        opts.honorEdvi = mode == harness::DviMode::Full;
-        opts.honorIdvi = mode != harness::DviMode::None;
+        opts.trackLiveness = preset.hw.useIdvi || preset.hw.useEdvi;
+        opts.honorEdvi = preset.hw.useEdvi;
+        opts.honorIdvi = preset.hw.useIdvi;
         opts.lvmStackDepth = 16;
-        arch::Emulator emu(harness::exeFor(b, mode), opts);
+        arch::Emulator emu(harness::exeFor(b, preset), opts);
         emu.run(60000);
         return emu.stats().saveElimOracle +
                emu.stats().restoreElimOracle;
     };
 
-    const auto none = elim_at(harness::DviMode::None);
-    const auto idvi = elim_at(harness::DviMode::Idvi);
-    const auto full = elim_at(harness::DviMode::Full);
+    const auto none = elim_at(sim::presetNone());
+    const auto idvi = elim_at(sim::presetIdvi());
+    const auto full = elim_at(sim::presetFull());
     EXPECT_EQ(none, 0u);
     // E-DVI kills callee-saved registers, which is what save/restore
     // elimination targets; I-DVI alone contributes little here but
@@ -129,18 +129,18 @@ TEST(Integration, RegfilePerformanceModelComposition)
         harness::buildBenchmark(workload::BenchmarkId::Gcc);
     timing::RegFileTimingModel model;
 
-    auto perf = [&](harness::DviMode mode, unsigned nregs) {
+    auto perf = [&](const sim::DviPreset &preset, unsigned nregs) {
         uarch::CoreConfig cfg;
-        cfg.dvi = harness::dviConfigFor(mode);
+        cfg.dvi = preset.hw;
         cfg.numPhysRegs = nregs;
         cfg.maxInsts = 20000;
-        uarch::Core core(harness::exeFor(b, mode), cfg);
+        uarch::Core core(harness::exeFor(b, preset), cfg);
         return model.performance(core.run().ipc(), nregs, 4);
     };
 
     // At a small file DVI wins on both IPC and cycle time.
-    EXPECT_GT(perf(harness::DviMode::Full, 42),
-              perf(harness::DviMode::None, 42));
+    EXPECT_GT(perf(sim::presetFull(), 42),
+              perf(sim::presetNone(), 42));
 }
 
 TEST(Integration, RewrittenBinaryDrivesTheCore)

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for base/json: escaping, parse/dump round trips (quotes,
+ * control characters, UTF-8, large u64s), the NaN/inf emission
+ * policy, positioned parse errors — plus the CSV-escaping
+ * regression for CampaignReport::toCsv(), which shares the "free-
+ * form strings must survive machine formats" contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "base/json.hh"
+#include "driver/campaign.hh"
+
+namespace dvi
+{
+namespace
+{
+
+TEST(JsonEscape, QuotesBackslashesControls)
+{
+    EXPECT_EQ(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(json::escape("cr\rlf\n"), "cr\\rlf\\n");
+    EXPECT_EQ(json::escape(std::string("nul\x01soh")),
+              "nul\\u0001soh");
+    // Multi-byte UTF-8 passes through untouched.
+    EXPECT_EQ(json::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, ShortestRoundTrip)
+{
+    EXPECT_EQ(json::formatDouble(0.5), "0.5");
+    EXPECT_EQ(json::formatDouble(0.0), "0");
+    EXPECT_EQ(json::formatDouble(0.1), "0.1");
+    // The printed form parses back to the exact bits.
+    for (double v : {1.0 / 3.0, 2.5e-9, 123456.789, 1e300}) {
+        const std::string s = json::formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(JsonNumber, NanAndInfEmitNull)
+{
+    // JSON has no NaN/inf spelling; the documented policy is null.
+    EXPECT_EQ(json::formatDouble(std::nan("")), "null");
+    EXPECT_EQ(json::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(json::formatDouble(
+                  -std::numeric_limits<double>::infinity()),
+              "null");
+    json::Value v(std::nan(""));
+    EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonValue, LargeU64StaysExact)
+{
+    // Counters overflow a double's 53-bit mantissa; u64 literals
+    // must never bounce through one.
+    const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+    const std::uint64_t odd = (1ull << 53) + 1;  // not a double
+    json::Value v = json::Value::object();
+    v.set("big", big);
+    v.set("odd", odd);
+    const std::string text = v.dump();
+    EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+
+    const json::ParseResult back = json::parse(text);
+    ASSERT_TRUE(back.ok()) << back.error;
+    ASSERT_TRUE(back.value.find("big")->isU64());
+    EXPECT_EQ(back.value.find("big")->u64(), big);
+    EXPECT_EQ(back.value.find("odd")->u64(), odd);
+    EXPECT_EQ(back.value, v);
+}
+
+TEST(JsonValue, StringRoundTrips)
+{
+    for (const char *raw :
+         {"plain", "quo\"te\\back", "line\nbreak\ttab\rcr",
+          "ctrl\x01\x02\x1f",
+          "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97", ""}) {
+        const std::string s = raw;
+        json::Value v(s);
+        const json::ParseResult back = json::parse(v.dump());
+        ASSERT_TRUE(back.ok()) << back.error;
+        ASSERT_TRUE(back.value.isString());
+        EXPECT_EQ(back.value.str(), s);
+    }
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    const json::ParseResult r = json::parse("\"caf\\u00e9\"");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.value.str(), "caf\xc3\xa9");
+
+    // Surrogate pair -> one 4-byte UTF-8 code point.
+    const json::ParseResult emoji =
+        json::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(emoji.ok()) << emoji.error;
+    EXPECT_EQ(emoji.value.str(), "\xf0\x9f\x98\x80");
+
+    // Unpaired surrogates would decode to invalid UTF-8 that our
+    // own emitter then propagates; they are a parse error.
+    for (const char *lone :
+         {"\"\\ud800\"", "\"\\ud800x\"", "\"\\udc00\"",
+          "\"\\ud800\\ud800\""}) {
+        const json::ParseResult bad = json::parse(lone);
+        EXPECT_FALSE(bad.ok()) << lone;
+        EXPECT_NE(bad.error.find("surrogate"), std::string::npos)
+            << bad.error;
+    }
+}
+
+TEST(JsonParse, DocumentRoundTripPreservesOrderAndTypes)
+{
+    json::Value doc = json::Value::object();
+    doc.set("zeta", json::Value(true));
+    doc.set("alpha", json::Value(std::uint64_t(7)));
+    json::Value arr = json::Value::array();
+    arr.push(json::Value("x"));
+    arr.push(json::Value());
+    arr.push(json::Value(-2.5));
+    doc.set("list", std::move(arr));
+    json::Value nested = json::Value::object();
+    nested.set("pi", json::Value(3.25));
+    doc.set("nested", std::move(nested));
+
+    // Insertion order survives (zeta stays before alpha).
+    const std::string pretty = doc.dump();
+    EXPECT_LT(pretty.find("zeta"), pretty.find("alpha"));
+
+    for (int indent : {0, 2, 4}) {
+        const json::ParseResult back =
+            json::parse(doc.dump(indent));
+        ASSERT_TRUE(back.ok()) << back.error;
+        EXPECT_EQ(back.value, doc) << "indent " << indent;
+    }
+
+    // Negative numbers parse as F64 by design.
+    EXPECT_TRUE(
+        doc.find("list")->items()[2].isF64());
+}
+
+TEST(JsonParse, ErrorsArePositionedAndSoft)
+{
+    for (const char *bad :
+         {"{", "[1,]", "{\"a\" 1}", "\"unterminated", "12x", "",
+          "{\"a\":1} trailing", "{\"dup\":1,\"dup\":2}",
+          "\"bad\\q\""}) {
+        const json::ParseResult r = json::parse(bad);
+        EXPECT_FALSE(r.ok()) << bad;
+        EXPECT_NE(r.error.find("line "), std::string::npos) << bad;
+    }
+    // The duplicate-key diagnostic names the key.
+    EXPECT_NE(json::parse("{\"dup\":1,\"dup\":2}")
+                  .error.find("dup"),
+              std::string::npos);
+}
+
+TEST(JsonParse, DeepNestingIsASoftErrorNotACrash)
+{
+    // The recursion bound keeps hostile nesting from overflowing
+    // the stack (parse() must never crash).
+    const std::string deep(200000, '[');
+    const json::ParseResult r = json::parse(deep);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("nesting"), std::string::npos)
+        << r.error;
+
+    // Reasonable nesting still parses.
+    std::string ok(64, '[');
+    ok += "1";
+    ok += std::string(64, ']');
+    EXPECT_TRUE(json::parse(ok).ok());
+}
+
+TEST(JsonParse, RejectsNonRfcNumberSpellings)
+{
+    for (const char *bad :
+         {"01", "-01", ".5", "1.", "1.e3", "1e", "1e+", "+1",
+          "0x10"}) {
+        EXPECT_FALSE(json::parse(bad).ok()) << bad;
+    }
+    for (const char *good :
+         {"0", "-0", "10", "0.5", "-0.5e+2", "1E-3",
+          "1e10"}) {
+        EXPECT_TRUE(json::parse(good).ok()) << good;
+    }
+}
+
+TEST(JsonParse, NumbersSplitU64AndF64)
+{
+    const json::ParseResult r =
+        json::parse("[0, 42, -1, 2.5, 1e3, 18446744073709551615]");
+    ASSERT_TRUE(r.ok()) << r.error;
+    const auto &items = r.value.items();
+    EXPECT_TRUE(items[0].isU64());
+    EXPECT_TRUE(items[1].isU64());
+    EXPECT_TRUE(items[2].isF64());
+    EXPECT_EQ(items[2].number(), -1.0);
+    EXPECT_TRUE(items[3].isF64());
+    EXPECT_TRUE(items[4].isF64());
+    EXPECT_EQ(items[4].number(), 1000.0);
+    EXPECT_TRUE(items[5].isU64());
+}
+
+TEST(CampaignReportCsv, EscapesFreeFormCells)
+{
+    // Labels are free-form; a comma or quote must not shift CSV
+    // columns (regression: renderCsv used to emit cells verbatim).
+    driver::Campaign c("csv-escape");
+    sim::Scenario s;
+    s.runner = "oracle";
+    s.workload = workload::BenchmarkId::Li;
+    s.budget.maxInsts = 500;
+    s.label = "depth=2,mode=\"full\"";
+    c.add(s);
+
+    const driver::CampaignReport report =
+        c.run(driver::CampaignOptions{1});
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("\"depth=2,mode=\"\"full\"\"\""),
+              std::string::npos)
+        << csv;
+
+    // Unquoted commas only separate real columns: the header and
+    // the row agree on the column count.
+    const auto columns = [](const std::string &line) {
+        std::size_t n = 1;
+        bool quoted = false;
+        for (char ch : line) {
+            if (ch == '"')
+                quoted = !quoted;
+            else if (ch == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    const std::size_t header_end = csv.find('\n');
+    const std::size_t row_end = csv.find('\n', header_end + 1);
+    ASSERT_NE(row_end, std::string::npos);
+    EXPECT_EQ(columns(csv.substr(0, header_end)),
+              columns(csv.substr(header_end + 1,
+                                 row_end - header_end - 1)));
+}
+
+} // namespace
+} // namespace dvi

@@ -42,7 +42,7 @@ TEST(Preset, RoundTripsThroughParse)
     EXPECT_FALSE(sim::parsePreset("").has_value());
 }
 
-TEST(Preset, DecomposesDviModeAxes)
+TEST(Preset, DecomposesBinaryAndHardwareAxes)
 {
     // The paper's three columns: binary axis and hardware axis are
     // independent — idvi uses a plain binary with DVI hardware on.
@@ -55,11 +55,12 @@ TEST(Preset, DecomposesDviModeAxes)
     EXPECT_TRUE(sim::presetFull().hw.useEdvi);
     EXPECT_EQ(sim::presetDense().edvi, comp::EdviPolicy::Dense);
 
-    // The harness bridge agrees with the presets.
-    for (harness::DviMode mode : harness::allDviModes()) {
-        const sim::DviPreset p = harness::presetFor(mode);
-        EXPECT_EQ(p.name, harness::dviModeToken(mode));
-    }
+    // The harness picks the preset's binary off the compiled pair.
+    harness::BuiltBenchmark b =
+        harness::buildBenchmark(workload::BenchmarkId::Li);
+    EXPECT_EQ(&harness::exeFor(b, sim::presetNone()), &b.plain);
+    EXPECT_EQ(&harness::exeFor(b, sim::presetIdvi()), &b.plain);
+    EXPECT_EQ(&harness::exeFor(b, sim::presetFull()), &b.edvi);
 }
 
 TEST(Preset, ApplyStampsScenario)
@@ -69,20 +70,6 @@ TEST(Preset, ApplyStampsScenario)
     EXPECT_EQ(s.preset, "idvi");
     EXPECT_EQ(s.binary.edvi, comp::EdviPolicy::None);
     EXPECT_TRUE(s.hardware.dvi.useIdvi);
-}
-
-TEST(ParseDviMode, OptionalAndCaseInsensitive)
-{
-    EXPECT_EQ(harness::parseDviMode("none"),
-              harness::DviMode::None);
-    EXPECT_EQ(harness::parseDviMode("IdVi"),
-              harness::DviMode::Idvi);
-    EXPECT_EQ(harness::parseDviMode("FULL"),
-              harness::DviMode::Full);
-    EXPECT_FALSE(harness::parseDviMode("fulll").has_value());
-    EXPECT_FALSE(harness::parseDviMode("").has_value());
-    // The token list CLIs print on bad input.
-    EXPECT_EQ(harness::dviModeTokens(), "none, idvi, full");
 }
 
 TEST(ParseEdviPolicy, OptionalAndCaseInsensitive)
@@ -219,7 +206,7 @@ TEST(ScenarioGrid, MatchesHandBuiltRegfileCampaign)
         driver::regfileGrid(sizes, sim::paperPresets(), 7000,
                             "regfile"));
     const driver::Campaign hand = driver::regfileCampaign(
-        sizes, harness::allDviModes(), 7000, "regfile");
+        sizes, sim::paperPresets(), 7000, "regfile");
 
     ASSERT_EQ(grid.size(), hand.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -2,17 +2,22 @@
  * @file
  * dvi-run — unified simulation-campaign CLI.
  *
- * Front end over the scenario registry: builds the requested
- * scenario's job grid, shards it across a work-stealing thread pool,
- * renders the scenario's tables, and optionally writes a
- * machine-readable report. Reports are deterministic: `--jobs 8`
- * emits a byte-identical file to `--jobs 1` (wall-clock goes to
- * stderr, not into the report).
+ * Front end over the scenario registry and the manifest layer. A
+ * campaign can come from three sources — a registered scenario
+ * (--scenario / --figure), a user-authored JSON manifest
+ * (--manifest), or a previous report (reports embed their resolved
+ * scenarios, so they load as manifests too) — and every source
+ * accepts the same dotted-path overrides (--set). Reports are
+ * deterministic: `--jobs 8` emits a byte-identical file to
+ * `--jobs 1` (wall-clock goes to stderr, not into the report).
  *
  * Usage:
  *   dvi-run --scenario NAME [--jobs N] [--max-insts M]
- *           [--mode none|idvi|full] [--out results.json]
- *           [--format json|csv] [--quiet]
+ *           [--mode none|idvi|full|dense] [--set path=value]...
+ *           [--out results.json] [--format json|csv] [--quiet]
+ *   dvi-run --manifest FILE [same options]
+ *   dvi-run --emit-manifest NAME [--max-insts M] [--set ...]
+ *           [--out manifest.json]
  *   dvi-run --figure N          (compat alias for --scenario figNN)
  *   dvi-run --list
  */
@@ -21,12 +26,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "driver/figures.hh"
 #include "driver/scenario_registry.hh"
+#include "sim/manifest.hh"
 #include "sim/scenario.hh"
 
 using namespace dvi;
@@ -39,13 +48,28 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s --scenario NAME [options]\n"
+        "       %s --manifest FILE [options]\n"
+        "       %s --emit-manifest NAME [--out FILE]\n"
         "       %s --figure N [options]\n"
         "       %s --list\n"
         "\n"
-        "options:\n"
+        "campaign sources (exactly one):\n"
         "  --scenario NAME registered scenario to run (see --list)\n"
+        "  --manifest FILE run a JSON campaign manifest; campaign\n"
+        "                  reports also load here (they embed their\n"
+        "                  resolved scenarios)\n"
         "  --figure N      paper figure to reproduce (alias for\n"
         "                  --scenario figNN)\n"
+        "\n"
+        "options:\n"
+        "  --emit-manifest NAME  write the named scenario's fully\n"
+        "                  expanded manifest (to --out, else stdout)\n"
+        "                  instead of running it\n"
+        "  --set PATH=VALUE      override one bound scenario field\n"
+        "                  on every job, e.g. --set\n"
+        "                  hardware.core.windowSize=128 or --set\n"
+        "                  preset=dense; repeatable, applies to any\n"
+        "                  campaign source\n"
         "  --jobs N        worker threads (default 1; 0 = one per\n"
         "                  hardware thread)\n"
         "  --max-insts M   per-run dynamic instruction budget\n"
@@ -57,22 +81,31 @@ usage(const char *argv0)
         "  --profile       measure per-job wall-clock; adds wallSeconds\n"
         "                  and instsPerSec to reports (breaks report\n"
         "                  byte-stability across runs)\n"
-        "  --out FILE      write a machine-readable report\n"
+        "  --out FILE      write a machine-readable report (or the\n"
+        "                  manifest, under --emit-manifest)\n"
         "  --format F      report format: json (default) or csv\n"
         "  --quiet         suppress the tables on stdout\n"
         "  --list          list registered scenarios and exit\n"
         "  --help          this text\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
 }
 
 void
 listScenarios()
 {
-    std::printf("%-26s description\n", "scenario");
+    // Job counts come from actually building each grid (cheap: no
+    // compilation or simulation), so the listing is what
+    // --emit-manifest will expand, not an estimate.
+    std::printf("%-26s %6s  description\n", "scenario", "jobs");
     for (const std::string &name :
-         driver::ScenarioRegistry::instance().names())
-        std::printf("%-26s %s\n", name.c_str(),
-                    driver::scenarioFor(name).description.c_str());
+         driver::ScenarioRegistry::instance().names()) {
+        const driver::RegisteredScenario &s =
+            driver::scenarioFor(name);
+        const std::size_t jobs =
+            s.build(driver::resolveScenarioInsts(s, 0)).size();
+        std::printf("%-26s %6zu  %s\n", name.c_str(), jobs,
+                    s.description.c_str());
+    }
 }
 
 /** Parse a non-negative integer argument; fatal on garbage. */
@@ -86,17 +119,53 @@ parseUint(const char *flag, const char *text)
     return static_cast<std::uint64_t>(v);
 }
 
+/** One --set override, kept in command-line order. */
+struct Override
+{
+    std::string path;
+    std::string value;
+};
+
+/** Apply every --set override to one scenario; fatal with the
+ * offending dotted path on error. */
+void
+applyOverrides(sim::Scenario &s,
+               const std::vector<Override> &overrides)
+{
+    fields::FieldSet fs = sim::scenarioFields(s);
+    for (const Override &o : overrides) {
+        const std::string err = fs.applyString(o.path, o.value);
+        fatal_if(!err.empty(), "--set ", o.path, "=", o.value, ": ",
+                 err);
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open '", path, "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fatal_if(!in, "read from '", path, "' failed");
+    return buf.str();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string scenario;
+    std::string manifest_path;
+    std::string emit_manifest;
     driver::ScenarioOptions opts;
     std::string out_path;
     std::string format = "json";
     std::string mode_filter;
+    std::vector<Override> overrides;
     bool quiet = false;
+    bool jobs_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -112,9 +181,21 @@ main(int argc, char **argv)
             scenario = driver::figureScenarioName(figure);
             fatal_if(scenario.empty(), "figure ", figure,
                      " is not supported; try --list");
+        } else if (arg == "--manifest") {
+            manifest_path = value();
+        } else if (arg == "--emit-manifest") {
+            emit_manifest = value();
+        } else if (arg == "--set") {
+            const std::string kv = value();
+            const std::size_t eq = kv.find('=');
+            fatal_if(eq == std::string::npos || eq == 0,
+                     "--set wants PATH=VALUE, got '", kv, "'");
+            overrides.push_back(
+                {kv.substr(0, eq), kv.substr(eq + 1)});
         } else if (arg == "--jobs") {
             opts.jobs =
                 static_cast<unsigned>(parseUint("--jobs", value()));
+            jobs_given = true;
         } else if (arg == "--max-insts") {
             opts.maxInsts = parseUint("--max-insts", value());
         } else if (arg == "--mode") {
@@ -139,21 +220,52 @@ main(int argc, char **argv)
         }
     }
 
-    if (scenario.empty()) {
-        usage(argv[0]);
-        fatal("--scenario is required (or --figure / --list)");
+    // ------------------------------------------------ emit-manifest
+    if (!emit_manifest.empty()) {
+        fatal_if(!scenario.empty() || !manifest_path.empty(),
+                 "--emit-manifest does not combine with --scenario/"
+                 "--figure/--manifest");
+        // Run-only flags are rejected rather than silently ignored:
+        // a user passing --mode expects a smaller manifest, not the
+        // full grid.
+        fatal_if(!mode_filter.empty() || jobs_given ||
+                     format != "json" || opts.profile || quiet,
+                 "--emit-manifest only combines with --max-insts, "
+                 "--set, and --out");
+        sim::CampaignManifest m = driver::scenarioManifest(
+            driver::scenarioFor(emit_manifest), opts.maxInsts);
+        for (sim::Scenario &s : m.scenarios)
+            applyOverrides(s, overrides);
+        const std::string text = sim::manifestToJson(m);
+        if (out_path.empty()) {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(out_path, std::ios::binary);
+            fatal_if(!out, "cannot open '", out_path,
+                     "' for writing");
+            out << text;
+            out.flush();
+            fatal_if(!out, "write to '", out_path, "' failed");
+        }
+        return 0;
     }
-    fatal_if(!driver::ScenarioRegistry::instance().find(scenario),
-             "scenario '", scenario,
-             "' is not registered; try --list");
+
+    // ------------------------------------------- resolve the source
+    fatal_if(!scenario.empty() && !manifest_path.empty(),
+             "--scenario/--figure and --manifest are mutually "
+             "exclusive");
+    if (scenario.empty() && manifest_path.empty()) {
+        usage(argv[0]);
+        fatal("--scenario is required (or --manifest / --figure / "
+              "--list)");
+    }
     const driver::ReportFormat fmt =
         driver::parseReportFormat(format);
 
     // Resolve the preset filter up front so a typo is a friendly
-    // usage error, not an abort mid-campaign. The preset table is a
-    // superset of the legacy DviMode tokens (none/idvi/full) plus
-    // the dense design point, parsed case-insensitively like
-    // harness::parseDviMode.
+    // usage error, not an abort mid-campaign. The preset table is
+    // the paper's three columns (none/idvi/full) plus the dense
+    // design point, parsed case-insensitively.
     std::string preset_token;
     if (!mode_filter.empty()) {
         const std::optional<sim::DviPreset> preset =
@@ -170,29 +282,63 @@ main(int argc, char **argv)
         preset_token = preset->name;
     }
 
-    const driver::RegisteredScenario &entry =
-        driver::scenarioFor(scenario);
-    driver::Campaign campaign = entry.build(
-        driver::resolveScenarioInsts(entry, opts.maxInsts));
+    const driver::RegisteredScenario *entry = nullptr;
+    driver::Campaign campaign("");
+    bool profile_default = false;
+    if (!scenario.empty()) {
+        entry = &driver::scenarioFor(scenario);
+        campaign = entry->build(
+            driver::resolveScenarioInsts(*entry, opts.maxInsts));
+        profile_default = entry->profile;
+    } else {
+        sim::CampaignManifest m;
+        const std::string err =
+            sim::manifestFromJson(readFile(manifest_path), m);
+        fatal_if(!err.empty(), manifest_path, ": ", err);
+        fatal_if(opts.maxInsts != 0,
+                 "--max-insts does not apply to manifests; use "
+                 "--set budget.maxInsts=",
+                 opts.maxInsts, " instead");
+        campaign = driver::Campaign(m.name, std::move(m.scenarios));
+        profile_default = m.profile;
+    }
 
-    // A preset filter re-shapes the grid, so the figure-specific
-    // renderer no longer applies; fall back to the generic table.
-    bool filtered = false;
+    // A figure-specific renderer assumes the exact grid its builder
+    // laid out; --set and --mode both break that assumption, so
+    // either falls back to the generic table.
+    bool generic_render = false;
+
+    // Dotted-path overrides apply to every job, whatever the
+    // source — this replaces per-flag plumbing for each knob.
+    if (!overrides.empty()) {
+        std::vector<sim::Scenario> adjusted;
+        adjusted.reserve(campaign.size());
+        for (const driver::JobSpec &job : campaign.jobs()) {
+            sim::Scenario s = job.scenario;
+            applyOverrides(s, overrides);
+            adjusted.push_back(std::move(s));
+        }
+        campaign = driver::Campaign(campaign.name(),
+                                    std::move(adjusted));
+        generic_render = true;
+    }
+
+    // A preset filter re-shapes the grid.
     if (!preset_token.empty()) {
         std::vector<sim::Scenario> kept;
         for (const driver::JobSpec &job : campaign.jobs())
             if (job.scenario.preset == preset_token)
                 kept.push_back(job.scenario);
-        fatal_if(kept.empty(), "scenario '", scenario,
+        fatal_if(kept.empty(), "campaign '", campaign.name(),
                  "' has no jobs with preset '", preset_token, "'");
         campaign = driver::Campaign(
             campaign.name() + "-" + preset_token, std::move(kept));
-        filtered = true;
+        generic_render = true;
     }
 
     driver::CampaignOptions copts;
     copts.jobs = opts.jobs;
-    copts.profile = opts.profile || entry.profile;
+    copts.profile = opts.profile || profile_default;
 
     const auto t0 = std::chrono::steady_clock::now();
     const driver::CampaignReport report = campaign.run(copts);
@@ -200,14 +346,14 @@ main(int argc, char **argv)
 
     // Artifact emission (e.g. BENCH files) is not display: it runs
     // under --quiet and preset filters alike.
-    if (entry.emit)
-        entry.emit(report);
+    if (entry && entry->emit)
+        entry->emit(report);
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 
     if (!quiet) {
-        if (!filtered && entry.render)
-            entry.render(report, std::cout);
+        if (!generic_render && entry && entry->render)
+            entry->render(report, std::cout);
         else
             std::cout << report.toTable().render();
     }
