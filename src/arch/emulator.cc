@@ -40,6 +40,10 @@ void
 Emulator::checkReadSlow(RegIndex r)
 {
     if (!lvm_.isLive(r)) {
+        if (stats_.deadReads == 0) {
+            stats_.firstDeadReadPc = pc_;
+            stats_.firstDeadReadReg = r;
+        }
         ++stats_.deadReads;
         panic_if(opts.strictDeadReads,
                  "read of dead register ", isa::intRegName(r),
@@ -62,8 +66,23 @@ Emulator::step(TraceRecord *out)
     auto reg = [&](RegIndex r) { return intRegs[r]; };
     auto addr_of = [&](RegIndex base, std::int32_t disp) {
         checkRead(base);
-        return static_cast<Addr>(
+        const Addr a = static_cast<Addr>(
             static_cast<std::uint64_t>(reg(base) + disp));
+        if ((a & 7) && opts.faultOnMisaligned) {
+            faulted_ = true;
+            faultPc_ = this_pc;
+        }
+        return a;
+    };
+    // Faulted accesses are suppressed (loads read 0); the run halts
+    // at the end of this step, so the suppressed effects are never
+    // observable past the fault.
+    auto mread = [&](Addr a) {
+        return faulted_ ? 0 : mem.read(a);
+    };
+    auto mwrite = [&](Addr a, std::int64_t v) {
+        if (!faulted_)
+            mem.write(a, v);
     };
 
     ++stats_.insts;
@@ -153,7 +172,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.memRefs;
         ++stats_.loads;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        setIntReg(inst.rd, mem.read(eff_addr));
+        setIntReg(inst.rd, mread(eff_addr));
         break;
       }
       case Opcode::Store: {
@@ -161,7 +180,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.stores;
         checkRead(inst.rs2);
         eff_addr = addr_of(inst.rs1, inst.imm);
-        mem.write(eff_addr, reg(inst.rs2));
+        mwrite(eff_addr, reg(inst.rs2));
         break;
       }
 
@@ -176,7 +195,7 @@ Emulator::step(TraceRecord *out)
             !lvm_.isLive(inst.saveRestoreReg()))
             ++stats_.saveElimOracle;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        mem.write(eff_addr, reg(inst.rs2));
+        mwrite(eff_addr, reg(inst.rs2));
         break;
       }
       case Opcode::LiveLoad: {
@@ -190,7 +209,7 @@ Emulator::step(TraceRecord *out)
             !stack.top().test(inst.saveRestoreReg()))
             ++stats_.restoreElimOracle;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        setIntReg(inst.rd, mem.read(eff_addr));
+        setIntReg(inst.rd, mread(eff_addr));
         break;
       }
 
@@ -209,7 +228,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.loads;
         ++stats_.fpOps;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        fpRegs[inst.rd] = bitCast<double>(mem.read(eff_addr));
+        fpRegs[inst.rd] = bitCast<double>(mread(eff_addr));
         fpLive_.set(inst.rd);
         break;
       }
@@ -218,7 +237,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.stores;
         ++stats_.fpOps;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        mem.write(eff_addr,
+        mwrite(eff_addr,
                   bitCast<std::int64_t>(fpRegs[inst.rs2]));
         break;
       }
@@ -294,7 +313,7 @@ Emulator::step(TraceRecord *out)
         ++stats_.memRefs;
         ++stats_.stores;
         eff_addr = addr_of(inst.rs1, inst.imm);
-        mem.write(eff_addr, static_cast<std::int64_t>(
+        mwrite(eff_addr, static_cast<std::int64_t>(
                                 lvm_.mask().raw()));
         break;
       case Opcode::LvmLoad:
@@ -302,11 +321,18 @@ Emulator::step(TraceRecord *out)
         ++stats_.loads;
         eff_addr = addr_of(inst.rs1, inst.imm);
         lvm_.restore(RegMask(static_cast<std::uint64_t>(
-            mem.read(eff_addr))));
+            mread(eff_addr))));
         break;
 
       default:
         panic("emulator: unhandled opcode");
+    }
+
+    if (faulted_) {
+        // Halt at the faulting instruction; the suppressed access
+        // never happened, so state past the fault is unreachable.
+        halted_ = true;
+        next_pc = this_pc;
     }
 
     if (out) {

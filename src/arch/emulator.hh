@@ -61,6 +61,14 @@ struct EmulatorOptions
     unsigned lvmStackDepth = 0;
     /** Panic on a read of a dead register (E-DVI soundness check). */
     bool strictDeadReads = false;
+    /**
+     * Treat a misaligned data access as a program fault that halts
+     * execution (faulted() reports it) instead of panicking. The
+     * fuzz oracle sets this so broken candidate programs (e.g.
+     * minimizer probes that removed part of an address computation)
+     * are rejected gracefully rather than aborting the campaign.
+     */
+    bool faultOnMisaligned = false;
 };
 
 /** Dynamic instruction mix and DVI oracle counters. */
@@ -85,6 +93,10 @@ struct EmulatorStats
     /** Restores dead per the LVM-Stack snapshot (eliminable). */
     std::uint64_t restoreElimOracle = 0;
     std::uint64_t deadReads = 0;    ///< liveness violations seen
+    /** pc and register of the first dead read (fuzz/oracle
+     * diagnostics); valid when deadReads > 0. */
+    std::uint32_t firstDeadReadPc = 0;
+    RegIndex firstDeadReadReg = 0;
     std::uint64_t maxCallDepth = 0;
 };
 
@@ -121,6 +133,12 @@ class Emulator
     std::uint64_t run(std::uint64_t max_insts = 0);
 
     bool halted() const { return halted_; }
+
+    /** True once a misaligned access halted the run (only under
+     * EmulatorOptions::faultOnMisaligned). */
+    bool faulted() const { return faulted_; }
+    /** pc of the faulting instruction; valid when faulted(). */
+    std::uint32_t faultPc() const { return faultPc_; }
 
     /** @name Architectural state access @{ */
     std::int64_t intReg(RegIndex r) const { return intRegs[r]; }
@@ -183,6 +201,8 @@ class Emulator
     std::array<double, isa::numFpRegs> fpRegs{};
     std::uint32_t pc_;
     bool halted_ = false;
+    bool faulted_ = false;
+    std::uint32_t faultPc_ = 0;
     Memory mem;
 
     core::Lvm lvm_;

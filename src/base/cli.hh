@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tiny helpers shared by the CLI front ends (dvi-run, dvi-fuzz):
+ * strict argument parsing and whole-file slurping, both fatal() on
+ * error with the offending flag or path named.
+ */
+
+#ifndef DVI_BASE_CLI_HH
+#define DVI_BASE_CLI_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace cli
+{
+
+/** Parse a non-negative decimal integer argument; fatal on
+ * garbage. */
+inline std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    fatal_if(end == text || *end != '\0', "bad value for ", flag,
+             ": '", text, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Read a whole file; fatal when it cannot be opened or read. */
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open '", path, "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fatal_if(!in, "read from '", path, "' failed");
+    return buf.str();
+}
+
+} // namespace cli
+} // namespace dvi
+
+#endif // DVI_BASE_CLI_HH

@@ -1,0 +1,65 @@
+#include "base/test_seed.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvi
+{
+
+namespace
+{
+
+bool
+envSeed(std::uint64_t *out)
+{
+    const char *text = std::getenv("DVI_TEST_SEED");
+    if (!text || !*text)
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "DVI_TEST_SEED='%s' is not a number; ignored\n",
+                     text);
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+testSeed(std::uint64_t fallback, const char *label)
+{
+    std::uint64_t seed = fallback;
+    const bool overridden = envSeed(&seed);
+    std::fprintf(stderr,
+                 "%s: seed %llu%s (override with DVI_TEST_SEED)\n",
+                 label, static_cast<unsigned long long>(seed),
+                 overridden ? " [from DVI_TEST_SEED]" : "");
+    return seed;
+}
+
+std::uint64_t
+testSeedQuiet(std::uint64_t fallback)
+{
+    std::uint64_t seed = fallback;
+    envSeed(&seed);
+    return seed;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    // splitmix64 finalizer over the combination.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x ? x : 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace dvi

@@ -55,6 +55,19 @@ RegMask machineUses(const isa::Instruction &inst);
 /** Analyze one procedure of an executable. */
 MachineLiveness analyzeProcedure(const Executable &exe, int proc_index);
 
+/**
+ * Static E-DVI soundness check (§7: "Errors in E-DVI should be
+ * considered compiler errors"): every kill instruction's mask must
+ * name only registers that are machine-dead immediately after it —
+ * a kill of a register the dataflow still sees as live means the
+ * binary asserts dead value information that is wrong. Verifies
+ * every procedure; returns "" when sound, else a diagnostic naming
+ * the procedure, instruction index, and offending registers. This
+ * is the fuzz oracle's cheapest layer: it catches corrupt kill
+ * masks without running a single instruction.
+ */
+std::string verifyEdviKills(const Executable &exe);
+
 } // namespace comp
 } // namespace dvi
 

@@ -79,6 +79,41 @@ Renamer::checkConservation(std::size_t in_flight_held) const
              "physical register conservation violated: free=",
              freeList.size(), " mapped=", mappedCount(),
              " in-flight=", in_flight_held, " total=", numPhys);
+
+    // Structural coherence of the O(1) flag arrays against the
+    // authoritative map/free-list state. The flags guard the
+    // hot-path safety checks (double free, free-while-mapped), so a
+    // drifted flag would silently disable those checks; verify them
+    // here in debug builds (the count above stays on in Release —
+    // it is cheap and catches outright leaks).
+#ifdef NDEBUG
+    return;
+#endif
+    std::vector<std::uint8_t> mapped_ref(numPhys, 0);
+    for (PhysRegIndex p : map) {
+        if (p == invalidPhysReg)
+            continue;
+        panic_if(mapped_ref[static_cast<std::size_t>(p)],
+                 "phys reg ", p, " mapped by two architectural "
+                 "names");
+        mapped_ref[static_cast<std::size_t>(p)] = 1;
+    }
+    std::vector<std::uint8_t> free_ref(numPhys, 0);
+    for (PhysRegIndex p : freeList) {
+        panic_if(free_ref[static_cast<std::size_t>(p)],
+                 "phys reg ", p, " on the free list twice");
+        free_ref[static_cast<std::size_t>(p)] = 1;
+        panic_if(mapped_ref[static_cast<std::size_t>(p)],
+                 "phys reg ", p, " both free and mapped");
+    }
+    for (unsigned p = 0; p < numPhys; ++p) {
+        panic_if(isMapped[p] != mapped_ref[p],
+                 "isMapped flag for phys reg ", p,
+                 " disagrees with the map table");
+        panic_if(isFree[p] != free_ref[p],
+                 "isFree flag for phys reg ", p,
+                 " disagrees with the free list");
+    }
 }
 
 } // namespace core

@@ -1,0 +1,201 @@
+#include "fuzz/minimizer.hh"
+
+#include <algorithm>
+
+namespace dvi
+{
+namespace fuzz
+{
+
+using prog::IrInst;
+using prog::IrOp;
+using prog::Module;
+using prog::Procedure;
+
+namespace
+{
+
+std::size_t
+moduleInsts(const Module &m)
+{
+    std::size_t n = 0;
+    for (const Procedure &p : m.procs)
+        n += p.instCount();
+    return n;
+}
+
+/** Candidate with procedure `victim` removed: calls to it become
+ * constant loads of their result register (or vanish when they have
+ * none), and callee indices above it shift down. */
+Module
+withoutProc(const Module &m, int victim)
+{
+    Module out = m;
+    out.procs.erase(out.procs.begin() + victim);
+    if (out.mainIndex > victim)
+        --out.mainIndex;
+    for (Procedure &p : out.procs) {
+        for (auto &block : p.blocks) {
+            std::vector<IrInst> kept;
+            kept.reserve(block.insts.size());
+            for (IrInst &inst : block.insts) {
+                if (inst.op == IrOp::Call) {
+                    if (inst.callee == victim) {
+                        if (inst.dst != prog::noVReg)
+                            kept.push_back(
+                                prog::irLoadImm(inst.dst, 0));
+                        continue;
+                    }
+                    if (inst.callee > victim)
+                        --inst.callee;
+                }
+                kept.push_back(std::move(inst));
+            }
+            block.insts = std::move(kept);
+        }
+    }
+    return out;
+}
+
+/** Probe helper: evaluates the predicate under a budget. */
+class Prober
+{
+  public:
+    Prober(const FailurePredicate &fails, unsigned max_probes,
+           MinimizeStats &stats)
+        : fails(fails), maxProbes(max_probes), stats(stats)
+    {}
+
+    bool budgetLeft() const { return stats.probes < maxProbes; }
+
+    bool
+    stillFails(const Module &candidate)
+    {
+        if (!budgetLeft())
+            return false;
+        ++stats.probes;
+        return fails(candidate);
+    }
+
+  private:
+    const FailurePredicate &fails;
+    unsigned maxProbes;
+    MinimizeStats &stats;
+};
+
+} // namespace
+
+Module
+minimize(const Module &mod, const FailurePredicate &fails,
+         unsigned max_probes, MinimizeStats *stats_out)
+{
+    MinimizeStats stats;
+    stats.instsBefore = moduleInsts(mod);
+    stats.procsBefore = mod.procs.size();
+
+    // The input is trusted to fail (the campaign just observed it
+    // fail; a probe here would re-run the full oracle on the
+    // largest program involved). If it does not, no candidate will
+    // either, and the input comes back unchanged.
+    Module best = mod;
+    Prober prober(fails, max_probes, stats);
+
+    bool improved = true;
+    while (improved && prober.budgetLeft()) {
+        improved = false;
+
+        // Pass 1: drop whole procedures (never main).
+        for (int p = static_cast<int>(best.procs.size()) - 1;
+             p >= 0 && prober.budgetLeft(); --p) {
+            if (p == best.mainIndex ||
+                best.procs.size() <= 1)
+                continue;
+            Module candidate = withoutProc(best, p);
+            if (prober.stillFails(candidate)) {
+                best = std::move(candidate);
+                improved = true;
+            }
+        }
+
+        // Pass 2: empty whole block bodies (keep terminators so the
+        // CFG stays structurally valid).
+        for (std::size_t p = 0;
+             p < best.procs.size() && prober.budgetLeft(); ++p) {
+            for (std::size_t b = 0;
+                 b < best.procs[p].blocks.size() &&
+                 prober.budgetLeft();
+                 ++b) {
+                const auto &insts = best.procs[p].blocks[b].insts;
+                const bool term = !insts.empty() &&
+                                  insts.back().isTerminator();
+                const std::size_t removable =
+                    insts.size() - (term ? 1 : 0);
+                if (removable == 0)
+                    continue;
+                Module candidate = best;
+                auto &ci = candidate.procs[p].blocks[b].insts;
+                ci.erase(ci.begin(),
+                         ci.begin() +
+                             static_cast<std::ptrdiff_t>(removable));
+                if (prober.stillFails(candidate)) {
+                    best = std::move(candidate);
+                    improved = true;
+                }
+            }
+        }
+
+        // Pass 3: chunked instruction removal, halving chunk size.
+        for (std::size_t chunk = 8; chunk >= 1 && prober.budgetLeft();
+             chunk /= 2) {
+            for (std::size_t p = 0;
+                 p < best.procs.size() && prober.budgetLeft(); ++p) {
+                for (std::size_t b = 0;
+                     b < best.procs[p].blocks.size() &&
+                     prober.budgetLeft();
+                     ++b) {
+                    std::size_t i = 0;
+                    while (prober.budgetLeft()) {
+                        const auto &insts =
+                            best.procs[p].blocks[b].insts;
+                        const bool term =
+                            !insts.empty() &&
+                            insts.back().isTerminator();
+                        const std::size_t removable =
+                            insts.size() - (term ? 1 : 0);
+                        if (i >= removable)
+                            break;
+                        const std::size_t len =
+                            std::min(chunk, removable - i);
+                        Module candidate = best;
+                        auto &ci =
+                            candidate.procs[p].blocks[b].insts;
+                        ci.erase(
+                            ci.begin() +
+                                static_cast<std::ptrdiff_t>(i),
+                            ci.begin() +
+                                static_cast<std::ptrdiff_t>(i +
+                                                            len));
+                        if (prober.stillFails(candidate)) {
+                            best = std::move(candidate);
+                            improved = true;
+                            // Same index now names the next chunk.
+                        } else {
+                            i += len;
+                        }
+                    }
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    stats.instsAfter = moduleInsts(best);
+    stats.procsAfter = best.procs.size();
+    if (stats_out)
+        *stats_out = stats;
+    return best;
+}
+
+} // namespace fuzz
+} // namespace dvi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing fuzz programs.
+ *
+ * Given a module and a predicate that decides whether a candidate
+ * still exhibits the failure, the minimizer greedily shrinks the
+ * program — whole procedures first (calls to a removed procedure
+ * become constant loads of its result register), then whole block
+ * bodies, then instruction chunks of halving size — re-testing the
+ * predicate after every candidate and keeping any smaller program
+ * that still fails. Passes repeat to a fixpoint or probe budget.
+ *
+ * The predicate is expected to reject ill-formed candidates (the
+ * oracle reports a reference-side dead read for those), so the
+ * minimized program is always a well-formed repro of the original
+ * failure class, small enough to read.
+ */
+
+#ifndef DVI_FUZZ_MINIMIZER_HH
+#define DVI_FUZZ_MINIMIZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace fuzz
+{
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailurePredicate =
+    std::function<bool(const prog::Module &)>;
+
+/** What the minimizer did. */
+struct MinimizeStats
+{
+    unsigned probes = 0;          ///< predicate evaluations
+    std::size_t instsBefore = 0;  ///< IR instructions in the input
+    std::size_t instsAfter = 0;
+    std::size_t procsBefore = 0;
+    std::size_t procsAfter = 0;
+};
+
+/**
+ * Shrink `mod` while `fails` stays true. The input is trusted to
+ * fail (callers have just observed the failure; re-probing the
+ * full-size program here would be a redundant oracle run) — a
+ * passing input simply comes back unchanged. `maxProbes` bounds
+ * predicate evaluations.
+ */
+prog::Module minimize(const prog::Module &mod,
+                      const FailurePredicate &fails,
+                      unsigned maxProbes = 4000,
+                      MinimizeStats *stats = nullptr);
+
+} // namespace fuzz
+} // namespace dvi
+
+#endif // DVI_FUZZ_MINIMIZER_HH

@@ -1,0 +1,420 @@
+#include "fuzz/oracle.hh"
+
+#include <sstream>
+
+#include "arch/emulator.hh"
+#include "base/bits.hh"
+#include "compiler/compile.hh"
+#include "compiler/machine_liveness.hh"
+#include "isa/registers.hh"
+#include "uarch/core.hh"
+#include "uarch/core_config.hh"
+
+namespace dvi
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Registers an IR instruction reads (vreg operands only). */
+unsigned
+irUses(const prog::IrInst &inst, prog::VReg out[4])
+{
+    using prog::IrOp;
+    unsigned n = 0;
+    switch (inst.op) {
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Slt:
+      case IrOp::Sll:
+      case IrOp::Srl:
+      case IrOp::Store:
+      case IrOp::Beq:
+      case IrOp::Bne:
+      case IrOp::Blt:
+      case IrOp::Bge:
+        out[n++] = inst.src1;
+        out[n++] = inst.src2;
+        return n;
+      case IrOp::AddImm:
+      case IrOp::AndImm:
+      case IrOp::OrImm:
+      case IrOp::XorImm:
+      case IrOp::SltImm:
+      case IrOp::Load:
+      case IrOp::StoreStack:
+        out[n++] = inst.src1;
+        return n;
+      case IrOp::Ret:
+        if (inst.src1 != prog::noVReg)
+            out[n++] = inst.src1;
+        return n;
+      case IrOp::Call:
+        for (prog::VReg a : inst.args)
+            out[n++] = a;
+        return n;
+      default:
+        return 0;
+    }
+}
+
+/**
+ * Cheap structural gate ahead of compilation: every vreg an
+ * instruction reads must be defined *somewhere* in its procedure
+ * (or be a parameter). Minimizer probes that delete a value's only
+ * definition would otherwise panic the compiler ("unallocated"
+ * operands); order/dominance violations that survive this check
+ * degrade into dead reads or faults the oracle classes as
+ * ill-formed.
+ */
+std::string
+checkDefinedUses(const prog::Module &mod)
+{
+    for (const prog::Procedure &proc : mod.procs) {
+        std::vector<bool> defined(proc.nextVReg, false);
+        for (prog::VReg p : proc.params)
+            if (p < proc.nextVReg)
+                defined[p] = true;
+        for (const auto &block : proc.blocks)
+            for (const prog::IrInst &inst : block.insts)
+                if (inst.dst != prog::noVReg &&
+                    inst.dst < proc.nextVReg)
+                    defined[inst.dst] = true;
+        for (const auto &block : proc.blocks) {
+            for (const prog::IrInst &inst : block.insts) {
+                prog::VReg uses[4];
+                const unsigned n = irUses(inst, uses);
+                for (unsigned i = 0; i < n; ++i) {
+                    if (uses[i] >= proc.nextVReg ||
+                        !defined[uses[i]]) {
+                        return "proc " + proc.name +
+                               " reads vreg " +
+                               std::to_string(uses[i]) +
+                               " which is never defined";
+                    }
+                }
+            }
+        }
+    }
+    return "";
+}
+
+arch::EmulatorOptions
+emuOpts(bool honor_edvi, unsigned depth)
+{
+    arch::EmulatorOptions o;
+    o.trackLiveness = true;
+    o.honorEdvi = honor_edvi;
+    o.honorIdvi = true;
+    o.lvmStackDepth = depth;
+    o.strictDeadReads = false;
+    // Broken candidate programs (minimizer probes) must fail the
+    // predicate, not abort the campaign.
+    o.faultOnMisaligned = true;
+    return o;
+}
+
+std::string
+describeInst(const arch::TraceRecord &tr)
+{
+    std::ostringstream os;
+    os << "pc " << tr.pc << ": " << tr.inst.toString();
+    return os.str();
+}
+
+/**
+ * Lockstep diff of the reference emulator (plain binary, E-DVI
+ * ignored) against a candidate emulator consuming its binary's
+ * kills. The caller constructs `b` (and may keep it for the core
+ * layer's cross-checks). Fills the report's progInsts/halted and
+ * returns "" or the first mismatch.
+ */
+std::string
+lockstep(const comp::Executable &plain, arch::Emulator &b,
+         const char *label, const OracleOptions &opts,
+         OracleReport &rep)
+{
+    arch::Emulator a(plain, emuOpts(false, opts.lvmStackDepth));
+    arch::TraceRecord ta, tb;
+
+    std::uint64_t n = 0;
+    bool halted = false;
+    for (; n < opts.maxProgInsts; ++n) {
+        const bool alive_a = a.step(&ta);
+        bool alive_b = b.step(&tb);
+        while (alive_b && tb.inst.isKill())
+            alive_b = b.step(&tb);
+        if (alive_a != alive_b) {
+            return std::string(label) +
+                   ": instruction streams end apart at #" +
+                   std::to_string(n) + " (reference " +
+                   (alive_a ? "running" : "halted") + ", " + label +
+                   " " + (alive_b ? "running" : "halted") + ")";
+        }
+        if (!alive_a) {
+            halted = true;
+            break;
+        }
+        if (ta.inst.op != tb.inst.op) {
+            return std::string(label) + ": opcode diverges at #" +
+                   std::to_string(n) + ": reference " +
+                   describeInst(ta) + " vs " + describeInst(tb);
+        }
+        if (ta.effAddr != tb.effAddr) {
+            return std::string(label) +
+                   ": effective address diverges at #" +
+                   std::to_string(n) + " (" + describeInst(ta) +
+                   "): " + std::to_string(ta.effAddr) + " vs " +
+                   std::to_string(tb.effAddr);
+        }
+        if (ta.taken != tb.taken) {
+            return std::string(label) +
+                   ": branch outcome diverges at #" +
+                   std::to_string(n) + " (" + describeInst(ta) +
+                   ")";
+        }
+    }
+    rep.progInsts = n;
+    rep.halted = halted;
+    rep.savesEliminated = b.stats().saveElimOracle;
+    rep.restoresEliminated = b.stats().restoreElimOracle;
+
+    // A misaligned access is a broken program, not a DVI bug (both
+    // sides compute identical data addresses). Classed as
+    // ill-formed so minimizer probes that mangle an address
+    // computation are rejected.
+    if (a.faulted() || b.faulted()) {
+        return std::string(label) +
+               ": misaligned memory access at pc " +
+               std::to_string(a.faulted() ? a.faultPc()
+                                          : b.faultPc()) +
+               ": ill-formed program";
+    }
+
+    // Liveness layer: neither side may read a dead register. A dead
+    // read on the candidate means its E-DVI is wrong; on the
+    // reference it means the program itself is ill-formed (the
+    // minimizer uses this to reject broken shrink candidates).
+    if (a.stats().deadReads) {
+        return std::string(label) +
+               ": reference (plain) binary read a dead register at "
+               "pc " +
+               std::to_string(a.stats().firstDeadReadPc) + " (" +
+               isa::intRegName(a.stats().firstDeadReadReg) +
+               "): ill-formed program";
+    }
+    if (b.stats().deadReads) {
+        return std::string(label) + ": dead read at pc " +
+               std::to_string(b.stats().firstDeadReadPc) + " of " +
+               isa::intRegName(b.stats().firstDeadReadReg) +
+               " (incorrect E-DVI, " +
+               std::to_string(b.stats().deadReads) +
+               " total dead reads)";
+    }
+
+    // Final-state layer (only meaningful for completed runs).
+    if (halted) {
+        for (RegIndex r = 0; r < isa::numIntRegs; ++r) {
+            if (r == isa::regRa)
+                continue;  // holds shifted code addresses
+            if (a.intReg(r) != b.intReg(r)) {
+                return std::string(label) + ": final " +
+                       isa::intRegName(r) + " diverges: " +
+                       std::to_string(a.intReg(r)) + " vs " +
+                       std::to_string(b.intReg(r));
+            }
+        }
+        for (RegIndex r = 0; r < isa::numFpRegs; ++r) {
+            // Bitwise: an FP register can legitimately hold a NaN
+            // (integer stores reinterpreted through a stack slot),
+            // and NaN != NaN would report a bit-identical file as
+            // divergent.
+            if (bitCast<std::int64_t>(a.fpReg(r)) !=
+                bitCast<std::int64_t>(b.fpReg(r))) {
+                return std::string(label) + ": final " +
+                       isa::fpRegName(r) + " diverges";
+            }
+        }
+        for (unsigned w = 0; w < plain.globalWords; ++w) {
+            const Addr addr = plain.globalBase + 8ull * w;
+            if (a.memory().read(addr) != b.memory().read(addr)) {
+                return std::string(label) +
+                       ": global word " + std::to_string(w) +
+                       " diverges: " +
+                       std::to_string(a.memory().read(addr)) +
+                       " vs " +
+                       std::to_string(b.memory().read(addr));
+            }
+        }
+    }
+
+    return "";
+}
+
+/** Layer 4: the timing core's commit stream against the functional
+ * LVM oracle `b` (the candidate emulator from the lockstep run). */
+std::string
+coreLayer(const comp::Executable &edvi, const arch::Emulator &b,
+          const OracleOptions &opts, const OracleReport &rep)
+{
+    uarch::CoreConfig cc;
+    cc.dvi = uarch::DviConfig::full();
+    cc.dvi.lvmStackDepth = opts.lvmStackDepth;
+    cc.maxInsts = opts.maxProgInsts;
+    uarch::Core core(edvi, cc);
+    const uarch::CoreStats &cs = core.run();
+
+    if (cs.committedProgInsts != rep.progInsts) {
+        return "core: committed " +
+               std::to_string(cs.committedProgInsts) +
+               " program instructions, functional oracle retired " +
+               std::to_string(rep.progInsts);
+    }
+    if (rep.halted && cs.committedKills != b.stats().kills) {
+        return "core: committed " +
+               std::to_string(cs.committedKills) +
+               " kills, functional oracle retired " +
+               std::to_string(b.stats().kills);
+    }
+    if (cs.savesSeen != b.stats().saves ||
+        cs.restoresSeen != b.stats().restores) {
+        return "core: decoded " + std::to_string(cs.savesSeen) +
+               " saves / " + std::to_string(cs.restoresSeen) +
+               " restores, functional oracle retired " +
+               std::to_string(b.stats().saves) + " / " +
+               std::to_string(b.stats().restores);
+    }
+    if (cs.savesEliminated != b.stats().saveElimOracle) {
+        return "core: squashed " +
+               std::to_string(cs.savesEliminated) +
+               " saves, functional LVM oracle says " +
+               std::to_string(b.stats().saveElimOracle);
+    }
+    if (cs.restoresEliminated != b.stats().restoreElimOracle) {
+        return "core: squashed " +
+               std::to_string(cs.restoresEliminated) +
+               " restores, functional LVM-Stack oracle says " +
+               std::to_string(b.stats().restoreElimOracle);
+    }
+
+    // The core's internal emulator consumed the same binary through
+    // the batched trace path; its architectural end state must be
+    // bit-identical to the lockstep emulator's (kills do not touch
+    // architectural state, so trailing-kill cut points are
+    // harmless).
+    const arch::Emulator &ce = core.emulator();
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r) {
+        if (ce.intReg(r) != b.intReg(r)) {
+            return "core: emulator " + isa::intRegName(r) +
+                   " diverges from lockstep oracle: " +
+                   std::to_string(ce.intReg(r)) + " vs " +
+                   std::to_string(b.intReg(r));
+        }
+    }
+    for (unsigned w = 0; w < edvi.globalWords; ++w) {
+        const Addr addr = edvi.globalBase + 8ull * w;
+        if (ce.memory().read(addr) != b.memory().read(addr)) {
+            return "core: global word " + std::to_string(w) +
+                   " diverges from lockstep oracle";
+        }
+    }
+    if (ce.resultHash() != b.resultHash())
+        return "core: result hash diverges from lockstep oracle";
+    return "";
+}
+
+} // namespace
+
+bool
+applyKillFault(comp::Executable &exe, const FaultSpec &fault)
+{
+    if (!fault.enabled || fault.reg == 0 ||
+        fault.reg >= isa::numIntRegs)
+        return false;
+    std::vector<std::size_t> kills;
+    for (std::size_t i = 0; i < exe.code.size(); ++i)
+        if (exe.code[i].isKill())
+            kills.push_back(i);
+    if (kills.empty())
+        return false;
+    isa::Instruction &inst =
+        exe.code[kills[fault.killOrdinal % kills.size()]];
+    const std::int32_t bit = static_cast<std::int32_t>(
+        1u << fault.reg);
+    if (inst.imm & bit)
+        return false;  // already asserted dead: not a corruption
+    inst.imm |= bit;
+    return true;
+}
+
+OracleReport
+runOracle(const prog::Module &mod, const OracleOptions &opts)
+{
+    OracleReport rep;
+    const auto fail = [&rep](std::string msg) {
+        rep.ok = false;
+        rep.failure = std::move(msg);
+        return rep;
+    };
+
+    const std::string verr = mod.validate();
+    if (!verr.empty())
+        return fail("invalid module: " + verr);
+    const std::string uerr = checkDefinedUses(mod);
+    if (!uerr.empty())
+        return fail("invalid module: " + uerr);
+
+    const comp::Executable plain = comp::compile(
+        mod, comp::CompileOptions{comp::EdviPolicy::None});
+    comp::Executable edvi = comp::compile(
+        mod, comp::CompileOptions{comp::EdviPolicy::CallSites});
+    if (opts.fault.enabled && !applyKillFault(edvi, opts.fault))
+        return fail("fault injection not applicable (no kill "
+                    "instruction / bit already set)");
+    rep.staticKills = edvi.countKills();
+
+    if (opts.staticCheck) {
+        const std::string serr = comp::verifyEdviKills(edvi);
+        if (!serr.empty())
+            return fail("static: " + serr);
+    }
+
+    arch::Emulator edvi_emu(edvi, emuOpts(true, opts.lvmStackDepth));
+    std::string err = lockstep(plain, edvi_emu, "edvi", opts, rep);
+    if (!err.empty())
+        return fail(std::move(err));
+
+    if (opts.runDense) {
+        comp::Executable dense = comp::compile(
+            mod, comp::CompileOptions{comp::EdviPolicy::Dense});
+        if (opts.staticCheck) {
+            const std::string serr = comp::verifyEdviKills(dense);
+            if (!serr.empty())
+                return fail("static(dense): " + serr);
+        }
+        arch::Emulator dense_emu(dense,
+                                 emuOpts(true, opts.lvmStackDepth));
+        OracleReport dense_rep;
+        err = lockstep(plain, dense_emu, "dense", opts, dense_rep);
+        if (!err.empty())
+            return fail(std::move(err));
+    }
+
+    if (opts.runCore) {
+        err = coreLayer(edvi, edvi_emu, opts, rep);
+        if (!err.empty())
+            return fail(std::move(err));
+    }
+
+    return rep;
+}
+
+} // namespace fuzz
+} // namespace dvi

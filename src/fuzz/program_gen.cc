@@ -1,0 +1,452 @@
+#include "fuzz/program_gen.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace fuzz
+{
+
+using prog::IrInst;
+using prog::IrOp;
+using prog::Module;
+using prog::noVReg;
+using prog::Procedure;
+using prog::VReg;
+
+namespace
+{
+
+/** Builds one procedure's irregular CFG. */
+class FuzzProcGen
+{
+  public:
+    FuzzProcGen(Module &mod, int proc_idx, const ProgramParams &p,
+                Rng &rng)
+        : mod(mod), proc(mod.procs[static_cast<std::size_t>(proc_idx)]),
+          params(p), rng(rng), isMain(proc_idx == mod.mainIndex)
+    {}
+
+    void
+    build()
+    {
+        // Lay the block skeleton out up front so every branch knows
+        // the full target range: entry, body 1..B, exit B+1.
+        const int body = static_cast<int>(params.blocksPerProc);
+        for (int b = 0; b < body + 2; ++b)
+            proc.newBlock();
+        exitBlock = body + 1;
+
+        emitEntry();
+        for (int b = 1; b <= body; ++b)
+            emitBody(b);
+        emitExit();
+    }
+
+  private:
+    /** A usable operand: any pool/stable value, or a temporary
+     * defined earlier in the current block. */
+    VReg
+    pickValue()
+    {
+        const std::size_t n =
+            stable.size() + pool.size() + temps.size();
+        std::size_t i = static_cast<std::size_t>(rng.below(n));
+        if (i < stable.size())
+            return stable[i];
+        i -= stable.size();
+        if (i < pool.size())
+            return pool[i];
+        return temps[i - pool.size()];
+    }
+
+    /** A redefinable pool slot (never the semantic constants). */
+    VReg
+    pickPoolSlot()
+    {
+        return rng.pick(pool);
+    }
+
+    void
+    emit(IrInst inst)
+    {
+        proc.emit(cur, std::move(inst));
+    }
+
+    void
+    emitEntry()
+    {
+        cur = 0;
+        // Semantic constants: never redefined, so the address
+        // masking and the loop/recursion guards stay meaningful.
+        zeroV = constant(0);
+        oneV = constant(1);
+        threeV = constant(3);
+        maskV = constant(
+            static_cast<std::int32_t>(params.windowWords - 1));
+        baseV = constant(
+            static_cast<std::int32_t>(Module::globalBase));
+        fuelV = proc.newVReg();
+        emit(prog::irLoadImm(
+            fuelV, static_cast<std::int32_t>(params.loopFuel)));
+        stable.assign({zeroV, oneV, threeV, maskV, baseV});
+        for (VReg pv : proc.params)
+            stable.push_back(pv);
+
+        // Zero every local slot: an unwritten slot would otherwise
+        // read stale words of dead deeper frames — including saved
+        // return addresses, which legitimately differ between plain
+        // and E-DVI binaries and would poison the differential diff.
+        for (unsigned s = 0; s < params.localSlots; ++s)
+            emit(prog::irStoreStack(
+                zeroV, static_cast<std::int32_t>(s)));
+
+        // The redefinable pool.
+        for (unsigned i = 0; i < params.poolSize; ++i) {
+            VReg v = proc.newVReg();
+            if (!proc.params.empty() && rng.chance(0.4)) {
+                emit(prog::irAluImm(
+                    IrOp::AddImm, v, rng.pick(proc.params),
+                    static_cast<std::int32_t>(rng.range(-64, 64))));
+            } else {
+                emit(prog::irLoadImm(
+                    v, static_cast<std::int32_t>(
+                           rng.range(-1000, 1000))));
+            }
+            pool.push_back(v);
+        }
+
+        // Recursion guard: depth below one returns immediately.
+        if (!isMain)
+            emit(prog::irBranch(IrOp::Blt, proc.params[0], oneV,
+                                exitBlock));
+    }
+
+    /** Masked aliasing address: base + ((value & mask) << 3). */
+    VReg
+    emitWindowAddr()
+    {
+        VReg idx = proc.newVReg();
+        emit(prog::irAlu(IrOp::And, idx, pickValue(), maskV));
+        VReg off = proc.newVReg();
+        emit(prog::irAlu(IrOp::Sll, off, idx, threeV));
+        VReg addr = proc.newVReg();
+        emit(prog::irAlu(IrOp::Add, addr, baseV, off));
+        return addr;
+    }
+
+    void
+    emitMemOp()
+    {
+        if (params.localSlots > 0 && rng.chance(0.3)) {
+            const std::int32_t slot = static_cast<std::int32_t>(
+                rng.below(params.localSlots));
+            if (rng.chance(0.5)) {
+                emit(prog::irStoreStack(pickValue(), slot));
+            } else {
+                VReg t = proc.newVReg();
+                emit(prog::irLoadStack(t, slot));
+                temps.push_back(t);
+            }
+            return;
+        }
+        VReg addr = emitWindowAddr();
+        const std::int32_t disp =
+            static_cast<std::int32_t>(rng.below(8) * 8);
+        if (rng.chance(0.5)) {
+            emit(prog::irStore(pickValue(), addr, disp));
+        } else {
+            VReg t = proc.newVReg();
+            emit(prog::irLoad(t, addr, disp));
+            temps.push_back(t);
+        }
+    }
+
+    void
+    emitFpOp()
+    {
+        const RegIndex fd = static_cast<RegIndex>(rng.below(8));
+        const RegIndex fa = static_cast<RegIndex>(rng.below(8));
+        const RegIndex fb = static_cast<RegIndex>(rng.below(8));
+        if (rng.chance(0.5))
+            emit(prog::irFadd(fd, fa, fb));
+        else
+            emit(prog::irFmul(fd, fa, fb));
+        if (params.localSlots > 0 && rng.chance(0.3)) {
+            const std::int32_t slot = static_cast<std::int32_t>(
+                rng.below(params.localSlots));
+            if (rng.chance(0.5))
+                emit(prog::irFstoreStack(fd, slot));
+            else
+                emit(prog::irFloadStack(
+                    static_cast<RegIndex>(rng.below(8)), slot));
+        }
+    }
+
+    void
+    emitAluOp()
+    {
+        // Sources are picked before defTarget() registers a fresh
+        // destination temp, so an op can never read its own not-
+        // yet-defined result.
+        if (rng.chance(0.3)) {
+            static const IrOp imm_ops[] = {
+                IrOp::AddImm, IrOp::AndImm, IrOp::OrImm,
+                IrOp::XorImm, IrOp::SltImm};
+            const IrOp op = imm_ops[rng.below(5)];
+            const VReg src = pickValue();
+            emit(prog::irAluImm(op, defTarget(), src,
+                                static_cast<std::int32_t>(
+                                    rng.range(-128, 128))));
+            return;
+        }
+        static const IrOp ops[] = {IrOp::Add, IrOp::Sub, IrOp::Mul,
+                                   IrOp::Div, IrOp::And, IrOp::Or,
+                                   IrOp::Xor, IrOp::Slt, IrOp::Sll,
+                                   IrOp::Srl};
+        const IrOp op = ops[rng.below(10)];
+        const VReg src1 = pickValue();
+        const VReg src2 = pickValue();
+        emit(prog::irAlu(op, defTarget(), src1, src2));
+    }
+
+    /** Destination of a work op: usually a fresh temporary,
+     * sometimes a pool redefinition (creates kill-then-redefine
+     * windows for dense E-DVI). */
+    VReg
+    defTarget()
+    {
+        if (rng.chance(0.3))
+            return pickPoolSlot();
+        VReg t = proc.newVReg();
+        temps.push_back(t);
+        return t;
+    }
+
+    void
+    emitCall()
+    {
+        if (callSites >= params.maxCallSites ||
+            mod.procs.size() <= 1)
+            return;
+        ++callSites;
+        const int callee =
+            1 + static_cast<int>(rng.below(
+                    std::max(1u, static_cast<unsigned>(
+                                     mod.procs.size()) - 1)));
+        const auto &callee_params =
+            mod.procs[static_cast<std::size_t>(callee)].params;
+
+        std::vector<VReg> args;
+        // First argument is always the strictly smaller depth.
+        VReg d = proc.newVReg();
+        if (isMain) {
+            emit(prog::irLoadImm(
+                d, static_cast<std::int32_t>(
+                       rng.range(1, static_cast<std::int64_t>(
+                                        params.maxDepth)))));
+        } else {
+            emit(prog::irAluImm(IrOp::AddImm, d, proc.params[0],
+                                rng.chance(0.8) ? -1 : -2));
+        }
+        args.push_back(d);
+        for (std::size_t a = 1; a < callee_params.size(); ++a)
+            args.push_back(pickValue());
+
+        VReg result = proc.newVReg();
+        emit(prog::irCall(callee, std::move(args), result));
+        // Fold the result into program state so the call matters.
+        VReg acc = pickPoolSlot();
+        emit(prog::irAlu(IrOp::Add, acc, acc, result));
+        temps.push_back(result);
+    }
+
+    /** Register-pressure spike: many simultaneously live values
+     * crossing a call, overflowing into callee-saved registers and
+     * spill slots. */
+    void
+    emitPressureSpike()
+    {
+        std::vector<VReg> spike;
+        const unsigned n = 10 + static_cast<unsigned>(rng.below(5));
+        for (unsigned i = 0; i < n; ++i) {
+            VReg t = proc.newVReg();
+            emit(prog::irAluImm(IrOp::AddImm, t, pickValue(),
+                                static_cast<std::int32_t>(
+                                    rng.range(1, 64))));
+            spike.push_back(t);
+        }
+        emitCall();
+        VReg acc = pickPoolSlot();
+        for (VReg t : spike)
+            emit(prog::irAlu(IrOp::Add, acc, acc, t));
+    }
+
+    void
+    emitBody(int b)
+    {
+        cur = b;
+        temps.clear();
+
+        if (rng.chance(params.pressureProb)) {
+            emitPressureSpike();
+        } else {
+            for (unsigned i = 0; i < params.instsPerBlock; ++i) {
+                const double roll = rng.uniform();
+                if (roll < params.memFraction)
+                    emitMemOp();
+                else if (roll <
+                         params.memFraction + params.fpFraction)
+                    emitFpOp();
+                else
+                    emitAluOp();
+            }
+            if (rng.chance(params.callProb))
+                emitCall();
+        }
+
+        // Terminator: fuel-guarded back edge, forward conditional,
+        // forward jump, or plain fall-through.
+        const double roll = rng.uniform();
+        if (roll < params.backEdgeProb) {
+            // The decrement makes every traversal of this edge
+            // consume fuel, so the branch is taken at most
+            // loopFuel times per activation, shared across all the
+            // procedure's back edges.
+            emit(prog::irAluImm(IrOp::AddImm, fuelV, fuelV, -1));
+            const int target = 1 + static_cast<int>(rng.below(
+                                       static_cast<unsigned>(b)));
+            emit(prog::irBranch(IrOp::Bge, fuelV, oneV, target));
+        } else if (roll <
+                   params.backEdgeProb + params.condBranchProb) {
+            static const IrOp ops[] = {IrOp::Beq, IrOp::Bne,
+                                       IrOp::Blt, IrOp::Bge};
+            const int target =
+                b + 1 +
+                static_cast<int>(
+                    rng.below(static_cast<unsigned>(exitBlock - b)));
+            emit(prog::irBranch(ops[rng.below(4)], pickValue(),
+                                pickValue(), target));
+        } else if (roll < params.backEdgeProb +
+                              params.condBranchProb +
+                              params.jumpProb) {
+            const int target =
+                b + 1 +
+                static_cast<int>(
+                    rng.below(static_cast<unsigned>(exitBlock - b)));
+            emit(prog::irJump(target));
+        }
+        // else: fall through to block b+1.
+    }
+
+    void
+    emitExit()
+    {
+        cur = exitBlock;
+        if (isMain) {
+            // Publish some state to the window, then halt.
+            emit(prog::irStore(rng.pick(pool), baseV, 0));
+            emit(prog::irHalt());
+        } else {
+            emit(prog::irRet(rng.pick(pool)));
+        }
+    }
+
+    VReg
+    constant(std::int32_t value)
+    {
+        VReg v = proc.newVReg();
+        emit(prog::irLoadImm(v, value));
+        return v;
+    }
+
+    Module &mod;
+    Procedure &proc;
+    const ProgramParams &params;
+    Rng &rng;
+    bool isMain;
+
+    int cur = 0;
+    int exitBlock = 0;
+    unsigned callSites = 0;
+
+    VReg zeroV = noVReg, oneV = noVReg, threeV = noVReg;
+    VReg maskV = noVReg, baseV = noVReg, fuelV = noVReg;
+    std::vector<VReg> stable;  ///< entry-defined, never redefined
+    std::vector<VReg> pool;    ///< entry-defined, redefinable
+    std::vector<VReg> temps;   ///< current-block definitions
+};
+
+} // namespace
+
+ProgramParams
+randomProgramParams(Rng &rng)
+{
+    ProgramParams p;
+    p.seed = rng.next();
+    p.numProcs = 1 + static_cast<unsigned>(rng.below(6));
+    p.blocksPerProc = 2 + static_cast<unsigned>(rng.below(7));
+    p.instsPerBlock = 3 + static_cast<unsigned>(rng.below(10));
+    p.poolSize = 3 + static_cast<unsigned>(rng.below(6));
+    p.localSlots = static_cast<unsigned>(rng.below(6));
+    p.windowWords = 8u << rng.below(4);  // 8..64
+    // Depth beyond the default 16-entry LVM-Stack in a good
+    // fraction of programs, to exercise overflow/underflow.
+    p.maxDepth = 1 + static_cast<unsigned>(rng.below(24));
+    p.loopFuel = 2 + static_cast<unsigned>(rng.below(9));
+    p.maxCallSites = 1 + static_cast<unsigned>(rng.below(3));
+    p.callProb = 0.15 + 0.35 * rng.uniform();
+    p.backEdgeProb = 0.4 * rng.uniform();
+    p.condBranchProb = 0.3 * rng.uniform();
+    p.jumpProb = 0.2 * rng.uniform();
+    p.memFraction = 0.5 * rng.uniform();
+    p.fpFraction = rng.chance(0.3) ? 0.2 * rng.uniform() : 0.0;
+    p.pressureProb = 0.3 * rng.uniform();
+    return p;
+}
+
+prog::Module
+generateProgram(const ProgramParams &params)
+{
+    panic_if(params.windowWords == 0 ||
+                 (params.windowWords & (params.windowWords - 1)),
+             "windowWords must be a power of two");
+    panic_if(params.poolSize == 0, "empty value pool");
+    panic_if(params.blocksPerProc == 0, "need at least one block");
+
+    Rng rng(params.seed);
+    Module mod;
+    mod.name = "fuzz";
+    // The masked window plus the largest displacement must fit.
+    mod.globalWords = params.windowWords + 8;
+    mod.mainIndex = 0;
+
+    // Signatures first, so call sites know them.
+    mod.procs.resize(params.numProcs + 1);
+    mod.procs[0].name = "main";
+    mod.procs[0].numLocalSlots = params.localSlots;
+    for (unsigned p = 1; p <= params.numProcs; ++p) {
+        Procedure &proc = mod.procs[p];
+        proc.name = "fuzz" + std::to_string(p);
+        proc.numLocalSlots = params.localSlots;
+        const unsigned nparams =
+            1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned a = 0; a < nparams; ++a)
+            proc.params.push_back(proc.newVReg());
+    }
+
+    for (unsigned p = 0; p <= params.numProcs; ++p) {
+        FuzzProcGen gen(mod, static_cast<int>(p), params, rng);
+        gen.build();
+    }
+
+    const std::string err = mod.validate();
+    panic_if(!err.empty(), "generated fuzz module invalid: ", err);
+    return mod;
+}
+
+} // namespace fuzz
+} // namespace dvi

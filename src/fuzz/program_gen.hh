@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unstructured random-program generator for differential fuzzing.
+ *
+ * Where workload/generator.cc builds the paper-shaped programs (long
+ * segments, DAG call graphs, controlled value lifetimes), this
+ * generator emits *adversarial* IR: irregular control-flow graphs
+ * with forward branches, jumps, and fuel-guarded back edges in
+ * arbitrary positions; aliasing loads and stores folded into a small
+ * shared global window; deep and mutual recursion (any procedure may
+ * call any procedure, including itself); and register-pressure
+ * spikes that force values across calls into callee-saved registers
+ * and spill slots. It is the adversary the E-DVI invariance claim is
+ * tested against (fuzz/oracle.hh).
+ *
+ * Every emitted program is well-formed and terminating by
+ * construction:
+ *  - def-before-use: operands are drawn only from a pool defined in
+ *    the procedure's entry block (which dominates every block) or
+ *    from temporaries defined earlier in the same block;
+ *  - termination: every procedure's first parameter is a recursion
+ *    depth that every call strictly decreases and the entry block
+ *    guards, and every backward branch first decrements a per-
+ *    activation fuel counter and falls through once it is spent;
+ *  - memory safety: computed addresses are masked into a small
+ *    global window (this is also what makes them alias), so no
+ *    store can touch the stack, where return-address words differ
+ *    between plain and E-DVI binaries.
+ */
+
+#ifndef DVI_FUZZ_PROGRAM_GEN_HH
+#define DVI_FUZZ_PROGRAM_GEN_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace fuzz
+{
+
+/** Shape of one random program. */
+struct ProgramParams
+{
+    std::uint64_t seed = 1;
+
+    unsigned numProcs = 4;       ///< callable procedures (excl. main)
+    unsigned blocksPerProc = 5;  ///< body blocks per procedure
+    unsigned instsPerBlock = 8;  ///< work ops per body block
+    unsigned poolSize = 6;       ///< entry-defined redefinable values
+    unsigned localSlots = 4;     ///< per-procedure stack words
+    /** Aliasing window size in 8-byte words; power of two. */
+    unsigned windowWords = 32;
+    unsigned maxDepth = 8;       ///< recursion depth bound
+    unsigned loopFuel = 6;       ///< back-edge budget per activation
+    unsigned maxCallSites = 3;   ///< static call sites per procedure
+
+    double callProb = 0.3;       ///< P(body block emits a call)
+    double backEdgeProb = 0.25;  ///< P(block ends in a back edge)
+    double condBranchProb = 0.2; ///< P(block ends in a fwd branch)
+    double jumpProb = 0.1;       ///< P(block ends in a fwd jump)
+    double memFraction = 0.3;    ///< loads/stores among work ops
+    double fpFraction = 0.05;    ///< FP ops among work ops
+    double pressureProb = 0.15;  ///< P(register-pressure spike block)
+};
+
+/** Draw a randomized shape (sizes kept small enough that most
+ * programs halt within a differential-oracle budget). */
+ProgramParams randomProgramParams(Rng &rng);
+
+/** Generate a validated module (deterministic in params.seed). */
+prog::Module generateProgram(const ProgramParams &params);
+
+} // namespace fuzz
+} // namespace dvi
+
+#endif // DVI_FUZZ_PROGRAM_GEN_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Replayable repro manifests for fuzz failures.
+ *
+ * A repro file is one self-contained JSON document: the (minimized)
+ * failing program itself (program/ir_json.hh), the oracle
+ * configuration, the injected fault (if any), provenance (campaign
+ * seed and program index), and the recorded failure text. Replaying
+ * it needs no generator state: load, re-run the oracle, compare.
+ * Emission is deterministic, so a replayed repro re-emits
+ * byte-identically — the contract `dvi-fuzz --replay` enforces.
+ */
+
+#ifndef DVI_FUZZ_REPRO_HH
+#define DVI_FUZZ_REPRO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/oracle.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace fuzz
+{
+
+/** One self-contained failure record. */
+struct Repro
+{
+    prog::Module program;
+    OracleOptions oracle;  ///< includes the injected fault, if any
+    std::string failure;   ///< oracle failure text at record time
+    std::uint64_t seed = 0;          ///< campaign seed (provenance)
+    std::uint64_t programIndex = 0;  ///< which program of the run
+};
+
+/** Serialize (deterministic; ends with a newline). */
+std::string reproToJson(const Repro &r);
+
+/** Load from JSON text. Returns "" or a diagnostic. */
+std::string reproFromJson(const std::string &text, Repro &out);
+
+/** Re-run a loaded repro's oracle. */
+OracleReport replay(const Repro &r);
+
+} // namespace fuzz
+} // namespace dvi
+
+#endif // DVI_FUZZ_REPRO_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * IR module <-> JSON serialization.
+ *
+ * Lets a whole prog::Module travel as data: the fuzz subsystem's
+ * repro manifests embed the (minimized) failing program so a failure
+ * replays from one self-contained file, with no dependence on the
+ * generator code or seed that produced it.
+ *
+ * Encoding: each instruction is a compact array
+ *   [op, dst, src1, src2, imm, target, callee, [args...], fd, fs1, fs2]
+ * with trailing default fields omitted (defaults: registers 0,
+ * imm 0, target/callee -1, args empty). Emission is deterministic
+ * (base/json), so load -> emit round-trips byte-identically.
+ */
+
+#ifndef DVI_PROGRAM_IR_JSON_HH
+#define DVI_PROGRAM_IR_JSON_HH
+
+#include <string>
+
+#include "base/json.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace prog
+{
+
+/** Lower-case token for an IR op, e.g. "addimm". */
+std::string irOpName(IrOp op);
+
+/** Serialize a module (deterministic). */
+json::Value moduleToJson(const Module &m);
+
+/**
+ * Load a module from its JSON form. Returns "" on success or a
+ * diagnostic naming the offending procedure/block/instruction. The
+ * loaded module is structurally validated (Module::validate).
+ */
+std::string moduleFromJson(const json::Value &v, Module &out);
+
+} // namespace prog
+} // namespace dvi
+
+#endif // DVI_PROGRAM_IR_JSON_HH

@@ -21,6 +21,15 @@ namespace
 
 constexpr Cycle infiniteCycle = ~0ull;
 
+/** Debug-build DVI invariant hooks (dead-read / unmapped-source
+ * checks at dispatch); compiled out of Release so the hot path and
+ * the golden-stats contract are untouched. */
+#ifndef NDEBUG
+constexpr bool debugDviInvariants = true;
+#else
+constexpr bool debugDviInvariants = false;
+#endif
+
 /** Cycles without a commit before the deadlock valve trips. */
 constexpr Cycle deadlockHorizon = 100000;
 
@@ -147,6 +156,36 @@ Core::applyKillToRenamer(RegMask mask, WindowEntry &entry)
             ++entry.killFreeCount;
         }
     });
+}
+
+void
+Core::checkDispatchReads(const Instruction &inst,
+                         const WindowEntry &e,
+                         const RegIndex srcs[2],
+                         std::uint32_t pc) const
+{
+    RegMask lvm_reads;
+    for (unsigned i = 0; i < e.numSrcs; ++i) {
+        const RegIndex r = srcs[i];
+        if (r == isa::regZero)
+            continue;
+        // The data register of an executing save is the one read of
+        // a possibly-dead value the paper sanctions (§5.1).
+        if (inst.isSave() && i == 1)
+            continue;
+        panic_if(e.srcPregs[i] == invalidPhysReg,
+                 "DVI invariant violated: ", inst.toString(),
+                 " at pc ", pc, " reads ", isa::intRegName(r),
+                 ", whose mapping a committed kill reclaimed "
+                 "(incorrect E-DVI)");
+        lvm_reads.set(r);
+    }
+    // The LVM is only maintained when some DVI source feeds it.
+    // Cheap emptiness probe first: the disassembly for the panic
+    // context is formatted only on an actual violation.
+    if ((cfg.dvi.useEdvi || cfg.dvi.useIdvi) &&
+        !lvm_reads.minus(lvm.mask()).empty())
+        lvm.assertLive(lvm_reads, inst.toString().c_str());
 }
 
 bool
@@ -385,6 +424,10 @@ Core::doDispatch()
         e.numSrcs = inst.srcIntRegs(srcs);
         for (unsigned i = 0; i < e.numSrcs; ++i)
             e.srcPregs[i] = renamer.lookup(srcs[i]);
+        // Before this instruction's own call/return/kill effects
+        // mutate the LVM: its reads are against the current masks.
+        if (debugDviInvariants)
+            checkDispatchReads(inst, e, srcs, fi.tr.pc);
 
         RegIndex fp_srcs[2];
         e.numFpSrcs = inst.srcFpRegs(fp_srcs);

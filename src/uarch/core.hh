@@ -178,6 +178,23 @@ class Core
     void doFetch();
 
     bool nextTraceRecord();
+
+    /**
+     * Debug-build invariant hook (§7 of the paper): a dispatched
+     * (hence committed — the trace is the correct path) instruction
+     * must never read an architectural register that DVI killed: its
+     * renamer mapping may be gone (early reclamation) and its LVM
+     * bit clear. The one legal dead read is a live-store's data
+     * register — saving a dead value is exactly what the hardware
+     * squashes, and is harmless when executed with elimSaves off.
+     * Catches incorrect E-DVI (and fuzz-injected kill-mask faults)
+     * at the first consuming instruction.
+     */
+    void checkDispatchReads(const isa::Instruction &inst,
+                            const WindowEntry &e,
+                            const RegIndex srcs[2],
+                            std::uint32_t pc) const;
+
     void dispatchKill(const arch::TraceRecord &tr);
     RegMask effectiveKillMask(const isa::Instruction &inst) const;
     void applyKillToRenamer(RegMask mask, WindowEntry &entry);

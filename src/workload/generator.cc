@@ -38,6 +38,13 @@ class ProcGen
     build()
     {
         cur = proc.newBlock();
+        if (params.zeroInitLocals && proc.numLocalSlots > 0) {
+            VReg z = proc.newVReg();
+            proc.emit(cur, prog::irLoadImm(z, 0));
+            for (unsigned s = 0; s < proc.numLocalSlots; ++s)
+                proc.emit(cur, prog::irStoreStack(
+                                   z, static_cast<std::int32_t>(s)));
+        }
         emitEntry();
 
         // Recursive procedures branch to the exit on depth < 1; the
@@ -530,6 +537,41 @@ buildMain(Module &mod, const GeneratorParams &params, Rng &rng)
 }
 
 } // namespace
+
+GeneratorParams
+randomParams(Rng &rng)
+{
+    GeneratorParams p;
+    p.seed = rng.next();
+    p.name = "fuzz-structured";
+    p.numProcs = 2 + static_cast<unsigned>(rng.below(8));
+    p.segmentsPerProc = 2 + static_cast<unsigned>(rng.below(4));
+    p.workPerSegment = 4 + static_cast<unsigned>(rng.below(12));
+    p.callProb = 0.3 + 0.6 * rng.uniform();
+    p.leafFraction = 0.5 * rng.uniform();
+    p.fanout = 2 + static_cast<unsigned>(rng.below(6));
+    p.calleeValues = 1 + static_cast<unsigned>(rng.below(5));
+    p.longLivedFraction = rng.uniform();
+    p.memFraction = 0.5 * rng.uniform();
+    p.fpFraction = rng.chance(0.3) ? 0.15 * rng.uniform() : 0.0;
+    p.loopProb = 0.5 * rng.uniform();
+    p.loopItersLo = 1 + static_cast<unsigned>(rng.below(3));
+    p.loopItersHi =
+        p.loopItersLo + static_cast<unsigned>(rng.below(6));
+    p.condProb = 0.4 * rng.uniform();
+    // Recursion beyond the default 16-entry LVM-Stack half the time,
+    // to exercise the overflow path.
+    p.recursionDepth = rng.chance(0.5)
+                           ? static_cast<unsigned>(rng.range(8, 40))
+                           : 0;
+    p.mainIters = 1 + static_cast<unsigned>(rng.below(3));
+    // Keep globalWords comfortably above the generator's 128-word
+    // base-pointer margin (emitSegmentPrelude subtracts 128).
+    p.globalWords = 160 + static_cast<unsigned>(rng.below(352));
+    p.zeroInitLocals = true;
+    p.localSlots = 1 + static_cast<unsigned>(rng.below(6));
+    return p;
+}
 
 Module
 generate(const GeneratorParams &params)

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/rng.hh"
 #include "program/ir.hh"
 
 namespace dvi
@@ -65,10 +66,29 @@ struct GeneratorParams
                                    ///< caps runs by instruction count)
     unsigned globalWords = 4096;   ///< global data region size
     unsigned localSlots = 4;       ///< per-procedure stack locals
+
+    /**
+     * Zero local slots at procedure entry. Off for the calibrated
+     * benchmarks (their code and golden statistics are frozen); the
+     * fuzz mix turns it on so a load from a never-written slot
+     * cannot observe a dead deeper frame's saved return address,
+     * which differs between plain and E-DVI binaries.
+     */
+    bool zeroInitLocals = false;
 };
 
 /** Generate a module from the parameters (deterministic in seed). */
 prog::Module generate(const GeneratorParams &params);
+
+/**
+ * Randomized parameters for fuzzing: a small paper-shaped program
+ * with every knob (procedure count, call density, recursion depth,
+ * value lifetimes, memory/FP mix) drawn from ranges wide enough to
+ * stress the compiler and the DVI machinery, and mainIters small
+ * enough that the program runs to halt quickly. Deterministic in the
+ * rng state; the result's seed is drawn from rng too.
+ */
+GeneratorParams randomParams(Rng &rng);
 
 } // namespace workload
 } // namespace dvi

@@ -309,6 +309,135 @@ TEST(SmallVec, InlineThenSpill)
     EXPECT_EQ(v[0], 42);
 }
 
+TEST(RegMask, FirstNBeyondWidthPanics)
+{
+    EXPECT_DEATH((void)RegMask::firstN(65), "out of range");
+}
+
+TEST(RegMask, KillPathIntersectionAlgebra)
+{
+    // The LVM kill path is live.minus(kill); its algebra: killed
+    // bits vanish, the rest survive, and re-killing is idempotent.
+    RegMask live = RegMask::firstN(32);
+    RegMask kill{8, 9, 17};
+    RegMask after = live.minus(kill);
+    EXPECT_TRUE((after & kill).empty());
+    EXPECT_EQ((after | kill), live);
+    EXPECT_EQ(after.minus(kill), after);
+    // Merge-back (the LVM-Stack return merge shape): restoring the
+    // masked bits from a snapshot reconstructs the original.
+    RegMask merged = after.minus(kill) | (live & kill);
+    EXPECT_EQ(merged, live);
+    // Raw round-trip preserves exact bits.
+    EXPECT_EQ(RegMask(after.raw()), after);
+}
+
+TEST(DynBitset, ResizeDownTrimsHighBits)
+{
+    DynBitset b(130);
+    b.set(129);
+    b.set(64);
+    b.resize(65);
+    EXPECT_EQ(b.size(), 65u);
+    EXPECT_TRUE(b.test(64));
+    EXPECT_EQ(b.count(), 1u);
+    // Growing again must not resurrect the trimmed bit.
+    b.resize(130);
+    EXPECT_FALSE(b.test(129));
+    EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynBitset, ResizeUpPreservesContents)
+{
+    DynBitset b(10);
+    b.set(3);
+    b.resize(500);
+    EXPECT_TRUE(b.test(3));
+    EXPECT_EQ(b.count(), 1u);
+    b.set(499);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynBitsetDeath, OutOfRangeAndSizeMismatchPanic)
+{
+    DynBitset b(64);
+    EXPECT_DEATH(b.set(64), "out of range");
+    EXPECT_DEATH((void)b.test(64), "out of range");
+    EXPECT_DEATH(b.clear(64), "out of range");
+    DynBitset other(65);
+    EXPECT_DEATH((void)b.orWith(other), "size mismatch");
+    EXPECT_DEATH(b.andWith(other), "size mismatch");
+    EXPECT_DEATH(b.minusWith(other), "size mismatch");
+    EXPECT_DEATH((void)b.intersects(other), "size mismatch");
+}
+
+TEST(RingBuffer, ResetReusesStorageFromScratch)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.pop_front();
+    rb.reset(2);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 2u);
+    rb.push_back(9);
+    EXPECT_EQ(rb.front(), 9);
+    EXPECT_EQ(rb.headPhys(), 0u);
+}
+
+TEST(RingBuffer, SlotReuseAfterWraparoundKeepsStaleValue)
+{
+    // push_uninitialized's contract: a recycled slot still holds
+    // its previous occupant until the caller reinitializes it.
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 4; ++i)
+        rb.push_back(100 + i);
+    for (int i = 0; i < 4; ++i)
+        rb.pop_front();
+    // Head has wrapped to slot 0 again; the recycled slot must
+    // expose the stale 100.
+    int &slot = rb.push_uninitialized();
+    EXPECT_EQ(slot, 100);
+    slot = 7;
+    EXPECT_EQ(rb.front(), 7);
+}
+
+TEST(RingBuffer, FullAndEmptyBoundariesAtExactCapacity)
+{
+    RingBuffer<int> rb(8);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 8; ++i)
+            rb.push_back(i);
+        EXPECT_EQ(rb.size(), rb.capacity());
+        EXPECT_DEATH(rb.push_back(9), "overflow");
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(rb.front(), i);
+            rb.pop_front();
+        }
+        EXPECT_TRUE(rb.empty());
+        EXPECT_DEATH(rb.pop_front(), "underflow");
+    }
+}
+
+TEST(RingBuffer, PhysicalSlotsStableAcrossManyWraps)
+{
+    RingBuffer<int> rb(4);
+    int next = 0;
+    rb.push_back(next++);
+    rb.push_back(next++);
+    for (int step = 0; step < 64; ++step) {
+        const std::size_t slot = rb.physIndex(1);
+        const int v = rb[1];
+        rb.push_back(next++);
+        rb.pop_front();
+        // The surviving element keeps its physical slot through
+        // arbitrarily many head/tail wraps.
+        EXPECT_EQ(rb.atPhys(slot), v);
+        EXPECT_EQ(rb[0], v);
+        EXPECT_EQ(rb.physIndex(0), slot);
+    }
+}
+
 TEST(SmallVec, MoveLeavesSourceEmpty)
 {
     SmallVec<int, 2> v;

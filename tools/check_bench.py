@@ -10,11 +10,51 @@ deliberately loose (30% by default): the baseline was recorded on one
 machine and CI runners differ, so this is a smoke test for large
 regressions (an accidental O(window) scan creeping back into the
 timing core), not a microbenchmark.
+
+Exit status: 0 OK, 1 regression, 2 unusable input (missing or
+malformed report/baseline) — always with a one-line explanation, so
+a broken CI artifact reads as "fix the file", not a traceback.
 """
 
 import argparse
 import json
+import numbers
 import sys
+
+
+def die(message):
+    print(f"check_bench: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_report(path, role):
+    """Load one JSON report; exit 2 with a clear error if it is
+    missing, unreadable, or not a JSON object."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {role} '{path}': {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die(f"{role} '{path}' is not valid JSON: "
+            f"line {e.lineno}, column {e.colno}: {e.msg}")
+    if not isinstance(doc, dict):
+        die(f"{role} '{path}' is not a JSON object "
+            f"(got {type(doc).__name__})")
+    return doc
+
+
+def total_ips(doc, path, role):
+    """Extract total.instsPerSec, with errors naming the path."""
+    total = doc.get("total")
+    if not isinstance(total, dict):
+        die(f"{role} '{path}' has no \"total\" object; is this a "
+            f"BENCH_core_throughput report?")
+    ips = total.get("instsPerSec")
+    if not isinstance(ips, numbers.Real) or isinstance(ips, bool):
+        die(f"{role} '{path}': total.instsPerSec is missing or not "
+            f"a number")
+    return float(ips)
 
 
 def main():
@@ -26,29 +66,36 @@ def main():
                         "insts/sec (default 0.30)")
     args = p.parse_args()
 
-    with open(args.current) as f:
-        cur = json.load(f)
-    with open(args.baseline) as f:
-        base = json.load(f)
+    cur = load_report(args.current, "current report")
+    base = load_report(args.baseline, "baseline")
 
-    cur_ips = cur["total"]["instsPerSec"]
-    base_ips = base["total"]["instsPerSec"]
+    cur_ips = total_ips(cur, args.current, "current report")
+    base_ips = total_ips(base, args.baseline, "baseline")
     if base_ips <= 0:
-        print("baseline total.instsPerSec is not positive; "
-              "regenerate the baseline", file=sys.stderr)
-        return 2
+        die(f"baseline '{args.baseline}' total.instsPerSec is not "
+            f"positive; regenerate the baseline")
 
     ratio = cur_ips / base_ips
     print(f"throughput: current {cur_ips / 1e6:.2f} Minsts/s, "
           f"baseline {base_ips / 1e6:.2f} Minsts/s "
           f"(ratio {ratio:.3f})")
 
-    for preset, agg in sorted(cur.get("presets", {}).items()):
-        b = base.get("presets", {}).get(preset)
-        if b and b.get("instsPerSec", 0) > 0:
-            print(f"  {preset:8s} {agg['instsPerSec'] / 1e6:8.2f} "
-                  f"vs {b['instsPerSec'] / 1e6:8.2f} Minsts/s "
-                  f"({agg['instsPerSec'] / b['instsPerSec']:.3f}x)")
+    cur_presets = cur.get("presets")
+    base_presets = base.get("presets")
+    if isinstance(cur_presets, dict) and isinstance(base_presets,
+                                                   dict):
+        for preset, agg in sorted(cur_presets.items()):
+            b = base_presets.get(preset)
+            if (isinstance(agg, dict) and isinstance(b, dict) and
+                    isinstance(agg.get("instsPerSec"),
+                               numbers.Real) and
+                    isinstance(b.get("instsPerSec"),
+                               numbers.Real) and
+                    b["instsPerSec"] > 0):
+                print(f"  {preset:8s} "
+                      f"{agg['instsPerSec'] / 1e6:8.2f} "
+                      f"vs {b['instsPerSec'] / 1e6:8.2f} Minsts/s "
+                      f"({agg['instsPerSec'] / b['instsPerSec']:.3f}x)")
 
     if ratio < 1.0 - args.max_regression:
         print(f"FAIL: throughput regressed by "

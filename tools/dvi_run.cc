@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli.hh"
 #include "base/logging.hh"
 #include "driver/figures.hh"
 #include "driver/scenario_registry.hh"
@@ -108,16 +109,8 @@ listScenarios()
     }
 }
 
-/** Parse a non-negative integer argument; fatal on garbage. */
-std::uint64_t
-parseUint(const char *flag, const char *text)
-{
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    fatal_if(end == text || *end != '\0', "bad value for ", flag,
-             ": '", text, "'");
-    return static_cast<std::uint64_t>(v);
-}
+using cli::parseUint;
+using cli::readFile;
 
 /** One --set override, kept in command-line order. */
 struct Override
@@ -138,17 +131,6 @@ applyOverrides(sim::Scenario &s,
         fatal_if(!err.empty(), "--set ", o.path, "=", o.value, ": ",
                  err);
     }
-}
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    fatal_if(!in, "cannot open '", path, "' for reading");
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    fatal_if(!in, "read from '", path, "' failed");
-    return buf.str();
 }
 
 } // namespace
