@@ -8,6 +8,13 @@
  *            (bad configuration, invalid arguments); exits cleanly.
  * warn()   — something is suspicious but the simulation continues.
  * inform() — plain status output.
+ *
+ * warn() and inform() are thread-safe: each message (prefix, text,
+ * newline) is composed into one buffer and written with a single
+ * stdio call, so messages from parallel campaign workers never
+ * interleave mid-line. A process-wide hook (setLogHook) can mirror
+ * them into another consumer — obs::setGlobalSink uses it to turn
+ * log lines into telemetry `log` events.
  */
 
 #ifndef DVI_BASE_LOGGING_HH
@@ -42,6 +49,16 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
 } // namespace detail
+
+/**
+ * Observer of warn()/inform() messages: called with the level token
+ * ("warn" / "info") and the composed message after the message is
+ * written to its stream. Must be safe to call from any thread.
+ */
+using LogHook = void (*)(const char *level, const std::string &msg);
+
+/** Install (or clear, with nullptr) the process-wide log hook. */
+void setLogHook(LogHook hook);
 
 #define panic(...)                                                         \
     ::dvi::detail::panicImpl(__FILE__, __LINE__,                           \

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace dvi
 {
@@ -32,11 +33,21 @@ ExecutableCache::get(workload::BenchmarkId id,
             slot = std::make_shared<Entry>();
         entry = slot;
     }
+    bool compiled = false;
     std::call_once(entry->once, [&] {
+        compiled = true;
+        json::Value begin = json::Value::object();
+        begin.set("benchmark", workload::benchmarkName(id));
+        begin.set("policy", sim::edviPolicyName(policy));
+        obs::PhaseSpan span(sink_, "compile", obs::currentJob(),
+                            std::move(begin));
         const prog::Module mod = workload::generateBenchmark(id);
         entry->exe = std::make_shared<const comp::Executable>(
             comp::compile(mod, comp::CompileOptions{policy}));
+        span.annotate("textBytes", entry->exe->textBytes());
     });
+    (compiled ? misses_ : hits_)
+        .fetch_add(1, std::memory_order_relaxed);
     return entry->exe;
 }
 
@@ -94,6 +105,35 @@ Campaign::run(const CampaignOptions &opts) const
     return run(pool, opts);
 }
 
+namespace
+{
+
+/** Interned metric ids for one campaign run (registered once, hit
+ * from every worker). */
+struct CampaignMetrics
+{
+    obs::MetricId jobsCompleted;
+    obs::MetricId simInsts;
+    obs::MetricId cacheHits;
+    obs::MetricId cacheMisses;
+    obs::MetricId poolSteals;
+    obs::MetricId queueDepth;
+    obs::MetricId jobWallMs;
+
+    explicit CampaignMetrics(obs::MetricRegistry &reg)
+        : jobsCompleted(reg.counter("campaign.jobsCompleted")),
+          simInsts(reg.counter("campaign.simInsts")),
+          cacheHits(reg.gauge("cache.hits")),
+          cacheMisses(reg.gauge("cache.misses")),
+          poolSteals(reg.gauge("pool.steals")),
+          queueDepth(reg.gauge("pool.queueDepth")),
+          jobWallMs(reg.histogram("campaign.jobWallMs"))
+    {
+    }
+};
+
+} // namespace
+
 CampaignReport
 Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
 {
@@ -102,21 +142,127 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
     report.profiled = opts.profile;
     report.results.resize(jobs_.size());
 
+    obs::TelemetrySink *sink = opts.telemetry;
+    obs::MetricRegistry *metrics = opts.metrics;
+    std::unique_ptr<CampaignMetrics> mids;
+    if (metrics)
+        mids = std::make_unique<CampaignMetrics>(*metrics);
+
     ExecutableCache cache;
+    cache.setTelemetry(sink);
+
+    const double campaignT0 = sink ? sink->elapsedSeconds() : 0.0;
+    if (sink) {
+        json::Value p = json::Value::object();
+        p.set("campaign", name_);
+        p.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+        p.set("workers",
+              static_cast<std::uint64_t>(pool.numThreads()));
+        sink->event("campaign-begin", std::move(p));
+    }
+
+    // Completion counter for progress events; results stay keyed by
+    // index, so this order-dependent count never touches the report.
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> instsDone{0};
+
     const std::vector<JobSpec> &specs = jobs_;
     std::vector<JobResult> &results = report.results;
     const bool profile = opts.profile;
+    // Telemetry wants per-job wall-clock for job-end / progress even
+    // when the report is unprofiled; the measurement stays local so
+    // JobResult::wallSeconds (and the report) remain untouched.
+    const bool timed = profile || sink != nullptr;
     parallelFor(pool, specs.size(), [&](std::size_t i) {
-        if (profile) {
+        const obs::JobScope scope(specs[i].index);
+        const sim::Scenario &s = specs[i].scenario;
+        if (sink) {
+            json::Value p = json::Value::object();
+            p.set("runner", s.runner);
+            p.set("benchmark", workload::benchmarkName(s.workload));
+            p.set("preset", s.preset);
+            if (!s.label.empty())
+                p.set("label", s.label);
+            p.set("maxInsts", s.budget.maxInsts);
+            sink->event("job-begin", specs[i].index, std::move(p));
+        }
+
+        double wall = 0.0;
+        if (timed) {
             const auto t0 = std::chrono::steady_clock::now();
-            results[i] = runJob(specs[i], cache);
+            {
+                obs::PhaseSpan span(sink, "run-job",
+                                    specs[i].index);
+                results[i] = runJob(specs[i], cache);
+            }
             const auto t1 = std::chrono::steady_clock::now();
-            results[i].wallSeconds =
-                std::chrono::duration<double>(t1 - t0).count();
+            wall = std::chrono::duration<double>(t1 - t0).count();
+            if (profile)
+                results[i].wallSeconds = wall;
         } else {
             results[i] = runJob(specs[i], cache);
         }
+
+        const std::uint64_t insts =
+            sim::runnerFor(s.runner).simulatedInsts(results[i].run);
+        const std::size_t nowDone =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        const std::uint64_t nowInsts =
+            instsDone.fetch_add(insts,
+                                std::memory_order_relaxed) +
+            insts;
+
+        if (mids) {
+            metrics->add(mids->jobsCompleted);
+            metrics->add(mids->simInsts, insts);
+            metrics->set(mids->cacheHits, cache.hits());
+            metrics->set(mids->cacheMisses, cache.misses());
+            metrics->set(mids->poolSteals, pool.stealCount());
+            metrics->set(mids->queueDepth, pool.queueDepth());
+            metrics->record(mids->jobWallMs,
+                            static_cast<std::uint64_t>(wall *
+                                                       1e3));
+        }
+        if (sink) {
+            json::Value p = json::Value::object();
+            p.set("insts", insts);
+            p.set("wallSeconds", wall);
+            p.set("instsPerSec",
+                  wall > 0.0 ? static_cast<double>(insts) / wall
+                             : 0.0);
+            sink->event("job-end", specs[i].index, std::move(p));
+
+            const double elapsed =
+                sink->elapsedSeconds() - campaignT0;
+            json::Value prog = json::Value::object();
+            prog.set("done",
+                     static_cast<std::uint64_t>(nowDone));
+            prog.set("total",
+                     static_cast<std::uint64_t>(specs.size()));
+            prog.set("instsPerSec",
+                     elapsed > 0.0
+                         ? static_cast<double>(nowInsts) / elapsed
+                         : 0.0);
+            prog.set("queueDepth",
+                     static_cast<std::uint64_t>(
+                         pool.queueDepth()));
+            sink->event("progress", std::move(prog));
+        }
     });
+
+    if (sink) {
+        json::Value p = json::Value::object();
+        p.set("campaign", name_);
+        p.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+        p.set("cacheCompiles",
+              static_cast<std::uint64_t>(cache.size()));
+        p.set("cacheHits", cache.hits());
+        p.set("cacheMisses", cache.misses());
+        p.set("poolSteals", pool.stealCount());
+        p.set("wallSeconds",
+              sink->elapsedSeconds() - campaignT0);
+        sink->event("campaign-end", std::move(p));
+    }
     return report;
 }
 

@@ -16,6 +16,7 @@
 #ifndef DVI_DRIVER_CAMPAIGN_HH
 #define DVI_DRIVER_CAMPAIGN_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,8 @@
 #include "driver/job.hh"
 #include "driver/report.hh"
 #include "driver/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "sim/grid.hh"
 
 namespace dvi
@@ -51,6 +54,30 @@ class ExecutableCache
     /** Number of distinct (benchmark, policy) pairs compiled. */
     std::size_t size() const;
 
+    /** Telemetry for this cache: compiles become `compile` phase
+     * spans on the sink. May be nullptr (the default). */
+    void
+    setTelemetry(obs::TelemetrySink *sink)
+    {
+        sink_ = sink;
+    }
+
+    /** @name Hit / miss accounting
+     * A get() that found the executable already published (or
+     * blocked while another worker compiled it) is a hit; a get()
+     * that performed the compile itself is a miss. @{ */
+    std::uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
   private:
     using Key = std::pair<workload::BenchmarkId, comp::EdviPolicy>;
 
@@ -62,6 +89,9 @@ class ExecutableCache
 
     mutable std::mutex mu;
     std::map<Key, std::shared_ptr<Entry>> entries;
+    obs::TelemetrySink *sink_ = nullptr;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
 };
 
 /** Execute one job against the cache. Deterministic. */
@@ -77,6 +107,18 @@ struct CampaignOptions
      * it in reports. Off by default: profiled reports are not
      * byte-stable across runs or worker counts. */
     bool profile = false;
+
+    /**
+     * Out-of-band telemetry stream: campaign-begin / job-begin /
+     * job-end / progress / campaign-end events plus compile and
+     * run-job phase spans. Strictly observational — the report is
+     * byte-identical with or without a sink. nullptr = off.
+     */
+    obs::TelemetrySink *telemetry = nullptr;
+
+    /** Operational metrics updated as jobs complete (jobs, insts,
+     * cache hit/miss, pool steals / queue depth). nullptr = off. */
+    obs::MetricRegistry *metrics = nullptr;
 };
 
 /** An ordered list of simulation scenarios. */

@@ -55,6 +55,7 @@ ThreadPool::submit(Task task)
     // must not observe unfinished == 0 while this submission is
     // still in flight.
     unfinished.fetch_add(1, std::memory_order_relaxed);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     queued.fetch_add(1, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lk(queues[q]->mu);
@@ -106,6 +107,7 @@ ThreadPool::steal(std::size_t self, Task &out)
         out = std::move(queues[victim]->tasks.front());
         queues[victim]->tasks.pop_front();
         queued.fetch_sub(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -121,6 +123,7 @@ ThreadPool::runTask(Task &task)
         if (!firstError)
             firstError = std::current_exception();
     }
+    executed_.fetch_add(1, std::memory_order_relaxed);
     if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lk(mu);
         cvIdle.notify_all();

@@ -57,6 +57,34 @@ class ThreadPool
     /** Enqueue a task. Safe from any thread, including workers. */
     void submit(Task task);
 
+    /** @name Observability counters
+     * Relaxed atomics maintained on the submit / steal / completion
+     * paths; read by telemetry at job boundaries. Monotonic except
+     * queueDepth (a point-in-time sample of enqueued-not-started
+     * tasks). @{ */
+    std::uint64_t
+    submittedCount() const
+    {
+        return submitted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    executedCount() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+    /** Tasks a worker took from another worker's deque. */
+    std::uint64_t
+    stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+    std::size_t
+    queueDepth() const
+    {
+        return queued.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
     /**
      * Block until every submitted task has finished; rethrows the
      * first exception any task raised (the pool keeps running the
@@ -88,6 +116,9 @@ class ThreadPool
     std::atomic<std::size_t> queued{0};      ///< enqueued, not started
     std::atomic<std::size_t> unfinished{0};  ///< enqueued or running
     std::atomic<std::size_t> nextQueue{0};   ///< round-robin cursor
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
     bool stopping = false;
     std::exception_ptr firstError;
 };

@@ -8,6 +8,7 @@
 #include "fuzz/minimizer.hh"
 #include "fuzz/program_gen.hh"
 #include "fuzz/repro.hh"
+#include "obs/trace.hh"
 #include "workload/generator.hh"
 
 namespace dvi
@@ -58,13 +59,63 @@ FuzzResult
 runFuzzCampaign(const FuzzConfig &cfg, std::FILE *log)
 {
     FuzzResult result;
+    obs::TelemetrySink *sink = cfg.telemetry;
+    obs::MetricRegistry *metrics = cfg.metrics;
+    obs::MetricId mPrograms = 0, mFailures = 0, mInsts = 0;
+    if (metrics) {
+        mPrograms = metrics->counter("fuzz.programs");
+        mFailures = metrics->counter("fuzz.failures");
+        mInsts = metrics->counter("fuzz.progInsts");
+    }
+    const double fuzzT0 = sink ? sink->elapsedSeconds() : 0.0;
+    if (sink) {
+        json::Value p = json::Value::object();
+        p.set("seed", cfg.seed);
+        p.set("programs",
+              static_cast<std::uint64_t>(cfg.programs));
+        p.set("structuredFraction", cfg.structuredFraction);
+        p.set("maxFailures",
+              static_cast<std::uint64_t>(cfg.maxFailures));
+        sink->event("fuzz-begin", std::move(p));
+    }
     for (unsigned i = 0; i < cfg.programs; ++i) {
         if (result.failures >= cfg.maxFailures)
             break;
+        const obs::JobScope scope(i);
         bool structured = false;
         const prog::Module mod = generateOne(cfg, i, &structured);
         const OracleReport rep = runOracle(mod, cfg.oracle);
         ++result.programsRun;
+        if (metrics) {
+            metrics->add(mPrograms);
+            metrics->add(mInsts, rep.progInsts);
+            if (!rep.ok && isRealFailureText(rep.failure))
+                metrics->add(mFailures);
+        }
+        if (sink) {
+            json::Value p = json::Value::object();
+            p.set("structured", structured);
+            p.set("ok", rep.ok);
+            p.set("insts", rep.progInsts);
+            p.set("halted", rep.halted);
+            if (!rep.ok)
+                p.set("failure", rep.failure);
+            sink->event("fuzz-verdict", i, std::move(p));
+            if ((i + 1) % 100 == 0) {
+                const double elapsed =
+                    sink->elapsedSeconds() - fuzzT0;
+                json::Value prog = json::Value::object();
+                prog.set("done", static_cast<std::uint64_t>(i + 1));
+                prog.set("total",
+                         static_cast<std::uint64_t>(cfg.programs));
+                prog.set("failures",
+                         static_cast<std::uint64_t>(
+                             result.failures));
+                prog.set("programsPerSec",
+                         elapsed > 0.0 ? (i + 1) / elapsed : 0.0);
+                sink->event("progress", std::move(prog));
+            }
+        }
         result.totalProgInsts += rep.progInsts;
         result.totalStaticKills += rep.staticKills;
         result.totalSavesEliminated += rep.savesEliminated;
@@ -119,6 +170,7 @@ runFuzzCampaign(const FuzzConfig &cfg, std::FILE *log)
         // redundant oracle re-run of the full-size program.
         if (cfg.minimizeFailures &&
             isRealFailureText(rep.failure)) {
+            obs::PhaseSpan span(sink, "minimize", i);
             MinimizeStats ms;
             repro.program = minimize(
                 mod,
@@ -126,6 +178,14 @@ runFuzzCampaign(const FuzzConfig &cfg, std::FILE *log)
                     return realOracleFailure(m, cfg.oracle);
                 },
                 cfg.minimizeProbes, &ms);
+            span.annotate("instsBefore",
+                          static_cast<std::uint64_t>(
+                              ms.instsBefore));
+            span.annotate("instsAfter",
+                          static_cast<std::uint64_t>(
+                              ms.instsAfter));
+            span.annotate("probes",
+                          static_cast<std::uint64_t>(ms.probes));
             // Re-run the oracle on the minimized program so the
             // recorded failure text matches what a replay sees.
             repro.failure =
@@ -156,6 +216,21 @@ runFuzzCampaign(const FuzzConfig &cfg, std::FILE *log)
                 std::fprintf(log, "dvi-fuzz: repro written to %s\n",
                              path.c_str());
         }
+    }
+    if (sink) {
+        const double elapsed = sink->elapsedSeconds() - fuzzT0;
+        json::Value p = json::Value::object();
+        p.set("programsRun",
+              static_cast<std::uint64_t>(result.programsRun));
+        p.set("failures",
+              static_cast<std::uint64_t>(result.failures));
+        p.set("halted",
+              static_cast<std::uint64_t>(result.halted));
+        p.set("totalProgInsts", result.totalProgInsts);
+        p.set("wallSeconds", elapsed);
+        p.set("programsPerSec",
+              elapsed > 0.0 ? result.programsRun / elapsed : 0.0);
+        sink->event("fuzz-end", std::move(p));
     }
     return result;
 }

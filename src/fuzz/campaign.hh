@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "fuzz/oracle.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 
 namespace dvi
 {
@@ -43,6 +45,20 @@ struct FuzzConfig
     unsigned maxFailures = 5;
     /** Repro files are written as <prefix>-<seed>-<index>.json. */
     std::string reproPrefix = "fuzz-repro";
+
+    /**
+     * Out-of-band telemetry stream: fuzz-begin, one fuzz-verdict
+     * per program (`job` = program index), minimize phase spans,
+     * periodic progress, fuzz-end. Strictly observational — the
+     * FuzzResult and repro files are identical with or without a
+     * sink. nullptr = off.
+     */
+    obs::TelemetrySink *telemetry = nullptr;
+
+    /** Operational metrics updated as programs complete
+     * (fuzz.programs, fuzz.failures, fuzz.progInsts). nullptr =
+     * off. */
+    obs::MetricRegistry *metrics = nullptr;
 };
 
 /** Campaign outcome. */

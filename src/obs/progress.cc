@@ -1,0 +1,98 @@
+#include "obs/progress.hh"
+
+#include <cstring>
+
+namespace dvi
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Payload member as u64 (0 when absent / not a number). */
+std::uint64_t
+u64Of(const json::Value &payload, const char *key)
+{
+    const json::Value *v = payload.find(key);
+    return v && v->isU64() ? v->u64() : 0;
+}
+
+/** Payload member as double (0 when absent / not a number). */
+double
+f64Of(const json::Value &payload, const char *key)
+{
+    const json::Value *v = payload.find(key);
+    if (!v)
+        return 0.0;
+    return v->isF64() ? v->f64()
+                      : (v->isU64() ? v->number() : 0.0);
+}
+
+} // namespace
+
+void
+ProgressRenderer::observe(const Event &e)
+{
+    const json::Value &p = *e.payload;
+    if (std::strcmp(e.kind, "progress") == 0) {
+        const std::uint64_t done = u64Of(p, "done");
+        const std::uint64_t total = u64Of(p, "total");
+        char buf[160];
+        if (const double ips = f64Of(p, "instsPerSec")) {
+            std::snprintf(buf, sizeof(buf),
+                          "[%llu/%llu] %.2f Minsts/s, queue %llu",
+                          static_cast<unsigned long long>(done),
+                          static_cast<unsigned long long>(total),
+                          ips / 1e6,
+                          static_cast<unsigned long long>(
+                              u64Of(p, "queueDepth")));
+        } else if (const double pps = f64Of(p, "programsPerSec")) {
+            std::snprintf(buf, sizeof(buf),
+                          "[%llu/%llu] %.0f programs/s, "
+                          "%llu failure%s",
+                          static_cast<unsigned long long>(done),
+                          static_cast<unsigned long long>(total),
+                          pps,
+                          static_cast<unsigned long long>(
+                              u64Of(p, "failures")),
+                          u64Of(p, "failures") == 1 ? "" : "s");
+        } else {
+            std::snprintf(buf, sizeof(buf), "[%llu/%llu]",
+                          static_cast<unsigned long long>(done),
+                          static_cast<unsigned long long>(total));
+        }
+        render(buf);
+    } else if (std::strcmp(e.kind, "campaign-end") == 0 ||
+               std::strcmp(e.kind, "fuzz-end") == 0) {
+        finish();
+    }
+}
+
+void
+ProgressRenderer::render(const std::string &line)
+{
+    // Overwrite in place; pad with spaces when the new line is
+    // shorter so stale tail characters never linger.
+    std::string out = "\r" + line;
+    if (line.size() < lastLen_)
+        out.append(lastLen_ - line.size(), ' ');
+    std::fwrite(out.data(), 1, out.size(), out_);
+    std::fflush(out_);
+    lastLen_ = line.size();
+    open_ = true;
+}
+
+void
+ProgressRenderer::finish()
+{
+    if (!open_)
+        return;
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    open_ = false;
+    lastLen_ = 0;
+}
+
+} // namespace obs
+} // namespace dvi

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Human progress line rendered from the telemetry stream.
+ *
+ * The --progress flag on dvi-run / dvi-fuzz attaches a
+ * ProgressRenderer as a TelemetrySink observer: the same events
+ * that go to the NDJSON file (or to nothing, when --progress is
+ * used alone against an observer-only sink) drive a single
+ * carriage-return-updated status line on stderr. Eating our own
+ * protocol here is deliberate — whatever a future dashboard needs,
+ * the event stream must already carry, because this renderer has no
+ * side channel.
+ */
+
+#ifndef DVI_OBS_PROGRESS_HH
+#define DVI_OBS_PROGRESS_HH
+
+#include <cstdio>
+#include <string>
+
+#include "obs/telemetry.hh"
+
+namespace dvi
+{
+namespace obs
+{
+
+/**
+ * Renders `progress` events as an in-place status line and finishes
+ * it (newline) on campaign-end / fuzz-end. Driven entirely from
+ * observed events; holds no reference to the campaign. Called under
+ * the sink lock, so rendering is single-threaded.
+ */
+class ProgressRenderer
+{
+  public:
+    explicit ProgressRenderer(std::FILE *out = stderr) : out_(out) {}
+
+    /** Observer entry point (bind to TelemetrySink::addObserver). */
+    void observe(const Event &e);
+
+  private:
+    void render(const std::string &line);
+    void finish();
+
+    std::FILE *out_;
+    std::size_t lastLen_ = 0;
+    bool open_ = false;
+};
+
+} // namespace obs
+} // namespace dvi
+
+#endif // DVI_OBS_PROGRESS_HH

@@ -1,0 +1,48 @@
+#include "obs/trace.hh"
+
+namespace dvi
+{
+namespace obs
+{
+
+PhaseSpan::PhaseSpan(TelemetrySink *sink, const char *phase,
+                     std::uint64_t job, json::Value begin)
+    : sink_(sink), phase_(phase), job_(job),
+      end_(json::Value::object())
+{
+    if (!sink_)
+        return;
+    beginTs_ = sink_->elapsedSeconds();
+    json::Value p = json::Value::object();
+    p.set("phase", phase_);
+    for (const auto &member : begin.members())
+        p.set(member.first, member.second);
+    sink_->event("phase-begin", job_, std::move(p));
+}
+
+PhaseSpan::~PhaseSpan()
+{
+    if (!sink_)
+        return;
+    json::Value p = json::Value::object();
+    p.set("phase", phase_);
+    p.set("durationSeconds", elapsedSeconds());
+    for (const auto &member : end_.members())
+        p.set(member.first, member.second);
+    sink_->event("phase-end", job_, std::move(p));
+}
+
+void
+PhaseSpan::annotate(const std::string &key, json::Value value)
+{
+    end_.set(key, std::move(value));
+}
+
+double
+PhaseSpan::elapsedSeconds() const
+{
+    return sink_ ? sink_->elapsedSeconds() - beginTs_ : 0.0;
+}
+
+} // namespace obs
+} // namespace dvi

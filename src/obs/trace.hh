@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RAII phase tracing over the telemetry stream.
+ *
+ * A PhaseSpan brackets one unit of work with `phase-begin` /
+ * `phase-end` events carrying the phase name, the owning job (when
+ * any), and the measured wall-clock duration. The phases in use are
+ * the pipeline's natural stages — `compile` (ExecutableCache
+ * misses), `run-job` (one scenario simulation), `aggregate` (report
+ * emission), `minimize` (ddmin of a failing fuzz program) — but the
+ * name space is open: any caller can bracket anything. (Per-program
+ * fuzz verdicts are their own `fuzz-verdict` events, not spans: a
+ * verdict is a result, not a duration.)
+ *
+ * Spans are null-safe: constructed with a nullptr sink they cost two
+ * pointer tests and emit nothing, so call sites need no telemetry
+ * conditionals. End-event payload fields added via annotate() let a
+ * span double as a result record (the minimizer's before / after
+ * instruction counts ride on the `minimize` phase-end).
+ */
+
+#ifndef DVI_OBS_TRACE_HH
+#define DVI_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/json.hh"
+#include "obs/telemetry.hh"
+
+namespace dvi
+{
+namespace obs
+{
+
+/** One traced phase: begin event at construction, end event (with
+ * durationSeconds and any annotations) at destruction. */
+class PhaseSpan
+{
+  public:
+    /** Starts the span; emits `phase-begin` with the given payload
+     * members. sink may be nullptr (no-op span). */
+    PhaseSpan(TelemetrySink *sink, const char *phase,
+              std::uint64_t job = noJob,
+              json::Value begin = json::Value::object());
+
+    /** Emits `phase-end` with durationSeconds + annotations. */
+    ~PhaseSpan();
+
+    PhaseSpan(const PhaseSpan &) = delete;
+    PhaseSpan &operator=(const PhaseSpan &) = delete;
+
+    /** Add one field to the pending phase-end payload. */
+    void annotate(const std::string &key, json::Value value);
+
+    /** Seconds since the span began (monotonic). */
+    double elapsedSeconds() const;
+
+  private:
+    TelemetrySink *sink_;
+    const char *phase_;
+    std::uint64_t job_;
+    double beginTs_ = 0.0;
+    json::Value end_;
+};
+
+} // namespace obs
+} // namespace dvi
+
+#endif // DVI_OBS_TRACE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/telemetry.hh"
 #include "uarch/core.hh"
 
 namespace dvi
@@ -12,6 +13,19 @@ namespace sim
 
 namespace
 {
+
+/** CoreConfig::sampleHook target: emit a `core-sample` event for
+ * the current job on the process-global sink. ctx is the sink. */
+void
+emitCoreSample(const uarch::CoreStats &stats, void *ctx)
+{
+    auto *sink = static_cast<obs::TelemetrySink *>(ctx);
+    json::Value p = json::Value::object();
+    p.set("insts", stats.committedProgInsts);
+    p.set("cycles", stats.cycles);
+    p.set("ipc", stats.ipc());
+    sink->event("core-sample", obs::currentJob(), std::move(p));
+}
 
 /** Out-of-order timing model (uarch::Core). */
 class TimingRunner : public Runner
@@ -31,6 +45,16 @@ class TimingRunner : public Runner
         uarch::CoreConfig cfg = s.hardware.core;
         cfg.dvi = s.hardware.dvi;
         cfg.maxInsts = s.budget.maxInsts;
+        // Mid-run sampling rides the process-global sink: scenarios
+        // are sink-agnostic, and the sampled stats go out-of-band,
+        // so the RunResult (and every report) is unaffected.
+        if (obs::TelemetrySink *sink = obs::globalSink()) {
+            if (const std::uint64_t every = obs::coreSampleInsts()) {
+                cfg.sampleEveryInsts = every;
+                cfg.sampleHook = &emitCoreSample;
+                cfg.sampleCtx = sink;
+            }
+        }
         uarch::Core core(exe, cfg);
         RunResult r;
         r.core = core.run();

@@ -59,6 +59,9 @@ Core::Core(const comp::Executable &exe, const CoreConfig &config)
     readyBits_.assign(words, 0);
     waitingStoreBits_.assign(words, 0);
 
+    if (cfg.sampleEveryInsts && cfg.sampleHook)
+        nextSampleAt_ = cfg.sampleEveryInsts;
+
     // The completion wheel must span the largest possible execution
     // latency so bucket (cycle & mask) never aliases two pending
     // cycles: memory latency dominates, with margin for the
@@ -784,6 +787,16 @@ Core::run()
         if (!window.empty() &&
             window.front().state == EntryState::Done)
             doCommit();
+        if (stats_.committedProgInsts >= nextSampleAt_) {
+            cfg.sampleHook(stats_, cfg.sampleCtx);
+            // Land on the next multiple strictly above the current
+            // count (a wide commit can cross several at once).
+            nextSampleAt_ += cfg.sampleEveryInsts *
+                             ((stats_.committedProgInsts -
+                               nextSampleAt_) /
+                                  cfg.sampleEveryInsts +
+                              1);
+        }
         if (readyAny())
             doIssue();
         if (!fetchQueue.empty()) {

@@ -312,6 +312,11 @@ class Core
     Cycle now = 0;
     InstSeqNum nextSeq = 1;
 
+    /** Next committedProgInsts threshold that fires
+     * cfg.sampleHook; ~0 (never reached) when sampling is off, so
+     * the run loop pays one compare per cycle either way. */
+    std::uint64_t nextSampleAt_ = ~0ull;
+
     bool fetchBlocked = false;       ///< mispredict: wait for resolve
     Cycle fetchAvailCycle = 0;       ///< I-cache miss / redirect
     Addr lastFetchLine = ~0ull;

@@ -17,6 +17,8 @@ namespace dvi
 namespace uarch
 {
 
+struct CoreStats;
+
 /** Which DVI sources the hardware consumes. */
 struct DviConfig
 {
@@ -90,6 +92,18 @@ struct CoreConfig
 
     /** Safety valve for simulator bugs; 0 disables. */
     std::uint64_t maxCycles = 0;
+
+    /** @name Mid-run stats sampling
+     * When sampleEveryInsts > 0, run() invokes sampleHook(stats,
+     * sampleCtx) each time committedProgInsts crosses the next
+     * multiple of sampleEveryInsts. Strictly observational: the hook
+     * sees a const snapshot and must not touch the core. When 0 (the
+     * default) the run loop's only residue is one integer compare
+     * per cycle against a never-reached sentinel. @{ */
+    std::uint64_t sampleEveryInsts = 0;
+    void (*sampleHook)(const CoreStats &stats, void *ctx) = nullptr;
+    void *sampleCtx = nullptr;
+    /** @} */
 
     /** Scale issue width and matching resources (Fig. 11's 8-way
      * configuration doubles the functional units and widths). */

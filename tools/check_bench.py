@@ -57,6 +57,52 @@ def total_ips(doc, path, role):
     return float(ips)
 
 
+def scenario_ips(doc):
+    """Map (benchmark, preset) -> instsPerSec from the report's
+    per-scenario rows; empty when the report predates them."""
+    rows = doc.get("scenarios")
+    out = {}
+    if not isinstance(rows, list):
+        return out
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        bench = row.get("benchmark")
+        preset = row.get("preset")
+        ips = row.get("instsPerSec")
+        if (isinstance(bench, str) and isinstance(preset, str) and
+                isinstance(ips, numbers.Real) and
+                not isinstance(ips, bool)):
+            out[(bench, preset)] = float(ips)
+    return out
+
+
+def print_scenario_deltas(cur, base):
+    """Per-scenario delta table, baseline vs current, printed on
+    every run (informational: the pass/fail gate stays on the
+    total). Scenarios missing from either side are noted, never
+    silently dropped."""
+    cur_rows = scenario_ips(cur)
+    base_rows = scenario_ips(base)
+    if not cur_rows or not base_rows:
+        return
+    print(f"  {'scenario':28s} {'current':>9s} {'baseline':>9s} "
+          f"{'delta':>8s}")
+    for key in sorted(set(cur_rows) | set(base_rows)):
+        name = f"{key[0]}/{key[1]}"
+        c = cur_rows.get(key)
+        b = base_rows.get(key)
+        if c is None:
+            print(f"  {name:28s} {'-':>9s} {b / 1e6:8.2f}M "
+                  f"{'(gone)':>8s}")
+        elif b is None or b <= 0:
+            print(f"  {name:28s} {c / 1e6:8.2f}M {'-':>9s} "
+                  f"{'(new)':>8s}")
+        else:
+            print(f"  {name:28s} {c / 1e6:8.2f}M {b / 1e6:8.2f}M "
+                  f"{100 * (c / b - 1):+7.1f}%")
+
+
 def main():
     p = argparse.ArgumentParser()
     p.add_argument("current")
@@ -96,6 +142,8 @@ def main():
                       f"{agg['instsPerSec'] / 1e6:8.2f} "
                       f"vs {b['instsPerSec'] / 1e6:8.2f} Minsts/s "
                       f"({agg['instsPerSec'] / b['instsPerSec']:.3f}x)")
+
+    print_scenario_deltas(cur, base)
 
     if ratio < 1.0 - args.max_regression:
         print(f"FAIL: throughput regressed by "

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a telemetry NDJSON capture against the event schema.
+
+Usage:
+    tools/check_telemetry.py TELEMETRY.ndjson [--expect-kind KIND]...
+
+Checks, per line:
+  - the line parses as one JSON object (the stream is NDJSON and
+    line-atomic; a torn or interleaved write fails here);
+  - the envelope is well-formed: ts is a non-negative number, seq is
+    an integer, kind is a known token, job (when present) is a
+    non-negative integer;
+  - seq is gapless from 0 in file order (the sink assigns seq under
+    its lock, so the capture order is the emission order);
+  - ts never decreases;
+  - every field the schema requires for that kind is present with
+    the right JSON type (DESIGN.md §10 is the human-readable copy of
+    the table below).
+
+--expect-kind KIND (repeatable) additionally requires at least one
+event of KIND in the capture — CI uses it to prove the layers it
+exercised actually emitted.
+
+Exit status: 0 valid, 1 schema violation, 2 unusable input. Errors
+name the line number.
+"""
+
+import argparse
+import json
+import sys
+
+NUM = (int, float)
+
+# kind -> {field: type tuple}; job_required marks kinds whose events
+# must be attributed to a job / program index.
+SCHEMA = {
+    "campaign-begin": {"campaign": str, "jobs": int, "workers": int},
+    "job-begin": {"runner": str, "benchmark": str, "preset": str,
+                  "maxInsts": int},
+    "job-end": {"insts": int, "wallSeconds": NUM,
+                "instsPerSec": NUM},
+    "progress": {"done": int, "total": int},
+    "campaign-end": {"campaign": str, "jobs": int, "cacheHits": int,
+                     "cacheMisses": int, "wallSeconds": NUM},
+    "phase-begin": {"phase": str},
+    "phase-end": {"phase": str, "durationSeconds": NUM},
+    "core-sample": {"insts": int, "cycles": int, "ipc": NUM},
+    "metrics": {"counters": dict, "gauges": dict,
+                "histograms": dict},
+    "fuzz-begin": {"seed": int, "programs": int},
+    "fuzz-verdict": {"structured": bool, "ok": bool, "insts": int,
+                     "halted": bool},
+    "fuzz-end": {"programsRun": int, "failures": int,
+                 "wallSeconds": NUM},
+    "log": {"level": str, "message": str},
+}
+
+JOB_REQUIRED = {"job-begin", "job-end", "core-sample",
+                "fuzz-verdict"}
+
+
+def fail(lineno, message):
+    print(f"check_telemetry: line {lineno}: {message}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(lineno, ev):
+    if not isinstance(ev, dict):
+        fail(lineno, f"event is {type(ev).__name__}, not an object")
+    for field in ("ts", "seq", "kind"):
+        if field not in ev:
+            fail(lineno, f"missing envelope field '{field}'")
+    if (not isinstance(ev["ts"], NUM) or isinstance(ev["ts"], bool)
+            or ev["ts"] < 0):
+        fail(lineno, f"ts is not a non-negative number: {ev['ts']!r}")
+    if not isinstance(ev["seq"], int) or isinstance(ev["seq"], bool):
+        fail(lineno, f"seq is not an integer: {ev['seq']!r}")
+    kind = ev["kind"]
+    if kind not in SCHEMA:
+        fail(lineno, f"unknown kind {kind!r}")
+    if "job" in ev and (not isinstance(ev["job"], int)
+                        or isinstance(ev["job"], bool)
+                        or ev["job"] < 0):
+        fail(lineno, f"job is not a non-negative integer: "
+                     f"{ev['job']!r}")
+    if kind in JOB_REQUIRED and "job" not in ev:
+        fail(lineno, f"kind {kind!r} requires a job field")
+    for field, want in SCHEMA[kind].items():
+        if field not in ev:
+            fail(lineno, f"kind {kind!r} missing field '{field}'")
+        v = ev[field]
+        # bool is an int subclass in Python; only accept it where
+        # the schema says bool.
+        if want is not bool and isinstance(v, bool):
+            fail(lineno, f"{kind}.{field} is a bool, want "
+                         f"{want}: {v!r}")
+        if not isinstance(v, want):
+            fail(lineno, f"{kind}.{field} has wrong type: {v!r} "
+                         f"(want {want})")
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("capture")
+    p.add_argument("--expect-kind", action="append", default=[],
+                   help="require at least one event of this kind "
+                        "(repeatable)")
+    args = p.parse_args()
+
+    try:
+        with open(args.capture) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_telemetry: cannot read '{args.capture}': "
+              f"{e.strerror or e}", file=sys.stderr)
+        sys.exit(2)
+
+    if not lines:
+        print(f"check_telemetry: '{args.capture}' is empty",
+              file=sys.stderr)
+        sys.exit(2)
+
+    kinds_seen = {}
+    prev_ts = None
+    for i, line in enumerate(lines, start=1):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(i, f"not valid JSON ({e.msg}): {line[:80]!r}")
+        check_event(i, ev)
+        if ev["seq"] != i - 1:
+            fail(i, f"seq {ev['seq']} out of order (expected "
+                    f"{i - 1}: gapless from 0 in emission order)")
+        if prev_ts is not None and ev["ts"] < prev_ts:
+            fail(i, f"ts went backwards: {ev['ts']} < {prev_ts}")
+        prev_ts = ev["ts"]
+        kinds_seen[ev["kind"]] = kinds_seen.get(ev["kind"], 0) + 1
+
+    missing = [k for k in args.expect_kind if k not in kinds_seen]
+    if missing:
+        print(f"check_telemetry: no events of kind: "
+              f"{', '.join(missing)} (saw: "
+              f"{', '.join(sorted(kinds_seen))})", file=sys.stderr)
+        sys.exit(1)
+
+    summary = ", ".join(f"{k}={n}"
+                        for k, n in sorted(kinds_seen.items()))
+    print(f"check_telemetry: {len(lines)} events OK ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@
  *            [--no-core] [--no-dense] [--no-static] [--no-minimize]
  *            [--repro-prefix PATH]
  *            [--inject-kill-bit ORDINAL:REG]
+ *            [--telemetry FILE|-] [--metrics-interval N]
+ *            [--progress]
  *   dvi-fuzz --replay FILE [--emit FILE]
  *
  * Exit status: 0 when every program passes (or a replayed repro
@@ -25,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -33,6 +36,8 @@
 #include "base/test_seed.hh"
 #include "fuzz/campaign.hh"
 #include "fuzz/repro.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
 
 using namespace dvi;
 
@@ -65,6 +70,12 @@ usage(const char *argv0)
         "  --inject-kill-bit ORDINAL:REG  corrupt kill #ORDINAL\n"
         "                  (mod kill count) by asserting REG dead —\n"
         "                  fault injection to prove detection\n"
+        "  --telemetry F   stream NDJSON telemetry events to file F\n"
+        "                  ('-' = stderr)\n"
+        "  --metrics-interval N  flush a `metrics` event every N ms\n"
+        "                  (requires --telemetry)\n"
+        "  --progress      live progress line on stderr, rendered\n"
+        "                  from the telemetry event stream\n"
         "\n"
         "replay options:\n"
         "  --replay FILE   load a repro manifest, re-run its oracle,\n"
@@ -136,6 +147,9 @@ main(int argc, char **argv)
     std::string replay_path;
     std::string emit_path;
     bool seed_given = false;
+    std::string telemetry_path;
+    unsigned metrics_interval = 0;
+    bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -184,6 +198,13 @@ main(int argc, char **argv)
             fatal_if(reg == 0 || reg >= 32,
                      "--inject-kill-bit register must be 1..31");
             cfg.oracle.fault.reg = static_cast<RegIndex>(reg);
+        } else if (arg == "--telemetry") {
+            telemetry_path = value();
+        } else if (arg == "--metrics-interval") {
+            metrics_interval = static_cast<unsigned>(
+                parseUint("--metrics-interval", value()));
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--replay") {
             replay_path = value();
         } else if (arg == "--emit") {
@@ -216,8 +237,35 @@ main(int argc, char **argv)
                  cfg.oracle.fault.enabled ? ", fault injection ON"
                                           : "");
 
+    fatal_if(metrics_interval && telemetry_path.empty(),
+             "--metrics-interval requires --telemetry");
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_path.empty())
+        sink = obs::TelemetrySink::open(telemetry_path);
+    else if (progress)
+        sink = std::make_unique<obs::TelemetrySink>();
+    obs::ProgressRenderer renderer;
+    if (sink && progress)
+        sink->addObserver(
+            [&renderer](const obs::Event &e) { renderer.observe(e); });
+    obs::MetricRegistry metrics;
+    std::unique_ptr<obs::MetricFlusher> flusher;
+    if (sink) {
+        cfg.telemetry = sink.get();
+        cfg.metrics = &metrics;
+        obs::setGlobalSink(sink.get());
+        if (metrics_interval)
+            flusher = std::make_unique<obs::MetricFlusher>(
+                metrics, *sink, metrics_interval);
+    }
+
     const fuzz::FuzzResult result =
         fuzz::runFuzzCampaign(cfg, stderr);
+    flusher.reset();
+    if (sink) {
+        metrics.flush(*sink);
+        obs::setGlobalSink(nullptr);
+    }
     std::fprintf(
         stderr,
         "dvi-fuzz: %u programs (%u completed in budget), %llu "

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +37,9 @@
 #include "base/logging.hh"
 #include "driver/figures.hh"
 #include "driver/scenario_registry.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "sim/manifest.hh"
 #include "sim/scenario.hh"
 
@@ -85,6 +89,14 @@ usage(const char *argv0)
         "  --out FILE      write a machine-readable report (or the\n"
         "                  manifest, under --emit-manifest)\n"
         "  --format F      report format: json (default) or csv\n"
+        "  --telemetry F   stream NDJSON telemetry events to file F\n"
+        "                  ('-' = stderr); reports stay\n"
+        "                  byte-identical with or without it\n"
+        "  --metrics-interval N\n"
+        "                  flush a `metrics` event every N ms\n"
+        "                  (requires --telemetry)\n"
+        "  --progress      live progress line on stderr, rendered\n"
+        "                  from the telemetry event stream\n"
         "  --quiet         suppress the tables on stdout\n"
         "  --list          list registered scenarios and exit\n"
         "  --help          this text\n",
@@ -148,6 +160,9 @@ main(int argc, char **argv)
     std::vector<Override> overrides;
     bool quiet = false;
     bool jobs_given = false;
+    std::string telemetry_path;
+    unsigned metrics_interval = 0;
+    bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -188,6 +203,13 @@ main(int argc, char **argv)
             format = value();
         } else if (arg == "--profile") {
             opts.profile = true;
+        } else if (arg == "--telemetry") {
+            telemetry_path = value();
+        } else if (arg == "--metrics-interval") {
+            metrics_interval = static_cast<unsigned>(
+                parseUint("--metrics-interval", value()));
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -211,7 +233,9 @@ main(int argc, char **argv)
         // a user passing --mode expects a smaller manifest, not the
         // full grid.
         fatal_if(!mode_filter.empty() || jobs_given ||
-                     format != "json" || opts.profile || quiet,
+                     format != "json" || opts.profile || quiet ||
+                     !telemetry_path.empty() || metrics_interval ||
+                     progress,
                  "--emit-manifest only combines with --max-insts, "
                  "--set, and --out");
         sim::CampaignManifest m = driver::scenarioManifest(
@@ -322,9 +346,39 @@ main(int argc, char **argv)
     copts.jobs = opts.jobs;
     copts.profile = opts.profile || profile_default;
 
+    // Telemetry is strictly out of band: the sink (a file under
+    // --telemetry, observer-only under a bare --progress) sees every
+    // event, and the report is byte-identical either way.
+    fatal_if(metrics_interval && telemetry_path.empty(),
+             "--metrics-interval requires --telemetry");
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_path.empty())
+        sink = obs::TelemetrySink::open(telemetry_path);
+    else if (progress)
+        sink = std::make_unique<obs::TelemetrySink>();
+    obs::ProgressRenderer renderer;
+    if (sink && progress)
+        sink->addObserver(
+            [&renderer](const obs::Event &e) { renderer.observe(e); });
+    obs::MetricRegistry metrics;
+    std::unique_ptr<obs::MetricFlusher> flusher;
+    if (sink) {
+        copts.telemetry = sink.get();
+        copts.metrics = &metrics;
+        // Global escape hatch for layers without plumbing: the
+        // timing core's mid-run samples and the warn()/inform()
+        // mirror. Cleared before the sink dies, below.
+        obs::setGlobalSink(sink.get());
+        obs::setCoreSampleInsts(10000);
+        if (metrics_interval)
+            flusher = std::make_unique<obs::MetricFlusher>(
+                metrics, *sink, metrics_interval);
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     const driver::CampaignReport report = campaign.run(copts);
     const auto t1 = std::chrono::steady_clock::now();
+    flusher.reset();
 
     // Artifact emission (e.g. BENCH files) is not display: it runs
     // under --quiet and preset filters alike.
@@ -333,14 +387,22 @@ main(int argc, char **argv)
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 
-    if (!quiet) {
-        if (!generic_render && entry && entry->render)
-            entry->render(report, std::cout);
-        else
-            std::cout << report.toTable().render();
+    {
+        obs::PhaseSpan span(sink.get(), "aggregate");
+        if (!quiet) {
+            if (!generic_render && entry && entry->render)
+                entry->render(report, std::cout);
+            else
+                std::cout << report.toTable().render();
+        }
+        if (!out_path.empty())
+            report.writeFile(out_path, fmt);
     }
-    if (!out_path.empty())
-        report.writeFile(out_path, fmt);
+    if (sink) {
+        metrics.flush(*sink);
+        obs::setGlobalSink(nullptr);
+        obs::setCoreSampleInsts(0);
+    }
 
     // Wall-clock goes to stderr so report files and stdout captures
     // stay byte-identical across worker counts.
