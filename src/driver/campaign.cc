@@ -36,10 +36,16 @@ ExecutableCache::get(workload::BenchmarkId id,
     bool compiled = false;
     std::call_once(entry->once, [&] {
         compiled = true;
+        // A campaign-local cache carries its campaign's sink; the
+        // process-wide cache dvi-serve shares has none, so compile
+        // spans resolve through the thread's scoped sink and land
+        // in the stream of whichever campaign triggered the build.
+        obs::TelemetrySink *sink =
+            sink_ ? sink_ : obs::currentSink();
         json::Value begin = json::Value::object();
         begin.set("benchmark", workload::benchmarkName(id));
         begin.set("policy", sim::edviPolicyName(policy));
-        obs::PhaseSpan span(sink_, "compile", obs::currentJob(),
+        obs::PhaseSpan span(sink, "compile", obs::currentJob(),
                             std::move(begin));
         const prog::Module mod = workload::generateBenchmark(id);
         entry->exe = std::make_shared<const comp::Executable>(
@@ -148,8 +154,14 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
     if (metrics)
         mids = std::make_unique<CampaignMetrics>(*metrics);
 
-    ExecutableCache cache;
-    cache.setTelemetry(sink);
+    // The compile cache is campaign-local unless the caller shares a
+    // process-wide one (dvi-serve); a shared cache keeps its own
+    // telemetry wiring (scoped-sink fallback) and its counters
+    // accumulate across campaigns.
+    ExecutableCache localCache;
+    if (!opts.cache)
+        localCache.setTelemetry(sink);
+    ExecutableCache &cache = opts.cache ? *opts.cache : localCache;
 
     const double campaignT0 = sink ? sink->elapsedSeconds() : 0.0;
     if (sink) {
@@ -173,8 +185,19 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
     // when the report is unprofiled; the measurement stays local so
     // JobResult::wallSeconds (and the report) remain untouched.
     const bool timed = profile || sink != nullptr;
+    const std::atomic<bool> *cancel = opts.cancel;
     parallelFor(pool, specs.size(), [&](std::size_t i) {
+        // Cooperative cancel: jobs that have not started yet become
+        // no-ops (their result slots stay default-constructed); the
+        // caller sees report.cancelled and discards the report.
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            return;
         const obs::JobScope scope(specs[i].index);
+        // Scope deep emitters (core-sample, log mirror, shared-cache
+        // compile spans) to this campaign's sink for the duration of
+        // the job: pool threads are shared across campaigns in
+        // dvi-serve, so the global sink cannot attribute them.
+        const obs::SinkScope sinkScope(sink);
         const sim::Scenario &s = specs[i].scenario;
         if (sink) {
             json::Value p = json::Value::object();
@@ -250,10 +273,15 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
         }
     });
 
+    report.cancelled =
+        cancel && cancel->load(std::memory_order_relaxed);
+
     if (sink) {
         json::Value p = json::Value::object();
         p.set("campaign", name_);
         p.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+        if (report.cancelled)
+            p.set("cancelled", true);
         p.set("cacheCompiles",
               static_cast<std::uint64_t>(cache.size()));
         p.set("cacheHits", cache.hits());

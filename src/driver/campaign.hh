@@ -119,6 +119,26 @@ struct CampaignOptions
     /** Operational metrics updated as jobs complete (jobs, insts,
      * cache hit/miss, pool steals / queue depth). nullptr = off. */
     obs::MetricRegistry *metrics = nullptr;
+
+    /**
+     * Externally owned compile cache shared across runs: dvi-serve
+     * keeps one process-wide cache so a repeat manifest skips
+     * compilation entirely. nullptr (the default) = a fresh
+     * campaign-local cache. The caller must keep it alive for the
+     * duration of run(); its hit/miss counters accumulate across
+     * campaigns.
+     */
+    ExecutableCache *cache = nullptr;
+
+    /**
+     * Cooperative cancellation: checked as each job is picked up, so
+     * a set flag makes every not-yet-started job a no-op while jobs
+     * already in flight drain normally. The flag may be set from any
+     * thread (DELETE /campaigns/<id>, a SIGINT handler); the
+     * returned report carries cancelled = true and must be treated
+     * as partial. nullptr = never cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** An ordered list of simulation scenarios. */

@@ -51,6 +51,12 @@ struct CampaignReport
      * longer byte-stable across runs. */
     bool profiled = false;
 
+    /** The run was aborted via CampaignOptions::cancel: results for
+     * jobs that never started are default-constructed, so the
+     * report is partial and must not be emitted as a campaign
+     * result. Never serialized. */
+    bool cancelled = false;
+
     /** One row per job: identity, config, and headline stats. */
     Table toTable() const;
 

@@ -151,13 +151,54 @@ ThreadPool::workerLoop(std::size_t self)
     }
 }
 
+TaskGroup::~TaskGroup()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return unfinished_ == 0; });
+}
+
+void
+TaskGroup::submit(ThreadPool::Task task)
+{
+    panic_if(!task, "TaskGroup::submit: empty task");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++unfinished_;
+    }
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--unfinished_ == 0)
+            cv_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return unfinished_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
 void
 parallelFor(ThreadPool &pool, std::size_t n,
             const std::function<void(std::size_t)> &fn)
 {
+    TaskGroup group(pool);
     for (std::size_t i = 0; i < n; ++i)
-        pool.submit([&fn, i] { fn(i); });
-    pool.wait();
+        group.submit([&fn, i] { fn(i); });
+    group.wait();
 }
 
 } // namespace driver

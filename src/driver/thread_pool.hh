@@ -124,9 +124,50 @@ class ThreadPool
 };
 
 /**
+ * Completion scope over a shared pool. ThreadPool::wait() waits for
+ * *every* submitted task, which is right for a pool with one client
+ * and wrong for a resident server running several campaigns on one
+ * pool: campaign A's wait must not block on campaign B's jobs. A
+ * TaskGroup tracks only the tasks submitted through it, so wait()
+ * returns when this group's tasks are done no matter how busy the
+ * pool is otherwise.
+ *
+ * The first exception a group task throws is captured and rethrown
+ * from this group's wait(); it never reaches the pool's firstError
+ * slot, so concurrent groups cannot steal each other's failures.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** Waits for stragglers; a pending exception is dropped (it was
+     * the caller's to collect via wait()). */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue a task on the pool, tracked by this group. */
+    void submit(ThreadPool::Task task);
+
+    /** Block until every task submitted through this group has
+     * finished; rethrows the first exception one raised. */
+    void wait();
+
+  private:
+    ThreadPool &pool_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t unfinished_ = 0;
+    std::exception_ptr firstError_;
+};
+
+/**
  * Run fn(i) for i in [0, n) on the pool and wait. Exceptions
- * propagate per ThreadPool::wait(). fn must be safe to invoke
- * concurrently for distinct i.
+ * propagate per TaskGroup::wait(). fn must be safe to invoke
+ * concurrently for distinct i. Waits only for its own tasks, so
+ * concurrent parallelFors may share one pool.
  */
 void parallelFor(ThreadPool &pool, std::size_t n,
                  const std::function<void(std::size_t)> &fn);

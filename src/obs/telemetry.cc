@@ -54,6 +54,14 @@ TelemetrySink::addObserver(std::function<void(const Event &)> fn)
     observers_.push_back(std::move(fn));
 }
 
+void
+TelemetrySink::addLineObserver(
+    std::function<void(const std::string &)> fn)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lineObservers_.push_back(std::move(fn));
+}
+
 double
 TelemetrySink::elapsedSeconds() const
 {
@@ -97,10 +105,14 @@ TelemetrySink::event(const char *kind, std::uint64_t job,
     for (const auto &member : payload.members())
         line.set(member.first, member.second);
 
-    if (out_) {
+    if (out_ || !lineObservers_.empty()) {
         const std::string text = line.dump(0) + "\n";
-        std::fwrite(text.data(), 1, text.size(), out_);
-        std::fflush(out_);
+        if (out_) {
+            std::fwrite(text.data(), 1, text.size(), out_);
+            std::fflush(out_);
+        }
+        for (const auto &fn : lineObservers_)
+            fn(text);
     }
     if (!observers_.empty()) {
         Event e;
@@ -124,13 +136,15 @@ std::atomic<TelemetrySink *> g_sink{nullptr};
 std::atomic<std::uint64_t> g_core_sample{0};
 
 thread_local std::uint64_t t_current_job = noJob;
+thread_local TelemetrySink *t_current_sink = nullptr;
 
-/** Mirror of warn()/inform() into the telemetry stream. */
+/** Mirror of warn()/inform() into the telemetry stream. Scoped:
+ * a warning raised inside a campaign job lands in that campaign's
+ * sink, not whichever sink happens to be global. */
 void
 logMirror(const char *level, const std::string &msg)
 {
-    if (TelemetrySink *sink =
-            g_sink.load(std::memory_order_acquire)) {
+    if (TelemetrySink *sink = currentSink()) {
         json::Value p = json::Value::object();
         p.set("level", level);
         p.set("message", msg);
@@ -179,6 +193,25 @@ std::uint64_t
 currentJob()
 {
     return t_current_job;
+}
+
+SinkScope::SinkScope(TelemetrySink *sink) : prev_(t_current_sink)
+{
+    if (sink)
+        t_current_sink = sink;
+}
+
+SinkScope::~SinkScope()
+{
+    t_current_sink = prev_;
+}
+
+TelemetrySink *
+currentSink()
+{
+    if (t_current_sink)
+        return t_current_sink;
+    return g_sink.load(std::memory_order_acquire);
 }
 
 } // namespace obs

@@ -122,6 +122,16 @@ class TelemetrySink
      */
     void addObserver(std::function<void(const Event &)> fn);
 
+    /**
+     * Attach a consumer of the *serialized* stream: one call per
+     * event with the exact NDJSON line a file sink writes (trailing
+     * newline included), under the sink lock in emission order.
+     * This is the wire tap `dvi-serve` streams to HTTP clients —
+     * what a subscriber receives is byte-identical to a
+     * `--telemetry FILE` capture of the same sink.
+     */
+    void addLineObserver(std::function<void(const std::string &)> fn);
+
     /** Emit one event; `payload` must be a JSON object whose
      * members are appended after the envelope fields. */
     void event(const char *kind, json::Value payload);
@@ -144,6 +154,8 @@ class TelemetrySink
     mutable std::mutex mu_;
     std::uint64_t seq_ = 0;
     std::vector<std::function<void(const Event &)>> observers_;
+    std::vector<std::function<void(const std::string &)>>
+        lineObservers_;
 };
 
 /**
@@ -201,6 +213,42 @@ class JobScope
 
 /** The job current on this thread; noJob outside any JobScope. */
 std::uint64_t currentJob();
+
+/** @} */
+
+/**
+ * @name Current-sink scoping
+ *
+ * The global sink is one pointer — right for a CLI with one
+ * campaign, wrong for a resident server running several campaigns
+ * concurrently, each with its own sink. A SinkScope names the sink
+ * current on this thread for the duration of a job, so events
+ * emitted from deep inside the stack (core-sample, mirrored log
+ * lines, compile spans from a shared ExecutableCache) land in the
+ * right campaign's stream. currentSink() is the lookup every such
+ * emitter uses: the thread's scoped sink when one is active, else
+ * the process-global sink.
+ * @{
+ */
+
+/** RAII: names `sink` as the sink current on this thread. A nullptr
+ * sink is "no override" (currentSink() keeps falling back to the
+ * global), so call sites need no conditionals. */
+class SinkScope
+{
+  public:
+    explicit SinkScope(TelemetrySink *sink);
+    ~SinkScope();
+
+    SinkScope(const SinkScope &) = delete;
+    SinkScope &operator=(const SinkScope &) = delete;
+
+  private:
+    TelemetrySink *prev_;
+};
+
+/** The thread's scoped sink, else the global sink, else nullptr. */
+TelemetrySink *currentSink();
 
 /** @} */
 

@@ -1,0 +1,392 @@
+#include "serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Hard caps on what one request may make the server buffer. */
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    for (const auto &h : headers)
+        if (h.first == name)
+            return &h.second;
+    return nullptr;
+}
+
+std::string
+HttpRequest::queryParam(const std::string &key) const
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::string kv = query.substr(pos, amp - pos);
+        const std::size_t eq = kv.find('=');
+        if (eq != std::string::npos && kv.substr(0, eq) == key)
+            return kv.substr(eq + 1);
+        if (eq == std::string::npos && kv == key)
+            return "";
+        pos = amp + 1;
+    }
+    return "";
+}
+
+// --------------------------------------------------- HttpResponse
+
+const char *
+HttpResponse::reason(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+    }
+}
+
+bool
+HttpResponse::writeAll(const char *data, std::size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished client is a failed write, not a
+        // process-killing SIGPIPE.
+        const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            alive_ = false;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+void
+HttpResponse::respond(
+    int status, const std::string &contentType,
+    const std::string &body,
+    const std::vector<std::pair<std::string, std::string>> &extra)
+{
+    responded_ = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       reason(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto &h : extra)
+        head += h.first + ": " + h.second + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (writeAll(head.data(), head.size()))
+        writeAll(body.data(), body.size());
+}
+
+bool
+HttpResponse::beginChunked(int status, const std::string &contentType)
+{
+    responded_ = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       reason(status) + "\r\n";
+    head += "Content-Type: " + contentType + "\r\n";
+    head += "Transfer-Encoding: chunked\r\n";
+    head += "Connection: close\r\n\r\n";
+    return writeAll(head.data(), head.size());
+}
+
+bool
+HttpResponse::writeChunk(const std::string &data)
+{
+    if (!alive_)
+        return false;
+    if (data.empty())
+        return true;
+    char size[32];
+    std::snprintf(size, sizeof(size), "%zx\r\n", data.size());
+    std::string chunk = size;
+    chunk += data;
+    chunk += "\r\n";
+    return writeAll(chunk.data(), chunk.size());
+}
+
+void
+HttpResponse::endChunked()
+{
+    static const char end[] = "0\r\n\r\n";
+    writeAll(end, sizeof(end) - 1);
+}
+
+// ----------------------------------------------------- HttpServer
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start(std::uint16_t port, HttpHandler handler)
+{
+    panic_if(listenFd_ >= 0, "HttpServer::start called twice");
+    handler_ = std::move(handler);
+
+    // Belt next to MSG_NOSIGNAL's braces: nothing in a server may
+    // die because a peer closed a socket first.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatal_if(listenFd_ < 0, "socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    fatal_if(::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) < 0,
+             "cannot bind port ", port, ": ", std::strerror(errno));
+    fatal_if(::listen(listenFd_, 64) < 0, "listen(): ",
+             std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    fatal_if(::getsockname(listenFd_,
+                           reinterpret_cast<sockaddr *>(&addr),
+                           &len) < 0,
+             "getsockname(): ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+HttpServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stopping_.store(true, std::memory_order_release);
+    // shutdown() unblocks the accept(); close alone does not on
+    // every platform.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listenFd_ = -1;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    // Force-close every open connection so blocked reads/writes
+    // (e.g. a stalled event-stream subscriber) fail promptly...
+    for (int fd : openFds_)
+        ::shutdown(fd, SHUT_RDWR);
+    // ...then wait for the serving threads to notice and finish.
+    idle_.wait(lk, [this] { return active_ == 0; });
+}
+
+void
+HttpServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listener is gone; nothing left to accept
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            return;
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            openFds_.insert(fd);
+            ++active_;
+        }
+        std::thread([this, fd] { serveConnection(fd); }).detach();
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    HttpResponse res(fd);
+    HttpRequest req;
+
+    // Read the head (request line + headers), bounded.
+    std::string buf;
+    std::size_t headEnd = std::string::npos;
+    char tmp[4096];
+    while (buf.size() < kMaxHeaderBytes) {
+        headEnd = buf.find("\r\n\r\n");
+        if (headEnd != std::string::npos)
+            break;
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            break;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+
+    bool ok = false;
+    std::size_t bodyWanted = 0;
+    if (headEnd != std::string::npos) {
+        ok = true;
+        const std::string head = buf.substr(0, headEnd);
+        std::size_t lineEnd = head.find("\r\n");
+        const std::string reqLine = head.substr(
+            0, lineEnd == std::string::npos ? head.size() : lineEnd);
+
+        // METHOD SP TARGET SP VERSION
+        const std::size_t sp1 = reqLine.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : reqLine.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            ok = false;
+        } else {
+            req.method = reqLine.substr(0, sp1);
+            std::string target =
+                reqLine.substr(sp1 + 1, sp2 - sp1 - 1);
+            const std::size_t qm = target.find('?');
+            req.path = target.substr(0, qm);
+            req.query = qm == std::string::npos
+                            ? ""
+                            : target.substr(qm + 1);
+        }
+
+        std::size_t pos = lineEnd == std::string::npos
+                              ? head.size()
+                              : lineEnd + 2;
+        while (ok && pos < head.size()) {
+            std::size_t eol = head.find("\r\n", pos);
+            if (eol == std::string::npos)
+                eol = head.size();
+            const std::string line = head.substr(pos, eol - pos);
+            pos = eol + 2;
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos) {
+                ok = false;
+                break;
+            }
+            req.headers.emplace_back(
+                lower(trim(line.substr(0, colon))),
+                trim(line.substr(colon + 1)));
+        }
+
+        if (ok) {
+            if (const std::string *cl =
+                    req.header("content-length")) {
+                char *end = nullptr;
+                const unsigned long long v =
+                    std::strtoull(cl->c_str(), &end, 10);
+                if (end == cl->c_str() || *end != '\0')
+                    ok = false;
+                else
+                    bodyWanted = static_cast<std::size_t>(v);
+            }
+        }
+    } else if (buf.size() >= kMaxHeaderBytes) {
+        res.respond(431, "text/plain", "header too large\n");
+    }
+
+    if (ok && bodyWanted > kMaxBodyBytes) {
+        res.respond(413, "text/plain", "body too large\n");
+    } else if (ok) {
+        req.body = buf.substr(headEnd + 4);
+        while (req.body.size() < bodyWanted) {
+            const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+            if (n <= 0)
+                break;
+            req.body.append(tmp, static_cast<std::size_t>(n));
+        }
+        if (req.body.size() < bodyWanted) {
+            res.respond(400, "text/plain", "truncated body\n");
+        } else {
+            req.body.resize(bodyWanted);
+            try {
+                handler_(req, res);
+                if (!res.responded())
+                    res.respond(500, "text/plain",
+                                "handler produced no response\n");
+            } catch (const std::exception &e) {
+                if (!res.responded())
+                    res.respond(500, "text/plain",
+                                std::string("internal error: ") +
+                                    e.what() + "\n");
+            }
+        }
+    } else if (!res.responded() && headEnd != std::string::npos) {
+        res.respond(400, "text/plain", "malformed request\n");
+    }
+
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        openFds_.erase(fd);
+        if (--active_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace serve
+} // namespace dvi

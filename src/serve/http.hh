@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Minimal dependency-free HTTP/1.1 server over POSIX sockets.
+ *
+ * Exactly the server dvi-serve needs and nothing more: a blocking
+ * accept loop on a dedicated thread, one thread per connection, one
+ * request per connection (every response carries `Connection:
+ * close`). Responses are either a complete body with Content-Length
+ * or a `Transfer-Encoding: chunked` stream — the latter is how
+ * `GET /campaigns/<id>/events` tails a campaign's NDJSON telemetry
+ * to a client for as long as the campaign runs.
+ *
+ * Robustness posture: malformed requests get a 400 and the socket
+ * closes; oversized headers/bodies get 431/413 (bounded reads — a
+ * client cannot make the server buffer unboundedly); a client that
+ * disappears mid-stream surfaces as failed writes (SIGPIPE is
+ * suppressed), and the handler sees writeChunk() return false.
+ * stop() force-closes every open connection, so a graceful daemon
+ * shutdown cannot hang on a stalled subscriber.
+ */
+
+#ifndef DVI_SERVE_HTTP_HH
+#define DVI_SERVE_HTTP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dvi
+{
+namespace serve
+{
+
+/** One parsed request. Header names are lower-cased at parse time;
+ * the target splits at the first '?' into path and query. */
+struct HttpRequest
+{
+    std::string method;  ///< as sent (conventionally upper-case)
+    std::string path;    ///< target up to '?', e.g. "/campaigns/c1"
+    std::string query;   ///< after '?', "" when absent
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of the first header with this (lower-case) name;
+     * nullptr when absent. */
+    const std::string *header(const std::string &name) const;
+
+    /** Value of `key` in the query string ("k=v&k2=v2"; no
+     * percent-decoding); "" when absent. */
+    std::string queryParam(const std::string &key) const;
+};
+
+/**
+ * The response side of one connection. A handler calls exactly one
+ * of respond() or beginChunked()+writeChunk()*+endChunked(); if it
+ * returns without responding, the server sends a 500.
+ */
+class HttpResponse
+{
+  public:
+    explicit HttpResponse(int fd) : fd_(fd) {}
+
+    /** Send a complete response (status line, headers, body). */
+    void respond(int status, const std::string &contentType,
+                 const std::string &body,
+                 const std::vector<std::pair<std::string,
+                                             std::string>> &extra = {});
+
+    /** Start a chunked response; false if the client is gone. */
+    bool beginChunked(int status, const std::string &contentType);
+
+    /** Send one chunk (empty data is a no-op, not a terminator);
+     * false once the client is gone. */
+    bool writeChunk(const std::string &data);
+
+    /** Send the terminating zero-length chunk. */
+    void endChunked();
+
+    /** A response (complete or chunked) has been started. */
+    bool responded() const { return responded_; }
+
+    /** The standard reason phrase for `status` ("OK", "Too Many
+     * Requests", ...); "Unknown" for unmapped codes. */
+    static const char *reason(int status);
+
+  private:
+    bool writeAll(const char *data, std::size_t n);
+
+    int fd_;
+    bool responded_ = false;
+    bool alive_ = true;
+};
+
+using HttpHandler =
+    std::function<void(const HttpRequest &, HttpResponse &)>;
+
+/** Blocking-accept HTTP server; one thread per connection. */
+class HttpServer
+{
+  public:
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind + listen on `port` (0 = kernel-assigned ephemeral port,
+     * see port()) and serve until stop(). Fatal when the port
+     * cannot be bound. The handler runs on connection threads and
+     * must be thread-safe. */
+    void start(std::uint16_t port, HttpHandler handler);
+
+    /** The bound port (resolves port 0 to the real one). */
+    std::uint16_t port() const { return port_; }
+
+    /** Stop accepting, force-close open connections, join every
+     * serving thread. Idempotent. */
+    void stop();
+
+    /** Connections accepted since start(). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    HttpHandler handler_;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+
+    std::mutex mu_;
+    std::condition_variable idle_;
+    std::set<int> openFds_;
+    std::size_t active_ = 0;
+};
+
+} // namespace serve
+} // namespace dvi
+
+#endif // DVI_SERVE_HTTP_HH

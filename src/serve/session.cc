@@ -1,0 +1,166 @@
+#include "serve/session.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace serve
+{
+
+const char *
+campaignStateName(CampaignState s)
+{
+    switch (s) {
+    case CampaignState::Queued:    return "queued";
+    case CampaignState::Running:   return "running";
+    case CampaignState::Done:      return "done";
+    case CampaignState::Failed:    return "failed";
+    case CampaignState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+CampaignSession::CampaignSession(std::uint64_t id,
+                                 sim::CampaignManifest manifest)
+    : id_(id), idString_("c" + std::to_string(id)),
+      manifest_(std::move(manifest))
+{
+    // The sink is observer-only (no file); the line observer is the
+    // buffer every events subscriber replays from. Lines arrive
+    // under the sink lock, in seq order, so lines_[i] has seq i and
+    // a capture of this buffer passes the gapless-seq check exactly
+    // like a --telemetry file would.
+    sink_.addLineObserver([this](const std::string &line) {
+        std::lock_guard<std::mutex> lk(mu_);
+        lines_.push_back(line);
+        cv_.notify_all();
+    });
+}
+
+CampaignState
+CampaignSession::state() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return state_;
+}
+
+bool
+CampaignSession::terminal() const
+{
+    const CampaignState s = state();
+    return s == CampaignState::Done || s == CampaignState::Failed ||
+           s == CampaignState::Cancelled;
+}
+
+void
+CampaignSession::markRunning()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    panic_if(state_ != CampaignState::Queued,
+             "campaign ", idString_, ": Running from state ",
+             campaignStateName(state_));
+    state_ = CampaignState::Running;
+    cv_.notify_all();
+}
+
+void
+CampaignSession::finishDone(std::string reportBytes)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    state_ = CampaignState::Done;
+    report_ = std::move(reportBytes);
+    cv_.notify_all();
+}
+
+void
+CampaignSession::finishFailed(std::string error)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    state_ = CampaignState::Failed;
+    error_ = std::move(error);
+    cv_.notify_all();
+}
+
+void
+CampaignSession::finishCancelled()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    state_ = CampaignState::Cancelled;
+    cv_.notify_all();
+}
+
+std::string
+CampaignSession::report() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return report_;
+}
+
+std::string
+CampaignSession::error() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_;
+}
+
+std::size_t
+CampaignSession::lineCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lines_.size();
+}
+
+bool
+CampaignSession::nextLines(std::size_t &cursor,
+                           std::vector<std::string> &out,
+                           unsigned timeoutMs) const
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    const bool isTerminal = state_ == CampaignState::Done ||
+                            state_ == CampaignState::Failed ||
+                            state_ == CampaignState::Cancelled;
+    if (cursor >= lines_.size() && !isTerminal)
+        cv_.wait_for(lk, std::chrono::milliseconds(timeoutMs));
+    while (cursor < lines_.size())
+        out.push_back(lines_[cursor++]);
+    // Re-read the state under the same lock: a terminal transition
+    // and a final line may both have landed during the wait.
+    return !(state_ == CampaignState::Done ||
+             state_ == CampaignState::Failed ||
+             state_ == CampaignState::Cancelled) ||
+           cursor < lines_.size();
+}
+
+json::Value
+CampaignSession::statusJson() const
+{
+    // Progress counters come from the per-campaign MetricRegistry
+    // the driver updates as jobs complete.
+    std::uint64_t jobsCompleted = 0, simInsts = 0;
+    const obs::MetricRegistry::Snapshot snap = metrics_.snapshot();
+    for (const auto &c : snap.counters) {
+        if (c.first == "campaign.jobsCompleted")
+            jobsCompleted = c.second;
+        else if (c.first == "campaign.simInsts")
+            simInsts = c.second;
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    json::Value v = json::Value::object();
+    v.set("id", idString_);
+    v.set("campaign", manifest_.name);
+    v.set("state", campaignStateName(state_));
+    v.set("jobs",
+          static_cast<std::uint64_t>(manifest_.scenarios.size()));
+    v.set("jobsCompleted", jobsCompleted);
+    v.set("simInsts", simInsts);
+    v.set("events", static_cast<std::uint64_t>(lines_.size()));
+    if (!error_.empty())
+        v.set("error", error_);
+    return v;
+}
+
+} // namespace serve
+} // namespace dvi

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * One submitted campaign, from POST to served report.
+ *
+ * A CampaignSession is the server-side state of one `POST
+ * /campaigns` request: the parsed manifest, a state machine (Queued
+ * -> Running -> Done | Failed | Cancelled, with Queued -> Cancelled
+ * for jobs cancelled before dispatch), a per-campaign TelemetrySink
+ * whose serialized NDJSON lines are buffered for replay and pushed
+ * to any number of live `GET /campaigns/<id>/events` subscribers, a
+ * per-campaign MetricRegistry (progress counters for the status
+ * endpoint), the cooperative cancel flag the driver polls between
+ * jobs, and — once Done — the finished report bytes, exactly what
+ * `dvi-run --manifest` would have written for the same manifest.
+ *
+ * Thread model: the HTTP threads read state/lines/report while a
+ * queue dispatcher runs the campaign and the driver's pool workers
+ * append telemetry; everything mutable is behind one mutex, and a
+ * condition variable wakes event-stream subscribers on new lines or
+ * a terminal state.
+ */
+
+#ifndef DVI_SERVE_SESSION_HH
+#define DVI_SERVE_SESSION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "sim/manifest.hh"
+
+namespace dvi
+{
+namespace serve
+{
+
+/** Session lifecycle. Done/Failed/Cancelled are terminal. */
+enum class CampaignState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+};
+
+/** Lower-case state token ("queued", "running", ...). */
+const char *campaignStateName(CampaignState s);
+
+class CampaignSession
+{
+  public:
+    CampaignSession(std::uint64_t id, sim::CampaignManifest manifest);
+
+    std::uint64_t id() const { return id_; }
+    /** The public id ("c<N>") used in URLs. */
+    const std::string &idString() const { return idString_; }
+    const sim::CampaignManifest &manifest() const
+    {
+        return manifest_;
+    }
+
+    /** The per-campaign telemetry sink. Line-buffered from birth:
+     * every event is retained for replay to late subscribers. */
+    obs::TelemetrySink &sink() { return sink_; }
+
+    /** Per-campaign operational metrics (driver-updated). */
+    obs::MetricRegistry &metrics() { return metrics_; }
+
+    CampaignState state() const;
+    bool terminal() const;
+
+    /** Queued -> Running (dispatcher). */
+    void markRunning();
+    /** Store the finished report bytes; -> Done. */
+    void finishDone(std::string reportBytes);
+    /** Record a failure; -> Failed. */
+    void finishFailed(std::string error);
+    /** -> Cancelled (cancel observed, or dropped from the queue). */
+    void finishCancelled();
+
+    /** Raise the cooperative cancel flag (DELETE, shutdown). The
+     * driver polls it between jobs; a queued session is flipped to
+     * Cancelled by whoever dequeues it. */
+    void requestCancel()
+    {
+        cancel_.store(true, std::memory_order_relaxed);
+    }
+    bool cancelRequested() const
+    {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+    /** The flag itself, for CampaignOptions::cancel. */
+    const std::atomic<bool> &cancelFlag() const { return cancel_; }
+
+    /** Finished report bytes; "" unless Done. */
+    std::string report() const;
+    /** Failure diagnostic; "" unless Failed. */
+    std::string error() const;
+
+    /** NDJSON lines buffered so far. */
+    std::size_t lineCount() const;
+
+    /**
+     * Event-stream cursor: append lines [*cursor, ...) to `out`,
+     * advancing *cursor. When no new line is buffered, blocks up to
+     * `timeoutMs` for one. Returns false once the stream is
+     * complete (session terminal and every line consumed); `out`
+     * may still hold the final batch on a false return, so send
+     * before breaking:
+     *   for (;;) { out.clear(); bool more = nextLines(...);
+     *              send(out); if (!more) break; }
+     */
+    bool nextLines(std::size_t &cursor,
+                   std::vector<std::string> &out,
+                   unsigned timeoutMs) const;
+
+    /** Status document for GET /campaigns/<id>: id, campaign name,
+     * state, job counts, per-campaign metrics snapshot. */
+    json::Value statusJson() const;
+
+  private:
+    const std::uint64_t id_;
+    const std::string idString_;
+    const sim::CampaignManifest manifest_;
+
+    obs::TelemetrySink sink_;      ///< observer-only; line-buffered
+    obs::MetricRegistry metrics_;
+    std::atomic<bool> cancel_{false};
+
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    CampaignState state_ = CampaignState::Queued;
+    std::vector<std::string> lines_;
+    std::string report_;
+    std::string error_;
+};
+
+} // namespace serve
+} // namespace dvi
+
+#endif // DVI_SERVE_SESSION_HH

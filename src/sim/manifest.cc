@@ -350,7 +350,12 @@ manifestFromJson(const std::string &text, CampaignManifest &out)
     const json::ParseResult parsed = json::parse(text);
     if (!parsed.ok())
         return parsed.error;
-    const json::Value &doc = parsed.value;
+    return manifestFromJsonValue(parsed.value, out);
+}
+
+std::string
+manifestFromJsonValue(const json::Value &doc, CampaignManifest &out)
+{
     if (!doc.isObject())
         return std::string(
                    "manifest: expected a top-level object, got ") +

@@ -137,6 +137,13 @@ std::string manifestToJson(const CampaignManifest &m);
 std::string manifestFromJson(const std::string &text,
                              CampaignManifest &out);
 
+/** manifestFromJson over an already-parsed document — the entry
+ * point for callers that hold JSON values rather than text (an HTTP
+ * body already inspected, a manifest embedded in a larger
+ * document). Same contract: "" or a dotted-path diagnostic. */
+std::string manifestFromJsonValue(const json::Value &doc,
+                                  CampaignManifest &out);
+
 } // namespace sim
 } // namespace dvi
 

@@ -45,10 +45,11 @@ class TimingRunner : public Runner
         uarch::CoreConfig cfg = s.hardware.core;
         cfg.dvi = s.hardware.dvi;
         cfg.maxInsts = s.budget.maxInsts;
-        // Mid-run sampling rides the process-global sink: scenarios
-        // are sink-agnostic, and the sampled stats go out-of-band,
-        // so the RunResult (and every report) is unaffected.
-        if (obs::TelemetrySink *sink = obs::globalSink()) {
+        // Mid-run sampling rides the scoped (per-campaign, else
+        // process-global) sink: scenarios are sink-agnostic, and the
+        // sampled stats go out-of-band, so the RunResult (and every
+        // report) is unaffected.
+        if (obs::TelemetrySink *sink = obs::currentSink()) {
             if (const std::uint64_t every = obs::coreSampleInsts()) {
                 cfg.sampleEveryInsts = every;
                 cfg.sampleHook = &emitCoreSample;

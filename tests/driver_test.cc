@@ -14,6 +14,7 @@
 #include "driver/figures.hh"
 #include "driver/report.hh"
 #include "driver/scenario_registry.hh"
+#include "obs/telemetry.hh"
 
 namespace dvi
 {
@@ -178,6 +179,67 @@ TEST(Campaign, FigureScenarioParallelMatchesSerial)
     const std::string parallel =
         c.run(driver::CampaignOptions{8}).toJson();
     EXPECT_EQ(serial, parallel);
+}
+
+TEST(Campaign, CancelBeforeRunSkipsEveryJob)
+{
+    const driver::Campaign c = smallCampaign(2000);
+    std::atomic<bool> cancel{true};  // raised before run() starts
+    driver::CampaignOptions copts;
+    copts.jobs = 2;
+    copts.cancel = &cancel;
+
+    const driver::CampaignReport rep = c.run(copts);
+    EXPECT_TRUE(rep.cancelled);
+    ASSERT_EQ(rep.results.size(), c.size());
+    // No job ran: every result slot is default-constructed.
+    for (const driver::JobResult &r : rep.results) {
+        EXPECT_EQ(r.run.core.cycles, 0u);
+        EXPECT_EQ(r.run.oracle.insts, 0u);
+        EXPECT_EQ(r.textBytes, 0u);
+    }
+}
+
+TEST(Campaign, CancelMidRunDrainsInFlightJobsOnly)
+{
+    const driver::Campaign c = smallCampaign(2000);
+    std::atomic<bool> cancel{false};
+
+    // Raise the flag from the telemetry stream after the first job
+    // finishes — the cooperative contract says jobs already started
+    // drain normally and the rest are skipped.
+    obs::TelemetrySink sink;
+    sink.addObserver([&cancel](const obs::Event &e) {
+        if (std::string(e.kind) == "job-end")
+            cancel.store(true);
+    });
+
+    driver::CampaignOptions copts;
+    copts.jobs = 1;  // serial: at most one job in flight at cancel
+    copts.telemetry = &sink;
+    copts.cancel = &cancel;
+
+    const driver::CampaignReport rep = c.run(copts);
+    EXPECT_TRUE(rep.cancelled);
+    ASSERT_EQ(rep.results.size(), c.size());
+
+    std::size_t completed = 0;
+    for (const driver::JobResult &r : rep.results)
+        if (r.textBytes > 0)
+            ++completed;
+    EXPECT_GE(completed, 1u);          // the in-flight job drained
+    EXPECT_LT(completed, c.size());    // the tail was skipped
+}
+
+TEST(Campaign, UncancelledRunReportsCancelledFalse)
+{
+    const driver::Campaign c = smallCampaign(2000);
+    std::atomic<bool> cancel{false};
+    driver::CampaignOptions copts;
+    copts.jobs = 2;
+    copts.cancel = &cancel;
+    EXPECT_FALSE(c.run(copts).cancelled);
+    EXPECT_FALSE(c.run(driver::CampaignOptions{2}).cancelled);
 }
 
 TEST(Report, JsonIsWellFormedEnough)

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * In-process tests for the dvi-serve subsystem: a DviServer on an
+ * ephemeral port driven through a real TCP client. Covers the
+ * acceptance criteria — reports fetched over HTTP byte-identical to
+ * a direct driver run for concurrent campaigns, compile-cache reuse
+ * across submissions, 429 under overload — plus the soft-error
+ * manifest path, cancellation, and the NDJSON event stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/campaign.hh"
+#include "serve/server.hh"
+#include "sim/manifest.hh"
+#include "sim/scenario.hh"
+
+namespace dvi
+{
+namespace
+{
+
+// ------------------------------------------------- tiny HTTP client
+//
+// One request per connection (the server speaks Connection: close),
+// blocking reads until EOF, chunked transfer decoding — just enough
+// client to exercise the server the way curl would.
+
+struct ClientResponse
+{
+    int status = 0;
+    std::map<std::string, std::string> headers;  // lower-cased names
+    std::string body;
+
+    std::string
+    header(const std::string &name) const
+    {
+        const auto it = headers.find(name);
+        return it == headers.end() ? "" : it->second;
+    }
+};
+
+std::string
+lowerCopy(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return s;
+}
+
+ClientResponse
+httpRequest(std::uint16_t port, const std::string &method,
+            const std::string &path, const std::string &body = "")
+{
+    ClientResponse res;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0)
+        << "connect to port " << port;
+
+    std::ostringstream req;
+    req << method << " " << path << " HTTP/1.1\r\n"
+        << "Host: 127.0.0.1\r\n"
+        << "Connection: close\r\n";
+    if (!body.empty())
+        req << "Content-Length: " << body.size() << "\r\n";
+    req << "\r\n" << body;
+    const std::string text = req.str();
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        const ssize_t n =
+            ::send(fd, text.data() + sent, text.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    // Status line.
+    const std::size_t eol = raw.find("\r\n");
+    if (eol == std::string::npos || raw.size() < 12)
+        return res;
+    res.status = std::atoi(raw.substr(9, 3).c_str());
+
+    // Headers until the blank line.
+    const std::size_t hdrEnd = raw.find("\r\n\r\n");
+    if (hdrEnd == std::string::npos)
+        return res;
+    std::size_t pos = eol + 2;
+    while (pos < hdrEnd) {
+        const std::size_t lineEnd = raw.find("\r\n", pos);
+        const std::string line = raw.substr(pos, lineEnd - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+            std::string name = lowerCopy(line.substr(0, colon));
+            std::size_t vs = colon + 1;
+            while (vs < line.size() && line[vs] == ' ')
+                ++vs;
+            res.headers[name] = line.substr(vs);
+        }
+        pos = lineEnd + 2;
+    }
+
+    std::string payload = raw.substr(hdrEnd + 4);
+    if (res.headers["transfer-encoding"] == "chunked") {
+        // Decode: <hex-size>\r\n<data>\r\n ... 0\r\n\r\n
+        std::size_t p = 0;
+        while (p < payload.size()) {
+            const std::size_t lineEnd = payload.find("\r\n", p);
+            if (lineEnd == std::string::npos)
+                break;
+            const std::size_t size = std::strtoul(
+                payload.substr(p, lineEnd - p).c_str(), nullptr, 16);
+            if (size == 0)
+                break;
+            res.body.append(payload, lineEnd + 2, size);
+            p = lineEnd + 2 + size + 2;
+        }
+    } else {
+        res.body = std::move(payload);
+    }
+    return res;
+}
+
+// --------------------------------------------------- test manifests
+
+sim::Scenario
+tinyScenario(workload::BenchmarkId id, const sim::DviPreset &preset,
+             std::uint64_t insts)
+{
+    sim::Scenario s;
+    s.runner = "timing";
+    s.workload = id;
+    s.budget.maxInsts = insts;
+    sim::applyPreset(s, preset);
+    return s;
+}
+
+/** A small campaign manifest as JSON text — what a client POSTs. */
+std::string
+manifestText(const std::string &name, workload::BenchmarkId id,
+             std::uint64_t insts)
+{
+    sim::CampaignManifest m;
+    m.name = name;
+    for (const sim::DviPreset &preset : sim::paperPresets())
+        m.scenarios.push_back(tinyScenario(id, preset, insts));
+    return sim::manifestToJson(m);
+}
+
+/** What `dvi-run --manifest` would write for the same text: parse,
+ * run, serialize. The server must serve these exact bytes. */
+std::string
+directReportBytes(const std::string &text)
+{
+    sim::CampaignManifest m;
+    const std::string err = sim::manifestFromJson(text, m);
+    EXPECT_EQ(err, "");
+    driver::Campaign campaign(m.name, std::move(m.scenarios));
+    driver::CampaignOptions copts;
+    copts.jobs = 2;
+    copts.profile = m.profile;
+    return campaign.run(copts).toJson();
+}
+
+/** Poll GET /campaigns/<id> until the state token appears. */
+void
+awaitState(std::uint16_t port, const std::string &id,
+           const std::string &state, unsigned timeoutMs = 60000)
+{
+    const std::string needle = "\"state\": \"" + state + "\"";
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        const ClientResponse res =
+            httpRequest(port, "GET", "/campaigns/" + id);
+        ASSERT_EQ(res.status, 200) << res.body;
+        if (res.body.find(needle) != std::string::npos)
+            return;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "campaign " << id << " never reached " << state
+            << "; last status: " << res.body;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+// ------------------------------------------------------------ tests
+
+TEST(Serve, HealthzAnswers)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+    ASSERT_GT(server.port(), 0);
+
+    const ClientResponse res =
+        httpRequest(server.port(), "GET", "/healthz");
+    EXPECT_EQ(res.status, 200);
+    EXPECT_NE(res.body.find("\"status\": \"ok\""), std::string::npos);
+    server.shutdown();
+}
+
+TEST(Serve, UnknownPathsAndIdsAre404)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/nope").status, 404);
+    EXPECT_EQ(
+        httpRequest(server.port(), "GET", "/campaigns/c999").status,
+        404);
+    EXPECT_EQ(httpRequest(server.port(), "GET",
+                          "/campaigns/c999/report")
+                  .status,
+              404);
+    server.shutdown();
+}
+
+TEST(Serve, MalformedManifestIs400WithDiagnostic)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    // Not JSON at all.
+    ClientResponse res = httpRequest(server.port(), "POST",
+                                     "/campaigns", "not json {");
+    EXPECT_EQ(res.status, 400);
+
+    // Valid JSON, invalid manifest: the soft-error loader's
+    // dotted-path diagnostic must come through to the client.
+    res = httpRequest(
+        server.port(), "POST", "/campaigns",
+        "{\"campaign\": \"bad\", \"jobs\": [{\"workload\": "
+        "\"no-such-benchmark\"}]}");
+    EXPECT_EQ(res.status, 400);
+    EXPECT_NE(res.body.find("workload"), std::string::npos)
+        << res.body;
+    server.shutdown();
+}
+
+TEST(Serve, ConcurrentCampaignReportsAreByteIdenticalToDirectRuns)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.maxConcurrent = 2;
+    serve::DviServer server(opts);
+    server.start();
+
+    // Two different manifests submitted back to back run
+    // concurrently on the shared pool; each served report must
+    // still be exactly what a standalone driver run produces.
+    const std::string ma =
+        manifestText("serve-a", workload::BenchmarkId::Li, 4000);
+    const std::string mb =
+        manifestText("serve-b", workload::BenchmarkId::Perl, 4000);
+
+    const ClientResponse ra =
+        httpRequest(server.port(), "POST", "/campaigns", ma);
+    const ClientResponse rb =
+        httpRequest(server.port(), "POST", "/campaigns", mb);
+    ASSERT_EQ(ra.status, 202) << ra.body;
+    ASSERT_EQ(rb.status, 202) << rb.body;
+    ASSERT_NE(ra.body.find("\"id\": \"c1\""), std::string::npos);
+    ASSERT_NE(rb.body.find("\"id\": \"c2\""), std::string::npos);
+
+    awaitState(server.port(), "c1", "done");
+    awaitState(server.port(), "c2", "done");
+
+    const ClientResponse repA =
+        httpRequest(server.port(), "GET", "/campaigns/c1/report");
+    const ClientResponse repB =
+        httpRequest(server.port(), "GET", "/campaigns/c2/report");
+    ASSERT_EQ(repA.status, 200);
+    ASSERT_EQ(repB.status, 200);
+    EXPECT_EQ(repA.header("content-type"), "application/json");
+
+    EXPECT_EQ(repA.body, directReportBytes(ma));
+    EXPECT_EQ(repB.body, directReportBytes(mb));
+    server.shutdown();
+}
+
+TEST(Serve, SecondIdenticalSubmissionReusesCompileCache)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.maxConcurrent = 1;
+    serve::DviServer server(opts);
+    server.start();
+
+    const std::string m =
+        manifestText("cache-probe", workload::BenchmarkId::Go, 3000);
+
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c1", "done");
+    const std::uint64_t missesAfterFirst = server.cache().misses();
+    EXPECT_GT(missesAfterFirst, 0u);  // first run compiled
+
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c2", "done");
+
+    // The repeat campaign compiled nothing: every get() hit the
+    // process-wide cache, so misses stayed put while hits grew.
+    EXPECT_EQ(server.cache().misses(), missesAfterFirst);
+    EXPECT_GT(server.cache().hits(), 0u);
+
+    // And the counters are visible to operators via GET /metrics.
+    const ClientResponse metrics =
+        httpRequest(server.port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("\"cache.hits\""), std::string::npos);
+    EXPECT_NE(metrics.body.find("\"cache.misses\""),
+              std::string::npos);
+    server.shutdown();
+}
+
+TEST(Serve, OverloadIs429WithRetryAfter)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.maxConcurrent = 1;
+    opts.maxQueue = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    // A budget big enough to still be running when the second
+    // submission lands; cancelled before the test ends.
+    const std::string slow = manifestText(
+        "slow", workload::BenchmarkId::Compress, 50000000);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", slow)
+            .status,
+        202);
+    awaitState(server.port(), "c1", "running");
+
+    const ClientResponse refused =
+        httpRequest(server.port(), "POST", "/campaigns", slow);
+    EXPECT_EQ(refused.status, 429);
+    EXPECT_FALSE(refused.header("retry-after").empty());
+    EXPECT_NE(refused.body.find("capacity"), std::string::npos)
+        << refused.body;
+
+    // DELETE cancels cooperatively; the campaign must reach the
+    // cancelled state, after which the report is a 409 (never Done).
+    EXPECT_EQ(
+        httpRequest(server.port(), "DELETE", "/campaigns/c1").status,
+        202);
+    awaitState(server.port(), "c1", "cancelled");
+    EXPECT_EQ(httpRequest(server.port(), "GET",
+                          "/campaigns/c1/report")
+                  .status,
+              409);
+    server.shutdown();
+}
+
+TEST(Serve, EventStreamIsGaplessNdjsonMatchingTelemetryProtocol)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    const std::string m =
+        manifestText("events", workload::BenchmarkId::Li, 3000);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c1", "done");
+
+    const ClientResponse events = httpRequest(
+        server.port(), "GET", "/campaigns/c1/events?follow=0");
+    ASSERT_EQ(events.status, 200);
+    EXPECT_EQ(events.header("content-type"),
+              "application/x-ndjson");
+    ASSERT_FALSE(events.body.empty());
+    EXPECT_EQ(events.body.back(), '\n');
+
+    // The stream is the PR-6 telemetry protocol: one JSON object
+    // per line, seq gapless from 0, campaign-begin first and
+    // campaign-end last.
+    std::vector<std::string> lines;
+    std::istringstream in(events.body);
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_NE(lines.front().find("\"kind\": \"campaign-begin\""),
+              std::string::npos);
+    EXPECT_NE(lines.back().find("\"kind\": \"campaign-end\""),
+              std::string::npos);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string seq =
+            "\"seq\": " + std::to_string(i) + ",";
+        EXPECT_NE(lines[i].find(seq), std::string::npos)
+            << "line " << i << ": " << lines[i];
+    }
+
+    // A ranged replay resumes mid-stream.
+    const ClientResponse tail = httpRequest(
+        server.port(), "GET",
+        "/campaigns/c1/events?follow=0&from=" +
+            std::to_string(lines.size() - 1));
+    ASSERT_EQ(tail.status, 200);
+    EXPECT_EQ(tail.body, lines.back() + "\n");
+    server.shutdown();
+}
+
+TEST(Serve, ShutdownCancelsRunningCampaigns)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.maxConcurrent = 1;
+    serve::DviServer server(opts);
+    server.start();
+
+    const std::string slow = manifestText(
+        "slow-shutdown", workload::BenchmarkId::Ijpeg, 50000000);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", slow)
+            .status,
+        202);
+    awaitState(server.port(), "c1", "running");
+
+    // Must return promptly (cooperative cancel, not a full run) and
+    // leave the session terminal.
+    server.shutdown();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace dvi

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "driver/thread_pool.hh"
@@ -116,6 +117,65 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
         // hanging or crashing.
     }
     EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskGroup, WaitsOnlyForItsOwnTasks)
+{
+    // Two groups on one pool: finishing group A must not block on
+    // group B's slow tasks — the property dvi-serve needs to run
+    // concurrent campaigns on a shared pool.
+    driver::ThreadPool pool(4);
+    std::atomic<int> fast{0};
+    std::atomic<bool> release{false};
+
+    driver::TaskGroup slow(pool);
+    for (int i = 0; i < 4; ++i)
+        slow.submit([&release] {
+            while (!release.load())
+                std::this_thread::yield();
+        });
+
+    driver::TaskGroup quick(pool);
+    for (int i = 0; i < 16; ++i)
+        quick.submit([&fast] { ++fast; });
+    quick.wait();  // must return while `slow` is still parked
+    EXPECT_EQ(fast.load(), 16);
+
+    release.store(true);
+    slow.wait();
+}
+
+TEST(TaskGroup, PropagatesFirstExceptionAndStaysUsable)
+{
+    driver::ThreadPool pool(2);
+    driver::TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        group.submit([&ran, i] {
+            if (i == 3)
+                throw std::runtime_error("task boom");
+            ++ran;
+        });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 7);
+
+    // The error is consumed; the group accepts more work.
+    group.submit([&ran] { ++ran; });
+    group.wait();
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskGroup, DestructorWaits)
+{
+    driver::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    {
+        driver::TaskGroup group(pool);
+        for (int i = 0; i < 32; ++i)
+            group.submit([&count] { ++count; });
+        // No wait(): the destructor must block until all 32 ran.
+    }
+    EXPECT_EQ(count.load(), 32);
 }
 
 TEST(ThreadPool, HardwareThreadsIsPositive)

@@ -1,8 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a telemetry NDJSON capture against the event schema.
+"""Validate telemetry NDJSON captures against the event schema.
 
 Usage:
-    tools/check_telemetry.py TELEMETRY.ndjson [--expect-kind KIND]...
+    tools/check_telemetry.py CAPTURE.ndjson... [--expect-kind KIND]...
+
+Multiple captures validate in one invocation — each file is an
+independent stream (seq restarts at 0 per file), every file is
+checked even after one fails, and the exit status reflects the worst
+result. Failures name the offending file and line.
 
 Checks, per line:
   - the line parses as one JSON object (the stream is NDJSON and
@@ -18,11 +23,11 @@ Checks, per line:
     the table below).
 
 --expect-kind KIND (repeatable) additionally requires at least one
-event of KIND in the capture — CI uses it to prove the layers it
+event of KIND in *each* capture — CI uses it to prove the layers it
 exercised actually emitted.
 
-Exit status: 0 valid, 1 schema violation, 2 unusable input. Errors
-name the line number.
+Exit status: 0 all captures valid, 1 schema violation in any, 2
+unusable input. Errors name the file and line number.
 """
 
 import argparse
@@ -59,10 +64,12 @@ JOB_REQUIRED = {"job-begin", "job-end", "core-sample",
                 "fuzz-verdict"}
 
 
+class ValidationError(Exception):
+    """A schema violation; str() is the diagnostic."""
+
+
 def fail(lineno, message):
-    print(f"check_telemetry: line {lineno}: {message}",
-          file=sys.stderr)
-    sys.exit(1)
+    raise ValidationError(f"line {lineno}: {message}")
 
 
 def check_event(lineno, ev):
@@ -100,54 +107,77 @@ def check_event(lineno, ev):
                          f"(want {want})")
 
 
-def main():
-    p = argparse.ArgumentParser()
-    p.add_argument("capture")
-    p.add_argument("--expect-kind", action="append", default=[],
-                   help="require at least one event of this kind "
-                        "(repeatable)")
-    args = p.parse_args()
-
+def check_capture(path, expect_kinds):
+    """Validate one capture; returns its exit code (0/1/2) and
+    prints the per-file verdict."""
     try:
-        with open(args.capture) as f:
+        with open(path) as f:
             lines = f.read().splitlines()
     except OSError as e:
-        print(f"check_telemetry: cannot read '{args.capture}': "
+        print(f"check_telemetry: {path}: cannot read: "
               f"{e.strerror or e}", file=sys.stderr)
-        sys.exit(2)
+        return 2
 
     if not lines:
-        print(f"check_telemetry: '{args.capture}' is empty",
+        print(f"check_telemetry: {path}: capture is empty",
               file=sys.stderr)
-        sys.exit(2)
+        return 2
 
     kinds_seen = {}
     prev_ts = None
-    for i, line in enumerate(lines, start=1):
-        try:
-            ev = json.loads(line)
-        except json.JSONDecodeError as e:
-            fail(i, f"not valid JSON ({e.msg}): {line[:80]!r}")
-        check_event(i, ev)
-        if ev["seq"] != i - 1:
-            fail(i, f"seq {ev['seq']} out of order (expected "
-                    f"{i - 1}: gapless from 0 in emission order)")
-        if prev_ts is not None and ev["ts"] < prev_ts:
-            fail(i, f"ts went backwards: {ev['ts']} < {prev_ts}")
-        prev_ts = ev["ts"]
-        kinds_seen[ev["kind"]] = kinds_seen.get(ev["kind"], 0) + 1
+    try:
+        for i, line in enumerate(lines, start=1):
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(i, f"not valid JSON ({e.msg}): {line[:80]!r}")
+            check_event(i, ev)
+            if ev["seq"] != i - 1:
+                fail(i, f"seq {ev['seq']} out of order (expected "
+                        f"{i - 1}: gapless from 0 in emission "
+                        f"order)")
+            if prev_ts is not None and ev["ts"] < prev_ts:
+                fail(i, f"ts went backwards: {ev['ts']} < {prev_ts}")
+            prev_ts = ev["ts"]
+            kinds_seen[ev["kind"]] = kinds_seen.get(ev["kind"],
+                                                    0) + 1
+    except ValidationError as e:
+        print(f"check_telemetry: {path}: {e}", file=sys.stderr)
+        return 1
 
-    missing = [k for k in args.expect_kind if k not in kinds_seen]
+    missing = [k for k in expect_kinds if k not in kinds_seen]
     if missing:
-        print(f"check_telemetry: no events of kind: "
+        print(f"check_telemetry: {path}: no events of kind: "
               f"{', '.join(missing)} (saw: "
               f"{', '.join(sorted(kinds_seen))})", file=sys.stderr)
-        sys.exit(1)
+        return 1
 
     summary = ", ".join(f"{k}={n}"
                         for k, n in sorted(kinds_seen.items()))
-    print(f"check_telemetry: {len(lines)} events OK ({summary})")
+    print(f"check_telemetry: {path}: {len(lines)} events OK "
+          f"({summary})")
     return 0
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("captures", nargs="+", metavar="capture")
+    p.add_argument("--expect-kind", action="append", default=[],
+                   help="require at least one event of this kind "
+                        "in each capture (repeatable)")
+    args = p.parse_args()
+
+    # Every capture is checked even after a failure, so one run
+    # reports all broken files; the worst verdict wins.
+    codes = [check_capture(path, args.expect_kind)
+             for path in args.captures]
+    failed = [path for path, code in zip(args.captures, codes)
+              if code != 0]
+    if failed:
+        print(f"check_telemetry: {len(failed)} of "
+              f"{len(args.captures)} capture(s) failed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+    return max(codes)
 
 
 if __name__ == "__main__":

@@ -22,7 +22,9 @@
  *   dvi-run --list
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -143,6 +145,18 @@ applyOverrides(sim::Scenario &s,
         fatal_if(!err.empty(), "--set ", o.path, "=", o.value, ": ",
                  err);
     }
+}
+
+// SIGINT/SIGTERM request a *cooperative* stop: the campaign skips
+// jobs that have not started, in-flight jobs run to completion, and
+// every sink flushes whole NDJSON lines before exit 0. The handler
+// itself only flips the atomic (async-signal-safe).
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true);
 }
 
 } // namespace
@@ -375,10 +389,30 @@ main(int argc, char **argv)
                 metrics, *sink, metrics_interval);
     }
 
+    copts.cancel = &g_interrupted;
+    std::signal(SIGINT, &onSignal);
+    std::signal(SIGTERM, &onSignal);
+
     const auto t0 = std::chrono::steady_clock::now();
     const driver::CampaignReport report = campaign.run(copts);
     const auto t1 = std::chrono::steady_clock::now();
     flusher.reset();
+
+    // An interrupted campaign has well-formed telemetry but a
+    // partial result set; emitting the report would look complete,
+    // so it is withheld and the interruption is announced instead.
+    if (report.cancelled) {
+        if (sink) {
+            metrics.flush(*sink);
+            obs::setGlobalSink(nullptr);
+            obs::setCoreSampleInsts(0);
+        }
+        std::fprintf(stderr,
+                     "dvi-run: interrupted; campaign %s stopped "
+                     "before all %zu job(s) ran, report not written\n",
+                     campaign.name().c_str(), campaign.size());
+        return 0;
+    }
 
     // Artifact emission (e.g. BENCH files) is not display: it runs
     // under --quiet and preset filters alike.

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Reference client for the dvi-serve HTTP API (stdlib only).
+
+Subcommands mirror the endpoint table in src/serve/server.hh:
+
+  submit MANIFEST [--wait] [--poll-ms N]   POST /campaigns
+  status ID                                GET  /campaigns/<id>
+  list                                     GET  /campaigns
+  report ID [--out FILE]                   GET  /campaigns/<id>/report
+  events ID [--out FILE] [--follow]        GET  /campaigns/<id>/events
+  cancel ID                                DELETE /campaigns/<id>
+  metrics                                  GET  /metrics
+  health                                   GET  /healthz
+
+`submit --wait` polls until the campaign reaches a terminal state and
+exits 0 only for `done`, so CI can chain it directly with a report
+fetch. `events` consumes the chunked NDJSON stream and writes the
+exact bytes to --out (default stdout); the capture validates with
+tools/check_telemetry.py just like a --telemetry file.
+
+Exit codes: 0 success; 1 transport/protocol failure; 2 usage; 3 the
+server answered with an error status (body printed to stderr); 4 a
+--wait'ed campaign finished `failed` or `cancelled`.
+"""
+
+import argparse
+import http.client
+import json
+import sys
+import time
+
+
+def connect(args):
+    return http.client.HTTPConnection(args.host, args.port,
+                                      timeout=args.timeout)
+
+
+def request(args, method, path, body=None):
+    """One request; returns (status, headers, bytes). Exits 1 on
+    transport errors so callers only see well-formed responses."""
+    conn = connect(args)
+    try:
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, dict(resp.getheaders()), data
+    except (ConnectionError, OSError, http.client.HTTPException) as e:
+        print(f"serve_client: {method} {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    finally:
+        conn.close()
+
+
+def expect(status, headers, data, accept=(200,)):
+    """Print an error response and exit 3 unless `status` is
+    acceptable; otherwise return the decoded body."""
+    if status not in accept:
+        sys.stderr.write(f"serve_client: HTTP {status}\n")
+        sys.stderr.write(data.decode("utf-8", "replace"))
+        if not data.endswith(b"\n"):
+            sys.stderr.write("\n")
+        sys.exit(3)
+    return data
+
+
+def emit(data, out_path):
+    if out_path:
+        with open(out_path, "wb") as f:
+            f.write(data)
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+
+
+def poll_status(args, cid):
+    status, headers, data = request(args, "GET", f"/campaigns/{cid}")
+    body = expect(status, headers, data)
+    return json.loads(body)
+
+
+def cmd_submit(args):
+    with open(args.manifest, "rb") as f:
+        manifest = f.read()
+    status, headers, data = request(args, "POST", "/campaigns",
+                                    body=manifest)
+    if status == 429:
+        retry = headers.get("Retry-After", "?")
+        print(f"serve_client: server busy (429), Retry-After: "
+              f"{retry}s", file=sys.stderr)
+        sys.exit(3)
+    body = expect(status, headers, data, accept=(202,))
+    reply = json.loads(body)
+    cid = reply["id"]
+    print(cid)
+    if not args.wait:
+        return
+    while True:
+        st = poll_status(args, cid)
+        if st["state"] in ("done", "failed", "cancelled"):
+            break
+        time.sleep(args.poll_ms / 1000.0)
+    if st["state"] != "done":
+        print(f"serve_client: campaign {cid} finished "
+              f"{st['state']}: {st.get('error', '')}",
+              file=sys.stderr)
+        sys.exit(4)
+
+
+def cmd_status(args):
+    st = poll_status(args, args.id)
+    print(json.dumps(st, indent=2))
+
+
+def cmd_list(args):
+    status, headers, data = request(args, "GET", "/campaigns")
+    emit(expect(status, headers, data), None)
+
+
+def cmd_report(args):
+    status, headers, data = request(
+        args, "GET", f"/campaigns/{args.id}/report")
+    emit(expect(status, headers, data), args.out)
+
+
+def cmd_events(args):
+    """Stream the chunked NDJSON event feed; http.client decodes the
+    chunking, so reads yield raw event bytes until the server closes
+    the stream (terminal campaign, or never under --follow against a
+    live one)."""
+    path = f"/campaigns/{args.id}/events"
+    if not args.follow:
+        path += "?follow=0"
+    conn = connect(args)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        if resp.status != 200:
+            expect(resp.status, {}, resp.read())
+        out = open(args.out, "wb") if args.out else sys.stdout.buffer
+        try:
+            while True:
+                chunk = resp.read(65536)
+                if not chunk:
+                    break
+                out.write(chunk)
+                out.flush()
+        finally:
+            if args.out:
+                out.close()
+    except (ConnectionError, OSError, http.client.HTTPException) as e:
+        print(f"serve_client: GET {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    finally:
+        conn.close()
+
+
+def cmd_cancel(args):
+    status, headers, data = request(args, "DELETE",
+                                    f"/campaigns/{args.id}")
+    emit(expect(status, headers, data, accept=(202,)), None)
+
+
+def cmd_metrics(args):
+    status, headers, data = request(args, "GET", "/metrics")
+    emit(expect(status, headers, data), None)
+
+
+def cmd_health(args):
+    status, headers, data = request(args, "GET", "/healthz")
+    emit(expect(status, headers, data), None)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="dvi-serve HTTP API client")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8080)
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request socket timeout in seconds")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("submit", help="POST a campaign manifest")
+    p.add_argument("manifest")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the campaign is terminal; exit "
+                        "4 unless it finished done")
+    p.add_argument("--poll-ms", type=int, default=250)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="one campaign's status")
+    p.add_argument("id")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("list", help="all campaigns")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("report", help="fetch a finished report")
+    p.add_argument("id")
+    p.add_argument("--out")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("events", help="stream NDJSON telemetry")
+    p.add_argument("id")
+    p.add_argument("--out")
+    p.add_argument("--follow", action="store_true",
+                   help="keep streaming while the campaign runs "
+                        "(default: replay buffered events and stop)")
+    p.set_defaults(fn=cmd_events)
+
+    p = sub.add_parser("cancel", help="request cancellation")
+    p.add_argument("id")
+    p.set_defaults(fn=cmd_cancel)
+
+    p = sub.add_parser("metrics", help="server metrics snapshot")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("health", help="liveness probe")
+    p.set_defaults(fn=cmd_health)
+
+    args = ap.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
