@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/bits.hh"
+#include "base/fault.hh"
 #include "base/logging.hh"
 
 namespace dvi
@@ -369,6 +370,11 @@ Emulator::run(std::uint64_t max_insts)
 {
     std::uint64_t n = 0;
     while (!halted_ && (max_insts == 0 || n < max_insts)) {
+        if (opts.cancel && (n & 4095) == 0 &&
+            opts.cancel->load(std::memory_order_relaxed))
+            throw base::CancelledError(
+                "emulator cancelled after " +
+                std::to_string(stats_.insts) + " retired insts");
         step();
         ++n;
     }

@@ -26,6 +26,7 @@
 #define DVI_ARCH_EMULATOR_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "arch/memory.hh"
@@ -69,6 +70,14 @@ struct EmulatorOptions
      * are rejected gracefully rather than aborting the campaign.
      */
     bool faultOnMisaligned = false;
+
+    /**
+     * Cooperative cancellation: when non-null, run() polls the flag
+     * every 4k instructions and unwinds with base::CancelledError
+     * once it reads true. Not a scenario axis — never serialized,
+     * never affects the stats of runs that complete.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Dynamic instruction mix and DVI oracle counters. */

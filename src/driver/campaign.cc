@@ -1,8 +1,12 @@
 #include "driver/campaign.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
+#include "driver/watchdog.hh"
 #include "obs/trace.hh"
 
 namespace dvi
@@ -47,6 +51,10 @@ ExecutableCache::get(workload::BenchmarkId id,
         begin.set("policy", sim::edviPolicyName(policy));
         obs::PhaseSpan span(sink, "compile", obs::currentJob(),
                             std::move(begin));
+        // Chaos site: a throw here leaves the once-flag unset, so
+        // the next get() for this key retries the compile — which is
+        // exactly what the campaign retry loop relies on.
+        DVI_FAILPOINT("driver.compile");
         const prog::Module mod = workload::generateBenchmark(id);
         entry->exe = std::make_shared<const comp::Executable>(
             comp::compile(mod, comp::CompileOptions{policy}));
@@ -111,6 +119,17 @@ Campaign::run(const CampaignOptions &opts) const
     return run(pool, opts);
 }
 
+std::uint64_t
+retryBackoffMs(const RetryPolicy &policy, unsigned attempt)
+{
+    // attempt is 1-based; the first retry sleeps backoffBaseMs.
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0u,
+                                    31u);
+    const std::uint64_t ms =
+        static_cast<std::uint64_t>(policy.backoffBaseMs) << shift;
+    return std::min<std::uint64_t>(ms, policy.backoffCapMs);
+}
+
 namespace
 {
 
@@ -125,6 +144,9 @@ struct CampaignMetrics
     obs::MetricId poolSteals;
     obs::MetricId queueDepth;
     obs::MetricId jobWallMs;
+    obs::MetricId retries;
+    obs::MetricId quarantined;
+    obs::MetricId watchdogFires;
 
     explicit CampaignMetrics(obs::MetricRegistry &reg)
         : jobsCompleted(reg.counter("campaign.jobsCompleted")),
@@ -133,7 +155,10 @@ struct CampaignMetrics
           cacheMisses(reg.gauge("cache.misses")),
           poolSteals(reg.gauge("pool.steals")),
           queueDepth(reg.gauge("pool.queueDepth")),
-          jobWallMs(reg.histogram("campaign.jobWallMs"))
+          jobWallMs(reg.histogram("campaign.jobWallMs")),
+          retries(reg.counter("campaign.retries")),
+          quarantined(reg.counter("campaign.quarantined")),
+          watchdogFires(reg.gauge("campaign.watchdogFires"))
     {
     }
 };
@@ -186,6 +211,19 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
     // JobResult::wallSeconds (and the report) remain untouched.
     const bool timed = profile || sink != nullptr;
     const std::atomic<bool> *cancel = opts.cancel;
+    const RetryPolicy retryPolicy = opts.retry;
+
+    // One watchdog serves every deadline-bearing job; created lazily
+    // so deadline-free campaigns (the common case) spawn no extra
+    // thread.
+    std::unique_ptr<Watchdog> watchdog;
+    for (const JobSpec &j : jobs_) {
+        if (j.scenario.budget.maxWallMs) {
+            watchdog = std::make_unique<Watchdog>();
+            break;
+        }
+    }
+
     parallelFor(pool, specs.size(), [&](std::size_t i) {
         // Cooperative cancel: jobs that have not started yet become
         // no-ops (their result slots stay default-constructed); the
@@ -210,24 +248,131 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
             sink->event("job-begin", specs[i].index, std::move(p));
         }
 
+        // Crash isolation: each attempt runs under a try so a
+        // throwing job is captured, retried (transient kinds, with
+        // deterministic capped backoff), then quarantined — never
+        // propagated, so one bad job cannot abort the campaign.
         double wall = 0.0;
-        if (timed) {
-            const auto t0 = std::chrono::steady_clock::now();
-            {
-                obs::PhaseSpan span(sink, "run-job",
-                                    specs[i].index);
-                results[i] = runJob(specs[i], cache);
+        unsigned attempt = 0;
+        for (;;) {
+            std::atomic<bool> jobCancel{false};
+            Watchdog::Id wd = 0;
+            const bool deadline =
+                watchdog != nullptr && s.budget.maxWallMs != 0;
+            if (deadline)
+                wd = watchdog->arm(
+                    &jobCancel,
+                    Watchdog::Clock::now() +
+                        std::chrono::milliseconds(
+                            s.budget.maxWallMs));
+            JobError err;
+            bool failed = false;
+            try {
+                const sim::CancelScope cancelScope(&jobCancel);
+                DVI_FAILPOINT("driver.job");
+                if (timed) {
+                    const auto t0 =
+                        std::chrono::steady_clock::now();
+                    {
+                        obs::PhaseSpan span(sink, "run-job",
+                                            specs[i].index);
+                        results[i] = runJob(specs[i], cache);
+                    }
+                    const auto t1 =
+                        std::chrono::steady_clock::now();
+                    wall = std::chrono::duration<double>(t1 - t0)
+                               .count();
+                    if (profile)
+                        results[i].wallSeconds = wall;
+                } else {
+                    results[i] = runJob(specs[i], cache);
+                }
+            } catch (const base::Fault &f) {
+                failed = true;
+                err.kind = f.kind();
+                err.message = f.what();
+            } catch (const std::exception &e) {
+                failed = true;
+                err.kind = base::FaultKind::Permanent;
+                err.message = e.what();
             }
-            const auto t1 = std::chrono::steady_clock::now();
-            wall = std::chrono::duration<double>(t1 - t0).count();
-            if (profile)
-                results[i].wallSeconds = wall;
-        } else {
-            results[i] = runJob(specs[i], cache);
+            const bool wdFired =
+                deadline && watchdog->disarm(wd);
+
+            if (!failed) {
+                results[i].retries = attempt;
+                break;
+            }
+
+            // Drop whatever the failed attempt left in the slot.
+            results[i] = JobResult();
+
+            if (wdFired ||
+                err.kind == base::FaultKind::Cancelled) {
+                err.kind = base::FaultKind::BudgetExceeded;
+                if (wdFired) {
+                    err.message =
+                        "wall-clock deadline exceeded "
+                        "(maxWallMs=" +
+                        std::to_string(s.budget.maxWallMs) + "): " +
+                        err.message;
+                    if (sink) {
+                        json::Value p = json::Value::object();
+                        p.set("limitMs", s.budget.maxWallMs);
+                        sink->event("watchdog", specs[i].index,
+                                    std::move(p));
+                    }
+                }
+            }
+
+            if (err.kind == base::FaultKind::Transient &&
+                attempt < retryPolicy.maxRetries) {
+                ++attempt;
+                const std::uint64_t backoff =
+                    retryBackoffMs(retryPolicy, attempt);
+                if (sink) {
+                    json::Value p = json::Value::object();
+                    p.set("attempt",
+                          static_cast<std::uint64_t>(attempt));
+                    p.set("backoffMs", backoff);
+                    // "fault", not "kind": payload members share the
+                    // envelope's namespace, and "kind" is the event
+                    // kind.
+                    p.set("fault", base::faultKindName(err.kind));
+                    sink->event("retry", specs[i].index,
+                                std::move(p));
+                }
+                if (mids)
+                    metrics->add(mids->retries);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+                continue;
+            }
+
+            // Quarantine: record the error in the result slot (with
+            // scenario provenance for the report) and move on.
+            results[i].spec = specs[i];
+            results[i].failed = true;
+            results[i].error = err;
+            results[i].retries = attempt;
+            if (sink) {
+                json::Value p = json::Value::object();
+                p.set("fault", base::faultKindName(err.kind));
+                p.set("message", err.message);
+                p.set("retries",
+                      static_cast<std::uint64_t>(attempt));
+                sink->event("error", specs[i].index, std::move(p));
+            }
+            if (mids)
+                metrics->add(mids->quarantined);
+            break;
         }
 
         const std::uint64_t insts =
-            sim::runnerFor(s.runner).simulatedInsts(results[i].run);
+            results[i].failed
+                ? 0
+                : sim::runnerFor(s.runner)
+                      .simulatedInsts(results[i].run);
         const std::size_t nowDone =
             done.fetch_add(1, std::memory_order_relaxed) + 1;
         const std::uint64_t nowInsts =
@@ -276,12 +421,29 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
     report.cancelled =
         cancel && cancel->load(std::memory_order_relaxed);
 
+    // Chaos site for campaign-level (not per-job) failure: a throw
+    // here propagates out of run(), exercising the callers' own
+    // failure paths (dvi-run exits non-zero, dvi-serve transitions
+    // the session to failed).
+    DVI_FAILPOINT("driver.aggregate");
+
+    for (const JobResult &r : report.results) {
+        if (r.failed) {
+            report.degraded = true;
+            break;
+        }
+    }
+    if (mids && watchdog)
+        metrics->set(mids->watchdogFires, watchdog->fires());
+
     if (sink) {
         json::Value p = json::Value::object();
         p.set("campaign", name_);
         p.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
         if (report.cancelled)
             p.set("cancelled", true);
+        if (report.degraded)
+            p.set("degraded", true);
         p.set("cacheCompiles",
               static_cast<std::uint64_t>(cache.size()));
         p.set("cacheHits", cache.hits());

@@ -97,6 +97,23 @@ class ExecutableCache
 /** Execute one job against the cache. Deterministic. */
 JobResult runJob(const JobSpec &spec, ExecutableCache &cache);
 
+/**
+ * Retry policy for transient job failures. Backoff is deterministic
+ * (no jitter): attempt k sleeps min(backoffCapMs, backoffBaseMs <<
+ * k). Only FaultKind::Transient failures retry; permanent and
+ * budget-exceeded failures quarantine immediately.
+ */
+struct RetryPolicy
+{
+    unsigned maxRetries = 2;
+    unsigned backoffBaseMs = 10;
+    unsigned backoffCapMs = 1000;
+};
+
+/** Backoff before retry number `attempt` (1-based), in ms. */
+std::uint64_t retryBackoffMs(const RetryPolicy &policy,
+                             unsigned attempt);
+
 /** Campaign execution knobs. */
 struct CampaignOptions
 {
@@ -139,6 +156,9 @@ struct CampaignOptions
      * as partial. nullptr = never cancelled.
      */
     const std::atomic<bool> *cancel = nullptr;
+
+    /** Retry policy for transient per-job failures. */
+    RetryPolicy retry{};
 };
 
 /** An ordered list of simulation scenarios. */

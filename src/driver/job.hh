@@ -16,7 +16,9 @@
 #define DVI_DRIVER_JOB_HH
 
 #include <cstdint>
+#include <string>
 
+#include "base/fault.hh"
 #include "sim/runner.hh"
 #include "sim/scenario.hh"
 
@@ -48,12 +50,38 @@ struct JobSpec
     sim::Scenario scenario;
 };
 
+/**
+ * Why a job failed, after retries were exhausted. `kind` drives what
+ * the campaign did about it (Transient kinds were retried,
+ * BudgetExceeded means the watchdog or instruction deadline fired)
+ * and is serialized as its lower-case token in reports.
+ */
+struct JobError
+{
+    base::FaultKind kind = base::FaultKind::Permanent;
+    std::string message;
+};
+
 /** Everything a completed job reports. Deterministic by default:
  * wallSeconds stays zero (and out of every report) unless the
  * campaign ran with profiling enabled. */
 struct JobResult
 {
     JobSpec spec;
+
+    /**
+     * The job was quarantined: every attempt failed, `error` says
+     * why, and the run/metrics sections are default-constructed.
+     * The campaign still completes; the report carries degraded =
+     * true and serializes the error record in this result's slot.
+     */
+    bool failed = false;
+    JobError error;
+
+    /** Attempts beyond the first (successful or not). Never
+     * serialized for successful jobs, so a transient-recovered
+     * report stays byte-identical to a fault-free one. */
+    unsigned retries = 0;
 
     /** The runner's stats (only the matching section populated). */
     sim::RunResult run;

@@ -123,8 +123,13 @@ CampaignReport::toTable() const
                          std::uint64_t(s.hardware.core.numPhysRegs))
                    : std::string("-"),
             Table::fmt(s.budget.maxInsts),
-            timing ? Table::fmt(r.run.ipc, 4) : std::string("-"),
-            metricsCell(r, runners, values),
+            timing && !r.failed ? Table::fmt(r.run.ipc, 4)
+                                : std::string("-"),
+            r.failed ? "FAILED(" +
+                           std::string(base::faultKindName(
+                               r.error.kind)) +
+                           "): " + r.error.message
+                     : metricsCell(r, runners, values),
         };
         if (profiled) {
             row.push_back(Table::fmt(r.wallSeconds, 4));
@@ -152,10 +157,13 @@ CampaignReport::toJsonValue() const
     doc.set("campaign", campaign);
     doc.set("jobs",
             static_cast<std::uint64_t>(results.size()));
+    // Emitted only when true: fault-free (and transient-recovered)
+    // reports stay byte-identical to pre-fault-layer reports.
+    if (degraded)
+        doc.set("degraded", true);
     json::Value arr = json::Value::array();
     for (const JobResult &r : results) {
         const sim::Scenario &s = r.spec.scenario;
-        const sim::Runner &runner = runners.of(s.runner);
 
         json::Value o = json::Value::object();
         o.set("index", static_cast<std::uint64_t>(r.spec.index));
@@ -164,6 +172,19 @@ CampaignReport::toJsonValue() const
         // field bindings the manifest loader reads, so this report
         // re-runs via `dvi-run --manifest`.
         o.set("scenario", sim::scenarioToJsonDiff(s));
+        if (r.failed) {
+            // Quarantined job: an error record replaces the metrics
+            // (the run section is default-constructed garbage).
+            json::Value err = json::Value::object();
+            err.set("kind", base::faultKindName(r.error.kind));
+            err.set("message", r.error.message);
+            err.set("retries",
+                    static_cast<std::uint64_t>(r.retries));
+            o.set("error", std::move(err));
+            arr.push(std::move(o));
+            continue;
+        }
+        const sim::Runner &runner = runners.of(s.runner);
         o.set("textBytes", r.textBytes);
         o.set("metrics", metricsJson(r, runner, values));
         if (profiled) {

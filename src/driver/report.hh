@@ -57,6 +57,13 @@ struct CampaignReport
      * result. Never serialized. */
     bool cancelled = false;
 
+    /** Some jobs were quarantined after exhausting retries: their
+     * result slots carry `error` records instead of metrics, and
+     * every other job's metrics are exactly what a fault-free run
+     * produces. Serialized only when true, so fault-free reports
+     * are byte-identical to pre-fault-layer ones. */
+    bool degraded = false;
+
     /** One row per job: identity, config, and headline stats. */
     Table toTable() const;
 

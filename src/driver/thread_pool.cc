@@ -1,5 +1,6 @@
 #include "driver/thread_pool.hh"
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 
 namespace dvi
@@ -167,6 +168,10 @@ TaskGroup::submit(ThreadPool::Task task)
     }
     pool_.submit([this, task = std::move(task)] {
         try {
+            // Chaos site inside the group's try: an injected fault
+            // surfaces through wait() as the group's firstError —
+            // the path a real task-wrapper failure would take.
+            DVI_FAILPOINT("pool.task");
             task();
         } catch (...) {
             std::lock_guard<std::mutex> lk(mu_);

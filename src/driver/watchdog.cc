@@ -1,0 +1,80 @@
+#include "driver/watchdog.hh"
+
+#include <algorithm>
+
+namespace dvi
+{
+namespace driver
+{
+
+Watchdog::Watchdog() : scanner_([this] { scan(); }) {}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    scanner_.join();
+}
+
+Watchdog::Id
+Watchdog::arm(std::atomic<bool> *cancel, Clock::time_point deadline)
+{
+    Id id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = nextId_++;
+        entries_.push_back(Entry{id, cancel, deadline, false});
+    }
+    // Wake the scanner in case this deadline is earlier than the one
+    // it is currently sleeping toward.
+    cv_.notify_all();
+    return id;
+}
+
+bool
+Watchdog::disarm(Id id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->id == id) {
+            bool fired = it->fired;
+            entries_.erase(it);
+            return fired;
+        }
+    }
+    return false;
+}
+
+void
+Watchdog::scan()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        auto now = Clock::now();
+        // Fire everything past deadline; find the next wakeup.
+        auto next = now + std::chrono::seconds(3600);
+        bool haveNext = false;
+        for (auto &e : entries_) {
+            if (e.fired)
+                continue;
+            if (e.deadline <= now) {
+                e.fired = true;
+                e.cancel->store(true, std::memory_order_release);
+                fires_.fetch_add(1, std::memory_order_relaxed);
+            } else if (!haveNext || e.deadline < next) {
+                next = e.deadline;
+                haveNext = true;
+            }
+        }
+        if (haveNext)
+            cv_.wait_until(lock, next);
+        else
+            cv_.wait(lock);
+    }
+}
+
+} // namespace driver
+} // namespace dvi

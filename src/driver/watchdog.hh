@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Wall-clock watchdog for campaign jobs.
+ *
+ * One scanner thread watches every armed entry; when a deadline
+ * passes it sets the entry's cancel flag, which the simulation loops
+ * (uarch::Core::run, arch::Emulator::run) poll cooperatively via
+ * sim::CancelScope. The job unwinds with base::CancelledError, the
+ * campaign's retry loop sees the watchdog fired and records the job
+ * as budget-exceeded, and the pool thread is reclaimed — no thread
+ * is ever killed.
+ *
+ * arm() and disarm() are cheap (mutex + cv notify); the scanner
+ * sleeps until the earliest pending deadline. Campaign creates one
+ * Watchdog lazily, only when some scenario sets budget.maxWallMs.
+ */
+
+#ifndef DVI_DRIVER_WATCHDOG_HH
+#define DVI_DRIVER_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvi
+{
+namespace driver
+{
+
+class Watchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    using Id = std::uint64_t;
+
+    Watchdog();
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Watch *cancel until disarm(): if deadline passes first, the
+     * flag is set (release order) and the entry counts as fired.
+     * The flag must outlive the armed window.
+     */
+    Id arm(std::atomic<bool> *cancel, Clock::time_point deadline);
+
+    /** Stop watching; returns true if the deadline fired. */
+    bool disarm(Id id);
+
+    /** Total entries whose deadline fired, for metrics. */
+    std::uint64_t fires() const
+    {
+        return fires_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Entry
+    {
+        Id id;
+        std::atomic<bool> *cancel;
+        Clock::time_point deadline;
+        bool fired;
+    };
+
+    void scan();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> entries_;
+    Id nextId_ = 1;
+    bool stop_ = false;
+    std::atomic<std::uint64_t> fires_{0};
+    std::thread scanner_;
+};
+
+} // namespace driver
+} // namespace dvi
+
+#endif // DVI_DRIVER_WATCHDOG_HH

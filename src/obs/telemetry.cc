@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 
 namespace dvi
@@ -77,6 +78,13 @@ TelemetrySink::eventCount() const
     return seq_;
 }
 
+std::uint64_t
+TelemetrySink::droppedWrites() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return droppedWrites_;
+}
+
 void
 TelemetrySink::event(const char *kind, json::Value payload)
 {
@@ -108,8 +116,16 @@ TelemetrySink::event(const char *kind, std::uint64_t job,
     if (out_ || !lineObservers_.empty()) {
         const std::string text = line.dump(0) + "\n";
         if (out_) {
-            std::fwrite(text.data(), 1, text.size(), out_);
-            std::fflush(out_);
+            // Chaos site for a failing telemetry file: only the
+            // fwrite is dropped (and counted) — line observers below
+            // still run, so attached consumers (the dvi-serve event
+            // streams) stay gapless even when the disk is "broken".
+            if (DVI_FAILPOINT_ERROR("obs.telemetry.write")) {
+                ++droppedWrites_;
+            } else {
+                std::fwrite(text.data(), 1, text.size(), out_);
+                std::fflush(out_);
+            }
         }
         for (const auto &fn : lineObservers_)
             fn(text);

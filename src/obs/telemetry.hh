@@ -42,7 +42,7 @@
  *   kind  event type token: campaign-begin, job-begin, job-end,
  *         progress, campaign-end, phase-begin, phase-end,
  *         core-sample, metrics, fuzz-begin, fuzz-verdict, fuzz-end,
- *         log.
+ *         log, retry, error, watchdog.
  *   job   campaign job index / fuzz program index, when the event
  *         belongs to one.
  */
@@ -146,6 +146,10 @@ class TelemetrySink
     /** Events emitted so far. */
     std::uint64_t eventCount() const;
 
+    /** File writes dropped by the obs.telemetry.write failpoint;
+     * line observers were still delivered for those events. */
+    std::uint64_t droppedWrites() const;
+
   private:
     std::FILE *out_ = nullptr;
     bool owned_ = false;
@@ -153,6 +157,7 @@ class TelemetrySink
 
     mutable std::mutex mu_;
     std::uint64_t seq_ = 0;
+    std::uint64_t droppedWrites_ = 0;
     std::vector<std::function<void(const Event &)>> observers_;
     std::vector<std::function<void(const std::string &)>>
         lineObservers_;

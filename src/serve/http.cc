@@ -12,6 +12,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "base/logging.hh"
@@ -91,6 +92,7 @@ HttpResponse::reason(int status)
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
@@ -269,19 +271,34 @@ HttpServer::serveConnection(int fd)
 {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (ioTimeoutSec_ > 0) {
+        // Bound every read and write on this connection: a client
+        // that sends half a request (or stops draining its stream)
+        // costs one thread for at most the timeout, not forever.
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(ioTimeoutSec_);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
 
     HttpResponse res(fd);
     HttpRequest req;
 
-    // Read the head (request line + headers), bounded.
+    // Read the head (request line + headers), bounded in size and —
+    // with an I/O timeout configured — in time.
     std::string buf;
     std::size_t headEnd = std::string::npos;
+    bool timedOut = false;
     char tmp[4096];
     while (buf.size() < kMaxHeaderBytes) {
         headEnd = buf.find("\r\n\r\n");
         if (headEnd != std::string::npos)
             break;
         const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timedOut = true;
+            break;
+        }
         if (n <= 0)
             break;
         buf.append(tmp, static_cast<std::size_t>(n));
@@ -345,6 +362,8 @@ HttpServer::serveConnection(int fd)
                     bodyWanted = static_cast<std::size_t>(v);
             }
         }
+    } else if (timedOut) {
+        res.respond(408, "text/plain", "request timeout\n");
     } else if (buf.size() >= kMaxHeaderBytes) {
         res.respond(431, "text/plain", "header too large\n");
     }
@@ -355,12 +374,20 @@ HttpServer::serveConnection(int fd)
         req.body = buf.substr(headEnd + 4);
         while (req.body.size() < bodyWanted) {
             const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                timedOut = true;
+                break;
+            }
             if (n <= 0)
                 break;
             req.body.append(tmp, static_cast<std::size_t>(n));
         }
         if (req.body.size() < bodyWanted) {
-            res.respond(400, "text/plain", "truncated body\n");
+            // A declared body that stalls is a timeout; one that the
+            // peer cut short is malformed.
+            res.respond(timedOut ? 408 : 400, "text/plain",
+                        timedOut ? "request timeout\n"
+                                 : "truncated body\n");
         } else {
             req.body.resize(bodyWanted);
             try {

@@ -111,6 +111,17 @@ class HttpServer
     HttpServer(const HttpServer &) = delete;
     HttpServer &operator=(const HttpServer &) = delete;
 
+    /**
+     * Socket read/write timeout in seconds (SO_RCVTIMEO /
+     * SO_SNDTIMEO on every accepted connection); 0 = none. Bounds
+     * slow and half-open clients: a request head or body that stalls
+     * past the timeout gets 408 and the connection closes, and a
+     * subscriber that stops draining its stream surfaces as a failed
+     * write instead of wedging the serving thread forever. Set
+     * before start().
+     */
+    void setIoTimeout(unsigned seconds) { ioTimeoutSec_ = seconds; }
+
     /** Bind + listen on `port` (0 = kernel-assigned ephemeral port,
      * see port()) and serve until stop(). Fatal when the port
      * cannot be bound. The handler runs on connection threads and
@@ -136,6 +147,7 @@ class HttpServer
 
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
+    unsigned ioTimeoutSec_ = 0;
     HttpHandler handler_;
     std::thread acceptThread_;
     std::atomic<bool> stopping_{false};

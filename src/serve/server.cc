@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "driver/report.hh"
 #include "sim/manifest.hh"
@@ -63,6 +64,10 @@ struct DviServer::ServerMetrics
     obs::MetricId failed;
     obs::MetricId cancelled;
     obs::MetricId rejected;
+    obs::MetricId degraded;
+    obs::MetricId jobsRetried;
+    obs::MetricId jobsQuarantined;
+    obs::MetricId watchdogFires;
     obs::MetricId requests;
     obs::MetricId cacheHits;
     obs::MetricId cacheMisses;
@@ -78,6 +83,10 @@ struct DviServer::ServerMetrics
           failed(reg.counter("serve.campaignsFailed")),
           cancelled(reg.counter("serve.campaignsCancelled")),
           rejected(reg.counter("serve.campaignsRejected")),
+          degraded(reg.counter("serve.campaignsDegraded")),
+          jobsRetried(reg.counter("serve.jobsRetried")),
+          jobsQuarantined(reg.counter("serve.jobsQuarantined")),
+          watchdogFires(reg.counter("serve.watchdogFires")),
           requests(reg.counter("serve.httpRequests")),
           cacheHits(reg.gauge("cache.hits")),
           cacheMisses(reg.gauge("cache.misses")),
@@ -109,6 +118,7 @@ DviServer::~DviServer()
 void
 DviServer::start()
 {
+    http_.setIoTimeout(opts_.ioTimeoutSeconds);
     http_.start(opts_.port,
                 [this](const HttpRequest &req, HttpResponse &res) {
                     handle(req, res);
@@ -161,6 +171,12 @@ DviServer::handle(const HttpRequest &req, HttpResponse &res)
                                errorBody("method not allowed"));
         return handleHealthz(res);
     }
+
+    // Liveness is answered above this line on purpose: an injected
+    // request fault must never make /healthz lie. A throw here
+    // surfaces as the HTTP layer's per-request 500.
+    DVI_FAILPOINT("serve.request");
+
     if (req.path == "/metrics") {
         if (req.method != "GET")
             return res.respond(405, kJsonType,
@@ -308,7 +324,9 @@ DviServer::handleReport(const std::shared_ptr<CampaignSession> &s,
         // served untouched so they cmp-equal a local run's --out.
         return res.respond(200, kJsonType, s->report());
     case CampaignState::Failed:
-        return res.respond(409, kJsonType,
+        // A failed campaign is a server-side outcome, not a caller
+        // mistake: 500 with the stored diagnostic.
+        return res.respond(500, kJsonType,
                            errorBody("campaign failed: " +
                                      s->error()));
     case CampaignState::Cancelled:
@@ -419,16 +437,38 @@ DviServer::runCampaign(const std::shared_ptr<CampaignSession> &s)
     copts.metrics = &s->metrics();
     copts.cache = &cache_;
     copts.cancel = &s->cancelFlag();
+    copts.retry = opts_.retry;
 
     try {
         const driver::CampaignReport report =
             campaign.run(pool_, copts);
+        // Roll per-job fault accounting up into the server-wide
+        // registry so /metrics tells the fleet story across
+        // campaigns.
+        std::uint64_t retried = 0, quarantined = 0, wdFires = 0;
+        for (const driver::JobResult &r : report.results) {
+            retried += r.retries;
+            if (r.failed) {
+                ++quarantined;
+                if (r.error.kind == base::FaultKind::BudgetExceeded)
+                    ++wdFires;
+            }
+        }
+        if (retried)
+            metrics_.add(mids_->jobsRetried, retried);
+        if (quarantined)
+            metrics_.add(mids_->jobsQuarantined, quarantined);
+        if (wdFires)
+            metrics_.add(mids_->watchdogFires, wdFires);
+
         if (report.cancelled) {
             metrics_.add(mids_->cancelled);
             s->finishCancelled();
         } else {
             metrics_.add(mids_->completed);
-            s->finishDone(report.toJson());
+            if (report.degraded)
+                metrics_.add(mids_->degraded);
+            s->finishDone(report.toJson(), report.degraded);
         }
     } catch (const std::exception &e) {
         metrics_.add(mids_->failed);

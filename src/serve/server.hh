@@ -75,6 +75,14 @@ struct ServeOptions
 
     /** Shared pool workers; 0 = one per hardware thread. */
     unsigned workers = 0;
+
+    /** Socket read/write timeout in seconds (0 = none); bounds slow
+     * and half-open clients (see HttpServer::setIoTimeout). */
+    unsigned ioTimeoutSeconds = 30;
+
+    /** Retry policy applied to every campaign's transient job
+     * failures. */
+    driver::RetryPolicy retry{};
 };
 
 class DviServer

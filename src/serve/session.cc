@@ -66,11 +66,12 @@ CampaignSession::markRunning()
 }
 
 void
-CampaignSession::finishDone(std::string reportBytes)
+CampaignSession::finishDone(std::string reportBytes, bool degraded)
 {
     std::lock_guard<std::mutex> lk(mu_);
     state_ = CampaignState::Done;
     report_ = std::move(reportBytes);
+    degraded_ = degraded;
     cv_.notify_all();
 }
 
@@ -103,6 +104,13 @@ CampaignSession::error() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return error_;
+}
+
+bool
+CampaignSession::degraded() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return degraded_;
 }
 
 std::size_t
@@ -157,6 +165,8 @@ CampaignSession::statusJson() const
     v.set("jobsCompleted", jobsCompleted);
     v.set("simInsts", simInsts);
     v.set("events", static_cast<std::uint64_t>(lines_.size()));
+    if (state_ == CampaignState::Done && degraded_)
+        v.set("degraded", true);
     if (!error_.empty())
         v.set("error", error_);
     return v;

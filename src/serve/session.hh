@@ -79,8 +79,10 @@ class CampaignSession
 
     /** Queued -> Running (dispatcher). */
     void markRunning();
-    /** Store the finished report bytes; -> Done. */
-    void finishDone(std::string reportBytes);
+    /** Store the finished report bytes; -> Done. `degraded` marks a
+     * campaign that completed with quarantined jobs (the report
+     * carries their error records). */
+    void finishDone(std::string reportBytes, bool degraded = false);
     /** Record a failure; -> Failed. */
     void finishFailed(std::string error);
     /** -> Cancelled (cancel observed, or dropped from the queue). */
@@ -104,6 +106,8 @@ class CampaignSession
     std::string report() const;
     /** Failure diagnostic; "" unless Failed. */
     std::string error() const;
+    /** Done with quarantined jobs (see finishDone). */
+    bool degraded() const;
 
     /** NDJSON lines buffered so far. */
     std::size_t lineCount() const;
@@ -141,6 +145,7 @@ class CampaignSession
     std::vector<std::string> lines_;
     std::string report_;
     std::string error_;
+    bool degraded_ = false;
 };
 
 } // namespace serve

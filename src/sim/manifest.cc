@@ -127,6 +127,8 @@ describeFields(fields::FieldSet &fs, const std::string &prefix,
 {
     fs.bindU64(prefix + "maxInsts", b.maxInsts);
     fs.bindU64(prefix + "quantum", b.quantum);
+    fs.bindU64(prefix + "maxWallMs", b.maxWallMs);
+    fs.bindU64(prefix + "hardMaxInsts", b.hardMaxInsts);
 }
 
 void
@@ -368,10 +370,14 @@ manifestFromJsonValue(const json::Value &doc, CampaignManifest &out)
     // Unknown top-level keys are diagnosed like any other unknown
     // field: a misspelled job source ("Jobs", "axis") must not
     // silently degrade into the single-defaults campaign.
+    // `degraded` appears in reports from fault-tolerant runs; it is
+    // accepted (and ignored) here so a degraded report still replays
+    // through --manifest.
     for (const auto &kv : doc.members()) {
         if (kv.first != "campaign" && kv.first != "profile" &&
             kv.first != "defaults" && kv.first != "jobs" &&
-            kv.first != "axes" && kv.first != "results")
+            kv.first != "axes" && kv.first != "results" &&
+            kv.first != "degraded")
             return kv.first + ": unknown manifest field (want "
                               "campaign, profile, defaults, jobs, "
                               "axes, or results)";

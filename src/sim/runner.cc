@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "obs/telemetry.hh"
 #include "uarch/core.hh"
@@ -13,6 +14,36 @@ namespace sim
 
 namespace
 {
+
+/** Thread-local cancel flag installed by CancelScope. */
+thread_local const std::atomic<bool> *t_cancel = nullptr;
+
+/**
+ * The instruction budget a runner should actually simulate:
+ * min-nonzero of the nominal budget and the hard deadline. Runs that
+ * stop at the hard deadline are then reported as budget-exceeded
+ * faults by the caller's post-check.
+ */
+std::uint64_t
+cappedInsts(const RunBudget &b)
+{
+    if (!b.hardMaxInsts)
+        return b.maxInsts;
+    if (!b.maxInsts)
+        return b.hardMaxInsts;
+    return std::min(b.maxInsts, b.hardMaxInsts);
+}
+
+/** Throw BudgetExceededError if the run hit the hard deadline. */
+void
+checkHardDeadline(const RunBudget &b, std::uint64_t insts)
+{
+    if (b.hardMaxInsts && insts >= b.hardMaxInsts)
+        throw base::BudgetExceededError(
+            "instruction deadline exceeded: ran " +
+            std::to_string(insts) + " insts, hardMaxInsts=" +
+            std::to_string(b.hardMaxInsts));
+}
 
 /** CoreConfig::sampleHook target: emit a `core-sample` event for
  * the current job on the process-global sink. ctx is the sink. */
@@ -44,7 +75,8 @@ class TimingRunner : public Runner
     {
         uarch::CoreConfig cfg = s.hardware.core;
         cfg.dvi = s.hardware.dvi;
-        cfg.maxInsts = s.budget.maxInsts;
+        cfg.maxInsts = cappedInsts(s.budget);
+        cfg.cancel = currentCancel();
         // Mid-run sampling rides the scoped (per-campaign, else
         // process-global) sink: scenarios are sink-agnostic, and the
         // sampled stats go out-of-band, so the RunResult (and every
@@ -59,6 +91,7 @@ class TimingRunner : public Runner
         uarch::Core core(exe, cfg);
         RunResult r;
         r.core = core.run();
+        checkHardDeadline(s.budget, r.core.committedProgInsts);
         r.ipc = r.core.ipc();
         return r;
     }
@@ -119,10 +152,13 @@ class OracleRunner : public Runner
     RunResult
     run(const Scenario &s, const comp::Executable &exe) const override
     {
-        arch::Emulator emu(exe, s.emu);
-        emu.run(s.budget.maxInsts);
+        arch::EmulatorOptions eopts = s.emu;
+        eopts.cancel = currentCancel();
+        arch::Emulator emu(exe, eopts);
+        emu.run(cappedInsts(s.budget));
         RunResult r;
         r.oracle = emu.stats();
+        checkHardDeadline(s.budget, r.oracle.insts);
         return r;
     }
 
@@ -175,12 +211,15 @@ class SwitchRunner : public Runner
     {
         os::SchedulerOptions opts;
         opts.quantum = s.budget.quantum;
-        opts.maxTotalInsts = s.budget.maxInsts;
+        opts.maxTotalInsts = cappedInsts(s.budget);
         os::Scheduler sched(opts);
-        sched.addThread("t0", exe, s.emu);
+        arch::EmulatorOptions eopts = s.emu;
+        eopts.cancel = currentCancel();
+        sched.addThread("t0", exe, eopts);
         sched.run();
         RunResult r;
         r.sw = sched.stats();
+        checkHardDeadline(s.budget, r.sw.totalInsts);
         return r;
     }
 
@@ -328,6 +367,23 @@ RunnerRegistry::names() const
     for (const auto &e : snap->entries)
         out.push_back(e.first);
     return out;  // entries are sorted by construction
+}
+
+CancelScope::CancelScope(const std::atomic<bool> *cancel)
+    : prev_(t_cancel)
+{
+    t_cancel = cancel;
+}
+
+CancelScope::~CancelScope()
+{
+    t_cancel = prev_;
+}
+
+const std::atomic<bool> *
+currentCancel()
+{
+    return t_cancel;
 }
 
 const Runner &

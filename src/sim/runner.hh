@@ -19,6 +19,7 @@
 #ifndef DVI_SIM_RUNNER_HH
 #define DVI_SIM_RUNNER_HH
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -176,6 +177,30 @@ class RunnerRegistry
 
 /** Resolve a runner by name; fatal with the known names if absent. */
 const Runner &runnerFor(const std::string &name);
+
+/**
+ * Scopes a cooperative-cancellation flag onto the calling thread
+ * (the obs::SinkScope idiom). The campaign driver installs one per
+ * job attempt; the built-in runners pick it up via currentCancel()
+ * and thread it into the simulation loops, which poll it and unwind
+ * with base::CancelledError when set (the watchdog sets it at the
+ * wall-clock deadline). Nestable; restores the outer flag on exit.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(const std::atomic<bool> *cancel);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    const std::atomic<bool> *prev_;
+};
+
+/** The calling thread's scoped cancel flag; nullptr when none. */
+const std::atomic<bool> *currentCancel();
 
 } // namespace sim
 } // namespace dvi

@@ -64,6 +64,22 @@ struct RunBudget
     /** Preemption quantum in retired instructions; consumed by the
      * context-switch runner, ignored elsewhere. */
     std::uint64_t quantum = 20000;
+
+    /**
+     * Wall-clock deadline in milliseconds (0 = none). Enforced by
+     * the campaign watchdog via cooperative cancellation; a job past
+     * its deadline fails with kind budget-exceeded. Unlike maxInsts
+     * this is a fault threshold, not a stopping point.
+     */
+    std::uint64_t maxWallMs = 0;
+
+    /**
+     * Hard instruction deadline (0 = none): reaching it is a
+     * budget-exceeded fault, where reaching maxInsts is a normal
+     * end-of-run. Lets campaigns bound runaway scenarios whose
+     * nominal budget is "to halt".
+     */
+    std::uint64_t hardMaxInsts = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "base/bits.hh"
+#include "base/fault.hh"
 #include "base/logging.hh"
 #include "isa/registers.hh"
 
@@ -775,7 +776,17 @@ const CoreStats &
 Core::run()
 {
     bool trace_done = false;
+    // Cancellation polls on a private iteration counter, not `now`:
+    // skipDeadCycles() jumps `now` over arbitrary spans, so cycle-
+    // number masks would miss their marks.
+    std::uint64_t cancelPoll = 0;
     while (true) {
+        if (cfg.cancel && (++cancelPoll & 1023) == 0 &&
+            cfg.cancel->load(std::memory_order_relaxed))
+            throw base::CancelledError(
+                "timing core cancelled after " +
+                std::to_string(stats_.committedProgInsts) +
+                " committed insts");
         portsUsedThisCycle = 0;
         cycleProgress_ = false;
         // Phase order matches the scan-based loop; the guards are

@@ -7,6 +7,7 @@
 #ifndef DVI_UARCH_CORE_CONFIG_HH
 #define DVI_UARCH_CORE_CONFIG_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "mem/cache.hh"
@@ -104,6 +105,15 @@ struct CoreConfig
     void (*sampleHook)(const CoreStats &stats, void *ctx) = nullptr;
     void *sampleCtx = nullptr;
     /** @} */
+
+    /**
+     * Cooperative cancellation: when non-null, run() polls the flag
+     * every ~1k loop iterations and unwinds with
+     * base::CancelledError once it reads true (the campaign watchdog
+     * sets it at the wall-clock deadline). Not a config axis — never
+     * serialized, never affects stats of runs that complete.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     /** Scale issue width and matching resources (Fig. 11's 8-way
      * configuration doubles the functional units and widths). */

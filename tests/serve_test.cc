@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/failpoint.hh"
 #include "driver/campaign.hh"
 #include "serve/server.hh"
 #include "sim/manifest.hh"
@@ -440,6 +441,180 @@ TEST(Serve, EventStreamIsGaplessNdjsonMatchingTelemetryProtocol)
             std::to_string(lines.size() - 1));
     ASSERT_EQ(tail.status, 200);
     EXPECT_EQ(tail.body, lines.back() + "\n");
+    server.shutdown();
+}
+
+// ------------------------------------------------- fault tolerance
+//
+// Failpoint state is process-global: each test arms its spec, runs,
+// and disarms via the fixture teardown before any later test or
+// campaign can trip over it.
+
+class ServeChaos : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fail::reset(); }
+    void TearDown() override { fail::reset(); }
+};
+
+TEST_F(ServeChaos, FailedCampaignReports500AndServerStaysHealthy)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    // driver.aggregate throws after every job ran — a campaign-level
+    // fault that per-job isolation cannot absorb, so the session
+    // lands in the failed state instead of wedging in running.
+    ASSERT_EQ(fail::configure("driver.aggregate=throw:permanent"),
+              "");
+    const std::string m =
+        manifestText("doomed", workload::BenchmarkId::Li, 3000);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c1", "failed");
+    fail::reset();
+
+    const ClientResponse report =
+        httpRequest(server.port(), "GET", "/campaigns/c1/report");
+    EXPECT_EQ(report.status, 500);
+    EXPECT_NE(report.body.find("campaign failed"), std::string::npos)
+        << report.body;
+    EXPECT_NE(report.body.find("driver.aggregate"),
+              std::string::npos)
+        << report.body;
+
+    // The failure is one campaign's, not the server's: liveness and
+    // a fresh fault-free submission both still work.
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/healthz").status,
+              200);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c2", "done");
+    server.shutdown();
+}
+
+TEST_F(ServeChaos, DegradedCampaignServesReportWithErrorRecords)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    ASSERT_EQ(fail::configure("driver.job=throw:permanent@once"), "");
+    const std::string m =
+        manifestText("degraded", workload::BenchmarkId::Li, 3000);
+    ASSERT_EQ(
+        httpRequest(server.port(), "POST", "/campaigns", m).status,
+        202);
+    awaitState(server.port(), "c1", "done");
+    fail::reset();
+
+    // Done, but flagged: the status document and the report both
+    // carry the degradation, and the event stream carries the error
+    // event for the quarantined job.
+    const ClientResponse status =
+        httpRequest(server.port(), "GET", "/campaigns/c1");
+    ASSERT_EQ(status.status, 200);
+    EXPECT_NE(status.body.find("\"degraded\": true"),
+              std::string::npos)
+        << status.body;
+
+    const ClientResponse report =
+        httpRequest(server.port(), "GET", "/campaigns/c1/report");
+    ASSERT_EQ(report.status, 200);
+    EXPECT_NE(report.body.find("\"degraded\": true"),
+              std::string::npos);
+    EXPECT_NE(report.body.find("\"kind\": \"permanent\""),
+              std::string::npos);
+
+    const ClientResponse events = httpRequest(
+        server.port(), "GET", "/campaigns/c1/events?follow=0");
+    ASSERT_EQ(events.status, 200);
+    EXPECT_NE(events.body.find("\"kind\": \"error\""),
+              std::string::npos);
+
+    // /metrics rolls the quarantine up server-wide.
+    const ClientResponse metrics =
+        httpRequest(server.port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("\"serve.jobsQuarantined\": 1"),
+              std::string::npos)
+        << metrics.body;
+    server.shutdown();
+}
+
+TEST_F(ServeChaos, RequestFaultIs500ButHealthzIsExempt)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    serve::DviServer server(opts);
+    server.start();
+
+    // Every non-healthz request faults; the HTTP layer catches the
+    // throw per request, so each one answers 500 and the next
+    // connection is served normally.
+    ASSERT_EQ(fail::configure("serve.request=throw:permanent"), "");
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/campaigns").status,
+              500);
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/metrics").status,
+              500);
+    // Liveness is answered before the failpoint on purpose.
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/healthz").status,
+              200);
+    fail::reset();
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/campaigns").status,
+              200);
+    server.shutdown();
+}
+
+TEST_F(ServeChaos, StalledClientTimesOutWithoutBlockingOthers)
+{
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.ioTimeoutSeconds = 1;
+    serve::DviServer server(opts);
+    server.start();
+
+    // A client that connects and then goes silent mid-request: the
+    // per-connection receive timeout must reclaim the handler
+    // thread with a 408 instead of holding it forever.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char partial[] = "GET /healthz HTT";  // never finished
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+
+    // Meanwhile the server keeps answering everyone else.
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/healthz").status,
+              200);
+
+    // The stalled connection is answered 408 (or closed) within the
+    // timeout, never left half-open.
+    std::string raw;
+    char buf[1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (!raw.empty()) {
+        EXPECT_NE(raw.find("408"), std::string::npos) << raw;
+    }
+
+    EXPECT_EQ(httpRequest(server.port(), "GET", "/healthz").status,
+              200);
     server.shutdown();
 }
 

@@ -58,10 +58,13 @@ SCHEMA = {
     "fuzz-end": {"programsRun": int, "failures": int,
                  "wallSeconds": NUM},
     "log": {"level": str, "message": str},
+    "retry": {"attempt": int, "backoffMs": int, "fault": str},
+    "error": {"fault": str, "message": str, "retries": int},
+    "watchdog": {"limitMs": int},
 }
 
 JOB_REQUIRED = {"job-begin", "job-end", "core-sample",
-                "fuzz-verdict"}
+                "fuzz-verdict", "retry", "error", "watchdog"}
 
 
 class ValidationError(Exception):

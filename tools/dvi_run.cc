@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "base/cli.hh"
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "driver/figures.hh"
 #include "driver/scenario_registry.hh"
@@ -99,6 +100,14 @@ usage(const char *argv0)
         "                  (requires --telemetry)\n"
         "  --progress      live progress line on stderr, rendered\n"
         "                  from the telemetry event stream\n"
+        "  --retries N     per-job retry budget for transient\n"
+        "                  failures (default 2); exhausted retries\n"
+        "                  quarantine the job and mark the report\n"
+        "                  degraded (exit 3)\n"
+        "  --chaos SPEC    arm deterministic failpoints, e.g.\n"
+        "                  'driver.compile=throw@1in20,seed=42'\n"
+        "                  (also: DVI_CHAOS env var); see DESIGN.md\n"
+        "                  §12\n"
         "  --quiet         suppress the tables on stdout\n"
         "  --list          list registered scenarios and exit\n"
         "  --help          this text\n",
@@ -177,6 +186,16 @@ main(int argc, char **argv)
     std::string telemetry_path;
     unsigned metrics_interval = 0;
     bool progress = false;
+    std::string chaos_spec;
+    bool retries_given = false;
+    unsigned retries = 0;
+
+    // Failpoints arm before anything can hit one; an explicit
+    // --chaos below replaces the environment's spec.
+    {
+        const std::string err = fail::configureFromEnv();
+        fatal_if(!err.empty(), "DVI_CHAOS: ", err);
+    }
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -224,6 +243,14 @@ main(int argc, char **argv)
                 parseUint("--metrics-interval", value()));
         } else if (arg == "--progress") {
             progress = true;
+        } else if (arg == "--chaos") {
+            chaos_spec = value();
+            const std::string err = fail::configure(chaos_spec);
+            fatal_if(!err.empty(), "--chaos: ", err);
+        } else if (arg == "--retries") {
+            retries = static_cast<unsigned>(
+                parseUint("--retries", value()));
+            retries_given = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -359,6 +386,8 @@ main(int argc, char **argv)
     driver::CampaignOptions copts;
     copts.jobs = opts.jobs;
     copts.profile = opts.profile || profile_default;
+    if (retries_given)
+        copts.retry.maxRetries = retries;
 
     // Telemetry is strictly out of band: the sink (a file under
     // --telemetry, observer-only under a bare --progress) sees every
@@ -394,7 +423,23 @@ main(int argc, char **argv)
     std::signal(SIGTERM, &onSignal);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const driver::CampaignReport report = campaign.run(copts);
+    driver::CampaignReport report;
+    try {
+        report = campaign.run(copts);
+    } catch (const std::exception &e) {
+        // A campaign-level fault (aggregation, pool teardown) is
+        // beyond per-job isolation; flush telemetry and report it
+        // as a hard failure.
+        flusher.reset();
+        if (sink) {
+            metrics.flush(*sink);
+            obs::setGlobalSink(nullptr);
+            obs::setCoreSampleInsts(0);
+        }
+        std::fprintf(stderr, "dvi-run: campaign %s failed: %s\n",
+                     campaign.name().c_str(), e.what());
+        return 1;
+    }
     const auto t1 = std::chrono::steady_clock::now();
     flusher.reset();
 
@@ -447,5 +492,21 @@ main(int argc, char **argv)
         stderr, "dvi-run: scenario %s, %zu jobs, %u worker%s, %.2fs\n",
         campaign.name().c_str(), campaign.size(), workers,
         workers == 1 ? "" : "s", secs);
+
+    // A degraded campaign still wrote its (partial) report above —
+    // quarantined jobs carry error records in it — but the exit
+    // code must not look like success to scripts.
+    if (report.degraded) {
+        std::size_t failedJobs = 0;
+        for (const driver::JobResult &r : report.results)
+            if (r.failed)
+                ++failedJobs;
+        std::fprintf(stderr,
+                     "dvi-run: campaign degraded: %zu of %zu job(s) "
+                     "quarantined after retries; see the report's "
+                     "error records\n",
+                     failedJobs, report.results.size());
+        return 3;
+    }
     return 0;
 }

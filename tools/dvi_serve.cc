@@ -27,6 +27,7 @@
 #include <thread>
 
 #include "base/cli.hh"
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "obs/telemetry.hh"
 #include "serve/server.hh"
@@ -58,6 +59,15 @@ usage(const char *argv0)
         "                    file F ('-' = stderr); per-campaign\n"
         "                    events always stream per campaign via\n"
         "                    GET /campaigns/<id>/events\n"
+        "  --io-timeout S    per-connection socket read/write\n"
+        "                    timeout in seconds; 0 disables\n"
+        "                    (default 30)\n"
+        "  --retries N       per-job retry budget for transient\n"
+        "                    failures in every campaign (default 2)\n"
+        "  --chaos SPEC      arm deterministic failpoints, e.g.\n"
+        "                    'serve.request=throw@1in10,seed=42'\n"
+        "                    (also: DVI_CHAOS env var); see\n"
+        "                    DESIGN.md §12\n"
         "  --help            this text\n"
         "\n"
         "endpoints: POST /campaigns, GET /campaigns[/<id>[/report|\n"
@@ -85,6 +95,13 @@ main(int argc, char **argv)
     serve::ServeOptions opts;
     std::string telemetry_path;
 
+    // Failpoints arm before the server exists; an explicit --chaos
+    // below replaces the environment's spec.
+    {
+        const std::string err = fail::configureFromEnv();
+        fatal_if(!err.empty(), "DVI_CHAOS: ", err);
+    }
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -107,6 +124,15 @@ main(int argc, char **argv)
                 cli::parseUint("--jobs", value()));
         } else if (arg == "--telemetry") {
             telemetry_path = value();
+        } else if (arg == "--io-timeout") {
+            opts.ioTimeoutSeconds = static_cast<unsigned>(
+                cli::parseUint("--io-timeout", value()));
+        } else if (arg == "--retries") {
+            opts.retry.maxRetries = static_cast<unsigned>(
+                cli::parseUint("--retries", value()));
+        } else if (arg == "--chaos") {
+            const std::string err = fail::configure(value());
+            fatal_if(!err.empty(), "--chaos: ", err);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;

@@ -36,22 +36,34 @@ def connect(args):
 
 
 def request(args, method, path, body=None):
-    """One request; returns (status, headers, bytes). Exits 1 on
-    transport errors so callers only see well-formed responses."""
-    conn = connect(args)
-    try:
-        headers = {}
-        if body is not None:
-            headers["Content-Type"] = "application/json"
-        conn.request(method, path, body=body, headers=headers)
-        resp = conn.getresponse()
-        data = resp.read()
-        return resp.status, dict(resp.getheaders()), data
-    except (ConnectionError, OSError, http.client.HTTPException) as e:
-        print(f"serve_client: {method} {path}: {e}", file=sys.stderr)
-        sys.exit(1)
-    finally:
-        conn.close()
+    """One request; returns (status, headers, bytes). Idempotent
+    GETs are retried a couple of times on connection resets (the
+    server may have timed out a kept-alive socket between requests);
+    anything else exits 1 so callers only see well-formed
+    responses."""
+    attempts = 3 if method == "GET" else 1
+    for attempt in range(attempts):
+        conn = connect(args)
+        try:
+            headers = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, dict(resp.getheaders()), data
+        except (ConnectionError, OSError,
+                http.client.HTTPException) as e:
+            if attempt + 1 < attempts:
+                print(f"serve_client: {method} {path}: {e}; "
+                      f"retrying", file=sys.stderr)
+                time.sleep(0.2 * (attempt + 1))
+                continue
+            print(f"serve_client: {method} {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(1)
+        finally:
+            conn.close()
 
 
 def expect(status, headers, data, accept=(200,)):
@@ -84,8 +96,25 @@ def poll_status(args, cid):
 def cmd_submit(args):
     with open(args.manifest, "rb") as f:
         manifest = f.read()
-    status, headers, data = request(args, "POST", "/campaigns",
-                                    body=manifest)
+    # A 429 carries Retry-After: honor it (capped, so a lying server
+    # cannot park us for an hour) up to --max-retries times before
+    # giving up with the usual exit 3.
+    for attempt in range(args.max_retries + 1):
+        status, headers, data = request(args, "POST", "/campaigns",
+                                        body=manifest)
+        if status != 429:
+            break
+        try:
+            retry = float(headers.get("Retry-After", "1"))
+        except ValueError:
+            retry = 1.0
+        retry = min(max(retry, 0.1), 30.0)
+        if attempt < args.max_retries:
+            print(f"serve_client: server busy (429); retrying in "
+                  f"{retry:.1f}s "
+                  f"({attempt + 1}/{args.max_retries})",
+                  file=sys.stderr)
+            time.sleep(retry)
     if status == 429:
         retry = headers.get("Retry-After", "?")
         print(f"serve_client: server busy (429), Retry-After: "
@@ -188,6 +217,9 @@ def main():
                    help="poll until the campaign is terminal; exit "
                         "4 unless it finished done")
     p.add_argument("--poll-ms", type=int, default=250)
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retries when the server answers 429, "
+                        "honoring Retry-After (default 3)")
     p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("status", help="one campaign's status")
