@@ -1,0 +1,201 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Postorder DFS from block 0 (iterative; generated CFGs recurse
+ * deeper than the C++ stack should). */
+std::vector<int>
+postorder(const Cfg &cfg)
+{
+    const int n = cfg.numBlocks();
+    std::vector<int> order;
+    if (n == 0)
+        return order;
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    // (block, next successor index to explore)
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    visited[0] = true;
+    while (!stack.empty()) {
+        auto &[b, i] = stack.back();
+        const auto &succ = cfg.succs[static_cast<std::size_t>(b)];
+        if (i < succ.size()) {
+            const int s = succ[i++];
+            if (!visited[static_cast<std::size_t>(s)]) {
+                visited[static_cast<std::size_t>(s)] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+std::vector<int>
+Cfg::reversePostorder() const
+{
+    std::vector<int> po = postorder(*this);
+    std::vector<int> rpo(po.rbegin(), po.rend());
+    if (static_cast<int>(rpo.size()) < numBlocks()) {
+        std::vector<bool> seen(succs.size(), false);
+        for (int b : rpo)
+            seen[static_cast<std::size_t>(b)] = true;
+        for (int b = 0; b < numBlocks(); ++b)
+            if (!seen[static_cast<std::size_t>(b)])
+                rpo.push_back(b);
+    }
+    return rpo;
+}
+
+std::vector<int>
+Cfg::unreachable() const
+{
+    std::vector<bool> seen(succs.size(), false);
+    for (int b : postorder(*this))
+        seen[static_cast<std::size_t>(b)] = true;
+    std::vector<int> result;
+    for (int b = 0; b < numBlocks(); ++b)
+        if (!seen[static_cast<std::size_t>(b)])
+            result.push_back(b);
+    return result;
+}
+
+Cfg
+cfgFromProcedure(const prog::Procedure &proc)
+{
+    Cfg cfg;
+    const int n = static_cast<int>(proc.blocks.size());
+    cfg.succs.resize(static_cast<std::size_t>(n));
+    cfg.preds.resize(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+        for (int s : proc.successors(b)) {
+            if (s < 0 || s >= n)
+                continue;  // structural checker reports these
+            cfg.succs[static_cast<std::size_t>(b)].push_back(s);
+            cfg.preds[static_cast<std::size_t>(s)].push_back(b);
+        }
+    }
+    return cfg;
+}
+
+int
+MachineCfg::blockOf(int idx) const
+{
+    // Blocks are laid out in address order; binary-search the extent
+    // containing idx.
+    int lo = 0, hi = static_cast<int>(blocks.size()) - 1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        const MachineBlock &mb =
+            blocks[static_cast<std::size_t>(mid)];
+        if (idx < mb.begin)
+            hi = mid - 1;
+        else if (idx >= mb.end)
+            lo = mid + 1;
+        else
+            return mid;
+    }
+    return -1;
+}
+
+MachineCfg
+machineCfg(const comp::Executable &exe, int proc_index,
+           std::vector<int> *escapes)
+{
+    using isa::Opcode;
+    const comp::ProcInfo &pi =
+        exe.procs[static_cast<std::size_t>(proc_index)];
+    MachineCfg mc;
+    const int n = pi.end - pi.entry;
+    if (n <= 0)
+        return mc;
+
+    auto inst_at = [&](int abs) -> const isa::Instruction & {
+        return exe.code[static_cast<std::size_t>(abs)];
+    };
+    auto in_proc = [&](int abs) {
+        return abs >= pi.entry && abs < pi.end;
+    };
+
+    // Leaders: procedure entry, transfer targets, and the
+    // instruction after any control transfer (call included — a
+    // call returns to the next instruction).
+    std::vector<bool> leader(static_cast<std::size_t>(n), false);
+    leader[0] = true;
+    for (int abs = pi.entry; abs < pi.end; ++abs) {
+        const isa::Instruction &inst = inst_at(abs);
+        const bool transfers =
+            inst.isCondBranch() || inst.op == Opcode::Jump;
+        if (transfers) {
+            if (in_proc(inst.imm))
+                leader[static_cast<std::size_t>(inst.imm -
+                                                pi.entry)] = true;
+            else if (escapes)
+                escapes->push_back(abs);
+        }
+        if ((transfers || inst.isCall() || inst.isReturn() ||
+             inst.isHalt()) &&
+            abs + 1 < pi.end)
+            leader[static_cast<std::size_t>(abs + 1 - pi.entry)] =
+                true;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        if (!leader[static_cast<std::size_t>(i)])
+            continue;
+        MachineBlock mb;
+        mb.begin = pi.entry + i;
+        int j = i + 1;
+        while (j < n && !leader[static_cast<std::size_t>(j)])
+            ++j;
+        mb.end = pi.entry + j;
+        mc.blocks.push_back(mb);
+    }
+
+    const int nblocks = static_cast<int>(mc.blocks.size());
+    mc.cfg.succs.resize(static_cast<std::size_t>(nblocks));
+    mc.cfg.preds.resize(static_cast<std::size_t>(nblocks));
+    auto add_edge = [&](int from, int to_abs) {
+        const int to = mc.blockOf(to_abs);
+        if (to < 0)
+            return;
+        mc.cfg.succs[static_cast<std::size_t>(from)].push_back(to);
+        mc.cfg.preds[static_cast<std::size_t>(to)].push_back(from);
+    };
+    for (int b = 0; b < nblocks; ++b) {
+        const MachineBlock &mb =
+            mc.blocks[static_cast<std::size_t>(b)];
+        const isa::Instruction &last = inst_at(mb.end - 1);
+        if (last.isCondBranch()) {
+            if (in_proc(last.imm))
+                add_edge(b, last.imm);
+            if (mb.end < pi.end)
+                add_edge(b, mb.end);
+        } else if (last.op == Opcode::Jump) {
+            if (in_proc(last.imm))
+                add_edge(b, last.imm);
+        } else if (last.isReturn() || last.isHalt()) {
+            // no successors
+        } else if (mb.end < pi.end) {
+            add_edge(b, mb.end);
+        }
+    }
+    return mc;
+}
+
+} // namespace analysis
+} // namespace dvi

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Control-flow-graph view shared by every static analysis.
+ *
+ * The dataflow engine (analysis/dataflow.hh) is generic over block
+ * graphs; this module builds the two graphs the checkers need — the
+ * mid-level `prog::Procedure` CFG and a machine-code CFG
+ * reconstructed from a linked `comp::Executable` — into one shape:
+ * successor and predecessor lists plus a deterministic traversal
+ * order.
+ *
+ * The machine-code reconstruction is deliberately written from
+ * scratch (own leader discovery, own successor derivation) rather
+ * than reusing `src/compiler`'s: the kill-mask prover built on it
+ * must be an *independent* analysis, so a bug in the compiler's CFG
+ * walk cannot hide an identical bug in the checker (fuzz/oracle.hh,
+ * §7 "Errors in E-DVI should be considered compiler errors").
+ */
+
+#ifndef DVI_ANALYSIS_CFG_HH
+#define DVI_ANALYSIS_CFG_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/executable.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+/** A block graph: adjacency in both directions. */
+struct Cfg
+{
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+
+    int numBlocks() const { return static_cast<int>(succs.size()); }
+
+    /**
+     * Reverse postorder from block 0 (the canonical iteration order
+     * for forward problems; reversed, it is the order for backward
+     * ones). Unreachable blocks are appended after the reachable
+     * ones in index order, so every block is visited exactly once.
+     */
+    std::vector<int> reversePostorder() const;
+
+    /** Blocks unreachable from block 0, in index order. */
+    std::vector<int> unreachable() const;
+};
+
+/** Build the CFG of one IR procedure (prog::Procedure::successors
+ * semantics: fall-through into the next block unless terminated). */
+Cfg cfgFromProcedure(const prog::Procedure &proc);
+
+/**
+ * A machine-code basic block: [begin, end) as absolute code
+ * indices.
+ */
+struct MachineBlock
+{
+    int begin = 0;
+    int end = 0;
+};
+
+/**
+ * The machine-code CFG of one procedure of an executable, with its
+ * block extents. Built from the code image alone: leaders are the
+ * procedure entry, branch/jump targets, and the instructions
+ * following a control transfer.
+ */
+struct MachineCfg
+{
+    Cfg cfg;
+    std::vector<MachineBlock> blocks;
+
+    /** Block containing absolute code index `idx`; -1 if outside
+     * the procedure. */
+    int blockOf(int idx) const;
+};
+
+/**
+ * Reconstruct the CFG of procedure `proc_index`. A branch or jump
+ * whose target lies outside the procedure is recorded in
+ * `escapes` (when non-null) instead of becoming an edge — the
+ * structural checker reports those as findings rather than
+ * panicking mid-analysis.
+ */
+MachineCfg machineCfg(const comp::Executable &exe, int proc_index,
+                      std::vector<int> *escapes = nullptr);
+
+} // namespace analysis
+} // namespace dvi
+
+#endif // DVI_ANALYSIS_CFG_HH

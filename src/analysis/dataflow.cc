@@ -1,0 +1,141 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+namespace
+{
+
+DynBitset
+allOnes(std::size_t nbits)
+{
+    DynBitset top(nbits);
+    for (std::size_t i = 0; i < nbits; ++i)
+        top.set(i);
+    return top;
+}
+
+} // namespace
+
+DataflowResult
+solve(const Cfg &cfg, Direction dir, Meet meet, std::size_t nbits,
+      const std::vector<Transfer> &transfers,
+      const DynBitset &boundary)
+{
+    const int n = cfg.numBlocks();
+    panic_if(transfers.size() != static_cast<std::size_t>(n),
+             "dataflow: ", transfers.size(), " transfers for ", n,
+             " blocks");
+    panic_if(boundary.size() != nbits,
+             "dataflow: boundary width mismatch");
+
+    DataflowResult res;
+    res.in.assign(static_cast<std::size_t>(n), DynBitset(nbits));
+    res.out.assign(static_cast<std::size_t>(n), DynBitset(nbits));
+    if (n == 0)
+        return res;
+
+    const bool forward = dir == Direction::Forward;
+    const DynBitset top = allOnes(nbits);
+
+    // A must-analysis starts interior blocks at TOP so joins only
+    // remove facts real paths fail to establish.
+    if (meet == Meet::Intersect) {
+        for (int b = 0; b < n; ++b) {
+            res.in[static_cast<std::size_t>(b)] = top;
+            res.out[static_cast<std::size_t>(b)] = top;
+        }
+    }
+
+    auto is_boundary = [&](int b) {
+        return forward
+                   ? b == 0
+                   : cfg.succs[static_cast<std::size_t>(b)].empty();
+    };
+
+    // Seed the worklist in the direction's natural order: reverse
+    // postorder forward, its reverse backward. A FIFO with an
+    // in-list flag keeps recomputation deterministic and each block
+    // queued at most once.
+    std::vector<int> seed = cfg.reversePostorder();
+    if (!forward)
+        std::reverse(seed.begin(), seed.end());
+    std::deque<int> worklist(seed.begin(), seed.end());
+    std::vector<bool> queued(static_cast<std::size_t>(n), true);
+
+    // Monotone bitvector lattices fix in <= nbits state changes per
+    // block; the cap only trips on a malformed (non-monotone)
+    // transfer function.
+    const unsigned cap = static_cast<unsigned>(
+        (nbits + 2) * static_cast<std::size_t>(n) * 2 + 64);
+
+    while (!worklist.empty()) {
+        if (res.iterations++ >= cap) {
+            res.converged = false;
+            break;
+        }
+        const int b = worklist.front();
+        worklist.pop_front();
+        queued[static_cast<std::size_t>(b)] = false;
+        const std::size_t bi = static_cast<std::size_t>(b);
+
+        // Meet the incoming states (plus the boundary state where
+        // it applies).
+        DynBitset x(nbits);
+        bool first = true;
+        auto contribute = [&](const DynBitset &s) {
+            if (first) {
+                x = s;
+                first = false;
+            } else if (meet == Meet::Union) {
+                x.orWith(s);
+            } else {
+                x.andWith(s);
+            }
+        };
+        if (is_boundary(b))
+            contribute(boundary);
+        const auto &sources = forward ? cfg.preds[bi] : cfg.succs[bi];
+        for (int s : sources)
+            contribute(forward
+                           ? res.out[static_cast<std::size_t>(s)]
+                           : res.in[static_cast<std::size_t>(s)]);
+        if (first && meet == Meet::Intersect)
+            x = top;  // nothing reaches this block
+
+        // Apply the block's transfer and propagate on change.
+        DynBitset y = x;
+        y.minusWith(transfers[bi].kill);
+        y.orWith(transfers[bi].gen);
+        const DynBitset &old_from = forward ? res.in[bi] : res.out[bi];
+        const DynBitset &old_to = forward ? res.out[bi] : res.in[bi];
+        const bool changed = x != old_from || y != old_to;
+        if (forward) {
+            res.in[bi] = std::move(x);
+            res.out[bi] = std::move(y);
+        } else {
+            res.out[bi] = std::move(x);
+            res.in[bi] = std::move(y);
+        }
+        if (!changed)
+            continue;
+        const auto &dests = forward ? cfg.succs[bi] : cfg.preds[bi];
+        for (int d : dests) {
+            if (!queued[static_cast<std::size_t>(d)]) {
+                queued[static_cast<std::size_t>(d)] = true;
+                worklist.push_back(d);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace analysis
+} // namespace dvi

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Generic worklist dataflow engine over bitvector domains.
+ *
+ * One solver serves every checker in src/analysis: forward or
+ * backward direction, union (may) or intersection (must) meet, and
+ * per-block gen/kill transfer functions
+ *
+ *     transfer(x) = gen | (x & ~kill)
+ *
+ * over DynBitset states of any width — virtual registers for the IR
+ * checkers, the 32 architectural integer registers for the machine
+ * checkers. The fixpoint iterates a worklist seeded in reverse
+ * postorder (postorder for backward problems), so acyclic graphs
+ * converge in one pass and loops in a handful; Rir's burst-iterated
+ * `DeadInstructions` analysis is the shape this follows.
+ *
+ * Intersection problems (e.g. definite assignment) initialize
+ * interior blocks to TOP (all ones): a block's state only shrinks as
+ * real paths reach it, and blocks no path reaches keep TOP, which
+ * makes "unreachable code never raises dataflow findings" fall out
+ * of the lattice rather than needing a special case.
+ */
+
+#ifndef DVI_ANALYSIS_DATAFLOW_HH
+#define DVI_ANALYSIS_DATAFLOW_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "base/dyn_bitset.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+/** Which way facts flow. */
+enum class Direction
+{
+    Forward,   ///< in[b] = meet(out[preds]); entry gets `boundary`
+    Backward,  ///< out[b] = meet(in[succs]); exits get `boundary`
+};
+
+/** Path combination at block joins. */
+enum class Meet
+{
+    Union,      ///< may-analysis (liveness)
+    Intersect,  ///< must-analysis (definite assignment)
+};
+
+/** One block's transfer function: out = gen | (in & ~kill). */
+struct Transfer
+{
+    DynBitset gen;
+    DynBitset kill;
+};
+
+/** The fixpoint: per-block states plus convergence metadata. */
+struct DataflowResult
+{
+    /** State at block entry / exit (for backward problems, in[b] is
+     * still the state at the block's *top*: facts that hold before
+     * its first instruction). */
+    std::vector<DynBitset> in;
+    std::vector<DynBitset> out;
+
+    /** Blocks recomputed until the fixpoint (worklist pops). */
+    unsigned iterations = 0;
+
+    /** False only if the iteration cap tripped — impossible for a
+     * monotone bitvector framework unless the transfer functions
+     * are malformed; checkers treat it as an internal error. */
+    bool converged = true;
+};
+
+/**
+ * Solve one dataflow problem. `transfers` has one entry per block
+ * (sizes must all equal `nbits`); `boundary` is the state injected
+ * at the entry block (forward) or at every exit-less block
+ * (backward).
+ */
+DataflowResult solve(const Cfg &cfg, Direction dir, Meet meet,
+                     std::size_t nbits,
+                     const std::vector<Transfer> &transfers,
+                     const DynBitset &boundary);
+
+} // namespace analysis
+} // namespace dvi
+
+#endif // DVI_ANALYSIS_DATAFLOW_HH

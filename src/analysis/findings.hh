@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Typed findings: the one verdict vocabulary every static check
+ * speaks.
+ *
+ * A checker reports problems as Finding records — severity, rule
+ * id, site (procedure / block / instruction, or machine code index
+ * for binary-level rules), message — collected into a
+ * FindingReport. The report renders as a human table (dvi-lint's
+ * stdout), serializes to JSON, and streams as `lint` NDJSON events
+ * through src/obs, so the CLI, the `--lint` gate in dvi-run, the
+ * fuzz oracle's static layer, and CI schema checks all consume the
+ * same records.
+ *
+ * Severity semantics:
+ *  - Error: the artifact is wrong (unsound kill mask, ill-formed
+ *    CFG, use of an undefined value). Always reported; fails lint.
+ *  - Warn: sound today but violates a safety precondition richer
+ *    passes rely on (e.g. a kill with no recovery story for a
+ *    speculative variant). Always reported; fails lint.
+ *  - Info: advisory density diagnostics (dead stores, missed or
+ *    redundant kills) that feed the ablation-edvi-density story.
+ *    Reported only when advisory rules are enabled; never fails
+ *    lint — a plain binary legitimately has missed kills.
+ */
+
+#ifndef DVI_ANALYSIS_FINDINGS_HH
+#define DVI_ANALYSIS_FINDINGS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "stats/table.hh"
+
+namespace dvi
+{
+namespace obs
+{
+class TelemetrySink;
+}
+
+namespace analysis
+{
+
+/** How bad one finding is (see file comment for the contract). */
+enum class Severity
+{
+    Error,
+    Warn,
+    Info,
+};
+
+/** Lower-case token ("error" / "warn" / "info"). */
+const char *severityName(Severity s);
+
+/** Where a finding points. */
+struct Site
+{
+    std::string unit;  ///< module / executable name
+    std::string proc;  ///< procedure name; empty = whole unit
+    /** IR block index, or machine basic-block index; -1 = n/a. */
+    int block = -1;
+    /** Instruction index within the IR block, or the absolute code
+     * index (the "pc") for machine-level rules; -1 = n/a. */
+    int inst = -1;
+    /** True when `inst` is an absolute machine code index. */
+    bool machine = false;
+
+    /** "proc f block 2 inst 5" / "proc f pc 132" / "module". */
+    std::string toString() const;
+};
+
+/** One diagnostic from one rule at one site. */
+struct Finding
+{
+    Severity severity = Severity::Error;
+    std::string rule;  ///< stable rule id, e.g. "edvi-kill-live"
+    Site site;
+    std::string message;
+
+    /** "error[edvi-kill-live] proc f pc 132: ..." — the canonical
+     * one-line rendering (oracle failure texts embed it). */
+    std::string toString() const;
+};
+
+/** The outcome of linting one or more units. */
+class FindingReport
+{
+  public:
+    void add(Finding f) { findings_.push_back(std::move(f)); }
+    void add(Severity sev, std::string rule, Site site,
+             std::string message);
+
+    /** Absorb another report's findings (multi-unit lint runs). */
+    void merge(FindingReport other);
+
+    const std::vector<Finding> &findings() const { return findings_; }
+    bool empty() const { return findings_.empty(); }
+    std::size_t size() const { return findings_.size(); }
+
+    std::size_t count(Severity s) const;
+
+    /** True when any Error or Warn finding is present — the
+     * nonzero-exit condition (Info is advisory by contract). */
+    bool failing() const;
+
+    /** Human table: severity | rule | site | message. */
+    Table toTable(const std::string &title = "lint findings") const;
+
+    /** Machine-readable form: {"findings": [...], "errors": N,
+     * "warnings": N, "infos": N}. Deterministic. */
+    json::Value toJson() const;
+
+    /**
+     * Stream through telemetry: one `lint` event per finding plus a
+     * trailing `lint-summary` naming the unit count. No-op when
+     * `sink` is null.
+     */
+    void emitTelemetry(obs::TelemetrySink *sink,
+                       std::size_t units) const;
+
+  private:
+    std::vector<Finding> findings_;
+};
+
+} // namespace analysis
+} // namespace dvi
+
+#endif // DVI_ANALYSIS_FINDINGS_HH

@@ -1,0 +1,473 @@
+#include "analysis/ir_checks.hh"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+namespace
+{
+
+using prog::IrInst;
+using prog::IrOp;
+using prog::noVReg;
+using prog::VReg;
+
+/** The vreg an instruction defines, or noVReg. */
+VReg
+irDef(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Slt:
+      case IrOp::Sll:
+      case IrOp::Srl:
+      case IrOp::AddImm:
+      case IrOp::AndImm:
+      case IrOp::OrImm:
+      case IrOp::XorImm:
+      case IrOp::SltImm:
+      case IrOp::LoadImm:
+      case IrOp::Load:
+      case IrOp::LoadStack:
+        return inst.dst;
+      case IrOp::Call:
+        return inst.dst;  // noVReg when the result is discarded
+      default:
+        return noVReg;
+    }
+}
+
+/** The vregs an instruction reads (noVReg entries already dropped). */
+std::vector<VReg>
+irUses(const IrInst &inst)
+{
+    std::vector<VReg> uses;
+    auto add = [&](VReg v) {
+        if (v != noVReg)
+            uses.push_back(v);
+    };
+    switch (inst.op) {
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Slt:
+      case IrOp::Sll:
+      case IrOp::Srl:
+      case IrOp::Beq:
+      case IrOp::Bne:
+      case IrOp::Blt:
+      case IrOp::Bge:
+        add(inst.src1);
+        add(inst.src2);
+        break;
+      case IrOp::AddImm:
+      case IrOp::AndImm:
+      case IrOp::OrImm:
+      case IrOp::XorImm:
+      case IrOp::SltImm:
+      case IrOp::Load:
+      case IrOp::StoreStack:
+        add(inst.src1);
+        break;
+      case IrOp::Store:
+        add(inst.src1);  // value
+        add(inst.src2);  // base
+        break;
+      case IrOp::Call:
+        for (VReg a : inst.args)
+            add(a);
+        break;
+      case IrOp::Ret:
+        add(inst.src1);
+        break;
+      default:
+        break;  // LoadImm, LoadStack, FP ops, Jump, Halt
+    }
+    return uses;
+}
+
+/** True when the op's only effect is writing its dst vreg, so an
+ * unread result makes the whole instruction dead. */
+bool
+isPureDef(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::Div:
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Slt:
+      case IrOp::Sll:
+      case IrOp::Srl:
+      case IrOp::AddImm:
+      case IrOp::AndImm:
+      case IrOp::OrImm:
+      case IrOp::XorImm:
+      case IrOp::SltImm:
+      case IrOp::LoadImm:
+      case IrOp::LoadStack:
+        return true;
+      default:
+        // Loads can fault, calls have effects: never "dead".
+        return false;
+    }
+}
+
+class IrChecker
+{
+  public:
+    IrChecker(const prog::Module &mod, bool advisory)
+        : mod_(mod), advisory_(advisory)
+    {
+    }
+
+    FindingReport
+    run()
+    {
+        for (std::size_t p = 0; p < mod_.procs.size(); ++p)
+            checkProc(static_cast<int>(p));
+        return std::move(report_);
+    }
+
+  private:
+    Site
+    site(int proc, int block = -1, int inst = -1) const
+    {
+        Site s;
+        s.unit = mod_.name;
+        s.proc = mod_.procs[static_cast<std::size_t>(proc)].name;
+        s.block = block;
+        s.inst = inst;
+        return s;
+    }
+
+    void
+    checkProc(int p)
+    {
+        const prog::Procedure &proc =
+            mod_.procs[static_cast<std::size_t>(p)];
+        const bool ok = checkStructure(p, proc);
+        if (!ok || proc.blocks.empty())
+            return;  // dataflow over a malformed CFG is meaningless
+
+        const Cfg cfg = cfgFromProcedure(proc);
+        checkDefBeforeUse(p, proc, cfg);
+        if (advisory_) {
+            checkUnreachable(p, proc, cfg);
+            checkDeadStores(p, proc, cfg);
+        }
+    }
+
+    /** ir-structure. Returns true when the CFG is sound enough for
+     * the dataflow rules to run. */
+    bool
+    checkStructure(int p, const prog::Procedure &proc)
+    {
+        bool sound = true;
+        if (proc.blocks.empty()) {
+            report_.add(Severity::Error, "ir-structure", site(p),
+                        "procedure has no blocks");
+            return false;
+        }
+        if (proc.params.size() > 4) {
+            report_.add(Severity::Error, "ir-structure", site(p),
+                        std::to_string(proc.params.size()) +
+                            " parameters exceed the 4-register ABI "
+                            "limit");
+        }
+        for (VReg v : proc.params) {
+            if (v == noVReg || v >= proc.nextVReg) {
+                report_.add(Severity::Error, "ir-structure", site(p),
+                            "parameter vreg " + std::to_string(v) +
+                                " outside the allocated range");
+            }
+        }
+
+        const int nblocks = static_cast<int>(proc.blocks.size());
+        for (int b = 0; b < nblocks; ++b) {
+            const auto &insts =
+                proc.blocks[static_cast<std::size_t>(b)].insts;
+            const int ninsts = static_cast<int>(insts.size());
+            for (int i = 0; i < ninsts; ++i) {
+                const IrInst &inst =
+                    insts[static_cast<std::size_t>(i)];
+                if (inst.isTerminator() && i != ninsts - 1) {
+                    report_.add(Severity::Error, "ir-structure",
+                                site(p, b, i),
+                                "terminator is not the final "
+                                "instruction of its block");
+                    sound = false;
+                }
+                if ((inst.isCondBranch() || inst.op == IrOp::Jump) &&
+                    (inst.target < 0 || inst.target >= nblocks)) {
+                    report_.add(Severity::Error, "ir-structure",
+                                site(p, b, i),
+                                "branch target block " +
+                                    std::to_string(inst.target) +
+                                    " out of range");
+                    sound = false;
+                }
+                if (inst.op == IrOp::Call) {
+                    if (inst.callee < 0 ||
+                        inst.callee >=
+                            static_cast<int>(mod_.procs.size())) {
+                        report_.add(Severity::Error, "ir-structure",
+                                    site(p, b, i),
+                                    "callee index " +
+                                        std::to_string(inst.callee) +
+                                        " out of range");
+                    }
+                    if (inst.args.size() > 4) {
+                        report_.add(
+                            Severity::Error, "ir-structure",
+                            site(p, b, i),
+                            std::to_string(inst.args.size()) +
+                                " call arguments exceed the "
+                                "4-register ABI limit");
+                    }
+                }
+                checkOperands(p, b, i, inst, proc);
+            }
+            // A non-terminated final block falls off the end of the
+            // procedure.
+            if (b == nblocks - 1 &&
+                (insts.empty() || !insts.back().isTerminator())) {
+                report_.add(Severity::Error, "ir-structure",
+                            site(p, b),
+                            "final block falls through past the end "
+                            "of the procedure");
+                sound = false;
+            }
+        }
+        return sound;
+    }
+
+    void
+    checkOperands(int p, int b, int i, const IrInst &inst,
+                  const prog::Procedure &proc)
+    {
+        auto bad = [&](const char *role, VReg v) {
+            report_.add(Severity::Error, "ir-structure", site(p, b, i),
+                        std::string(role) + " vreg " +
+                            std::to_string(v) +
+                            " outside the allocated range");
+        };
+        const VReg def = irDef(inst);
+        if (def != noVReg && def >= proc.nextVReg)
+            bad("destination", def);
+        for (VReg u : irUses(inst))
+            if (u >= proc.nextVReg)
+                bad("source", u);
+    }
+
+    /** ir-unreachable. */
+    void
+    checkUnreachable(int p, const prog::Procedure &proc,
+                     const Cfg &cfg)
+    {
+        (void)proc;
+        for (int b : cfg.unreachable()) {
+            report_.add(Severity::Info, "ir-unreachable", site(p, b),
+                        "no path from the entry block reaches this "
+                        "block");
+        }
+    }
+
+    /** ir-def-before-use: never-defined reads plus definite
+     * assignment on every path. */
+    void
+    checkDefBeforeUse(int p, const prog::Procedure &proc,
+                      const Cfg &cfg)
+    {
+        const std::size_t nbits = proc.nextVReg;
+
+        // Pass A: vregs read but defined nowhere at all (the register
+        // allocator would have no home for them). Covers unreachable
+        // blocks too — the compiler lowers those as well.
+        DynBitset defined(nbits);
+        for (VReg v : proc.params)
+            if (v != noVReg && v < proc.nextVReg)
+                defined.set(v);
+        for (const auto &bb : proc.blocks) {
+            for (const IrInst &inst : bb.insts) {
+                const VReg d = irDef(inst);
+                if (d != noVReg && d < proc.nextVReg)
+                    defined.set(d);
+            }
+        }
+        std::set<VReg> neverDefined;
+        const int nblocks = static_cast<int>(proc.blocks.size());
+        for (int b = 0; b < nblocks; ++b) {
+            const auto &insts =
+                proc.blocks[static_cast<std::size_t>(b)].insts;
+            for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+                for (VReg u :
+                     irUses(insts[static_cast<std::size_t>(i)])) {
+                    if (u >= proc.nextVReg || defined.test(u) ||
+                        !neverDefined.insert(u).second)
+                        continue;
+                    report_.add(Severity::Error, "ir-def-before-use",
+                                site(p, b, i),
+                                "reads vreg " + std::to_string(u) +
+                                    " which is never defined in the "
+                                    "procedure");
+                }
+            }
+        }
+
+        // Pass B: definite assignment. Forward must-analysis; a block
+        // "generates" every vreg it defines, nothing un-assigns.
+        // Unreachable blocks keep TOP and so never report here.
+        std::vector<Transfer> transfers(
+            static_cast<std::size_t>(nblocks));
+        for (int b = 0; b < nblocks; ++b) {
+            Transfer &t = transfers[static_cast<std::size_t>(b)];
+            t.gen = DynBitset(nbits);
+            t.kill = DynBitset(nbits);
+            for (const IrInst &inst :
+                 proc.blocks[static_cast<std::size_t>(b)].insts) {
+                const VReg d = irDef(inst);
+                if (d != noVReg && d < proc.nextVReg)
+                    t.gen.set(d);
+            }
+        }
+        DynBitset boundary(nbits);
+        for (VReg v : proc.params)
+            if (v != noVReg && v < proc.nextVReg)
+                boundary.set(v);
+        const DataflowResult df =
+            solve(cfg, Direction::Forward, Meet::Intersect, nbits,
+                  transfers, boundary);
+        if (!df.converged) {
+            report_.add(Severity::Error, "ir-def-before-use", site(p),
+                        "definite-assignment analysis failed to "
+                        "converge (internal error)");
+            return;
+        }
+        for (int b = 0; b < nblocks; ++b) {
+            DynBitset assigned = df.in[static_cast<std::size_t>(b)];
+            const auto &insts =
+                proc.blocks[static_cast<std::size_t>(b)].insts;
+            for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+                const IrInst &inst =
+                    insts[static_cast<std::size_t>(i)];
+                for (VReg u : irUses(inst)) {
+                    if (u >= proc.nextVReg || assigned.test(u) ||
+                        neverDefined.count(u))
+                        continue;
+                    report_.add(Severity::Error, "ir-def-before-use",
+                                site(p, b, i),
+                                "vreg " + std::to_string(u) +
+                                    " may be read before it is "
+                                    "assigned");
+                    assigned.set(u);  // report each vreg once
+                }
+                const VReg d = irDef(inst);
+                if (d != noVReg && d < proc.nextVReg)
+                    assigned.set(d);
+            }
+        }
+    }
+
+    /** ir-dead-store (advisory): backward liveness over vregs. */
+    void
+    checkDeadStores(int p, const prog::Procedure &proc,
+                    const Cfg &cfg)
+    {
+        const std::size_t nbits = proc.nextVReg;
+        const int nblocks = static_cast<int>(proc.blocks.size());
+        std::vector<Transfer> transfers(
+            static_cast<std::size_t>(nblocks));
+        for (int b = 0; b < nblocks; ++b) {
+            Transfer &t = transfers[static_cast<std::size_t>(b)];
+            t.gen = DynBitset(nbits);   // upward-exposed uses
+            t.kill = DynBitset(nbits);  // defs
+            const auto &insts =
+                proc.blocks[static_cast<std::size_t>(b)].insts;
+            for (int i = static_cast<int>(insts.size()) - 1; i >= 0;
+                 --i) {
+                const IrInst &inst =
+                    insts[static_cast<std::size_t>(i)];
+                const VReg d = irDef(inst);
+                if (d != noVReg && d < proc.nextVReg) {
+                    t.gen.clear(d);
+                    t.kill.set(d);
+                }
+                for (VReg u : irUses(inst))
+                    if (u < proc.nextVReg)
+                        t.gen.set(u);
+            }
+        }
+        const DataflowResult df =
+            solve(cfg, Direction::Backward, Meet::Union, nbits,
+                  transfers, DynBitset(nbits));
+        if (!df.converged)
+            return;  // def-before-use already reports this shape
+
+        std::set<int> unreachable;
+        for (int b : cfg.unreachable())
+            unreachable.insert(b);
+        for (int b = 0; b < nblocks; ++b) {
+            if (unreachable.count(b))
+                continue;  // already warned wholesale
+            DynBitset live = df.out[static_cast<std::size_t>(b)];
+            const auto &insts =
+                proc.blocks[static_cast<std::size_t>(b)].insts;
+            for (int i = static_cast<int>(insts.size()) - 1; i >= 0;
+                 --i) {
+                const IrInst &inst =
+                    insts[static_cast<std::size_t>(i)];
+                const VReg d = irDef(inst);
+                if (d != noVReg && d < proc.nextVReg) {
+                    if (!live.test(d) && isPureDef(inst.op)) {
+                        report_.add(Severity::Info, "ir-dead-store",
+                                    site(p, b, i),
+                                    "value written to vreg " +
+                                        std::to_string(d) +
+                                        " is never read");
+                    }
+                    live.clear(d);
+                }
+                for (VReg u : irUses(inst))
+                    if (u < proc.nextVReg)
+                        live.set(u);
+            }
+        }
+    }
+
+    const prog::Module &mod_;
+    const bool advisory_;
+    FindingReport report_;
+};
+
+} // namespace
+
+FindingReport
+checkModule(const prog::Module &mod, bool advisory)
+{
+    return IrChecker(mod, advisory).run();
+}
+
+} // namespace analysis
+} // namespace dvi

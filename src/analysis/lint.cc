@@ -1,0 +1,50 @@
+#include "analysis/lint.hh"
+
+#include "analysis/ir_checks.hh"
+#include "analysis/machine_checks.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+namespace
+{
+
+std::string
+firstError(const FindingReport &report)
+{
+    for (const Finding &f : report.findings())
+        if (f.severity == Severity::Error)
+            return f.toString();
+    return "";
+}
+
+} // namespace
+
+FindingReport
+lintModule(const prog::Module &mod, const LintOptions &opts)
+{
+    return checkModule(mod, opts.advisory);
+}
+
+FindingReport
+lintExecutable(const comp::Executable &exe, const LintOptions &opts)
+{
+    return checkExecutable(exe, opts.advisory);
+}
+
+std::string
+verifyKills(const comp::Executable &exe)
+{
+    return firstError(checkExecutable(exe, false));
+}
+
+std::string
+firstModuleError(const prog::Module &mod)
+{
+    return firstError(checkModule(mod, false));
+}
+
+} // namespace analysis
+} // namespace dvi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Facade over the static verification pipeline.
+ *
+ * Everything that wants a verdict goes through here: the dvi-lint CLI,
+ * the `--lint` pre-launch gate in dvi-run, and the fuzz oracle's
+ * static layer (verifyKills / firstModuleError, which compress a
+ * report into the one-line failure text the minimizer classifies on).
+ */
+
+#ifndef DVI_ANALYSIS_LINT_HH
+#define DVI_ANALYSIS_LINT_HH
+
+#include <string>
+
+#include "analysis/findings.hh"
+#include "compiler/executable.hh"
+#include "program/ir.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+/** Knobs shared by every lint entry point. */
+struct LintOptions
+{
+    /** Also run the advisory (Info) density rules: ir-dead-store,
+     * edvi-kill-redundant, edvi-kill-missed. */
+    bool advisory = false;
+};
+
+/** Lint a module's IR (rule prefix "ir-"). */
+FindingReport lintModule(const prog::Module &mod,
+                         const LintOptions &opts = {});
+
+/** Lint a linked executable (rule prefixes "mc-" / "edvi-"). */
+FindingReport lintExecutable(const comp::Executable &exe,
+                             const LintOptions &opts = {});
+
+/**
+ * The fuzz oracle's static layer: prove every E-DVI kill mask sound
+ * (plus machine CFG integrity). Returns the first Error finding's
+ * one-line rendering, or the empty string when the binary is clean.
+ * Warn/Info findings never fail the oracle — they are not
+ * invariance bugs.
+ */
+std::string verifyKills(const comp::Executable &exe);
+
+/**
+ * The fuzz oracle's module gate: reject IR the compiler cannot
+ * meaningfully lower (structural damage, reads of never-defined
+ * vregs). Returns the first Error finding's one-line rendering, or
+ * the empty string.
+ */
+std::string firstModuleError(const prog::Module &mod);
+
+} // namespace analysis
+} // namespace dvi
+
+#endif // DVI_ANALYSIS_LINT_HH

@@ -1,0 +1,445 @@
+#include "analysis/machine_checks.hh"
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+/**
+ * Integer registers an instruction writes. Derived here from the
+ * opcode table on purpose — this file must not call the compiler's
+ * machineDefs so the two models stay independent witnesses.
+ */
+RegMask
+instDefs(const Instruction &inst)
+{
+    RegMask defs;
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Lui:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+        defs.set(inst.rd);
+        break;
+      case Opcode::Call:
+        // The ABI lets the callee clobber every caller-saved
+        // register; the call itself writes the return address.
+        defs = isa::callerSavedMask();
+        defs.set(isa::regRa);
+        break;
+      default:
+        break;  // stores, FP ops, control, kill, lvm ops
+    }
+    defs.clear(isa::regZero);  // writes to r0 are discarded
+    return defs;
+}
+
+/** Integer registers an instruction reads (same independence rule as
+ * instDefs). */
+RegMask
+instUses(const Instruction &inst)
+{
+    RegMask uses;
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        uses.set(inst.rs1);
+        uses.set(inst.rs2);
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::Fload:
+      case Opcode::Fstore:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        uses.set(inst.rs1);  // base / single source
+        break;
+      case Opcode::Store:
+      case Opcode::LiveStore:
+        uses.set(inst.rs1);  // base
+        uses.set(inst.rs2);  // value
+        break;
+      case Opcode::Call:
+        uses = isa::argMask();
+        uses.set(isa::regSp);
+        break;
+      case Opcode::Ret:
+        // The caller observes callee-saved registers, the stack
+        // pointer, and the return values; ret itself reads ra.
+        uses = isa::calleeSavedMask();
+        uses |= isa::returnValueMask();
+        uses.set(isa::regSp);
+        uses.set(isa::regRa);
+        break;
+      default:
+        break;  // Lui, Jump, Halt, Nop, Kill, Fadd, Fmul
+    }
+    uses.clear(isa::regZero);  // r0 is the hard-wired zero
+    return uses;
+}
+
+DynBitset
+maskToBits(RegMask m)
+{
+    DynBitset b(isa::numIntRegs);
+    m.forEach([&](RegIndex r) { b.set(r); });
+    return b;
+}
+
+RegMask
+bitsToMask(const DynBitset &b)
+{
+    RegMask m;
+    b.forEach([&](std::size_t r) { m.set(static_cast<RegIndex>(r)); });
+    return m;
+}
+
+class MachineChecker
+{
+  public:
+    MachineChecker(const comp::Executable &exe, bool advisory)
+        : exe_(exe), advisory_(advisory)
+    {
+    }
+
+    FindingReport
+    run()
+    {
+        for (std::size_t p = 0; p < exe_.procs.size(); ++p)
+            checkProc(static_cast<int>(p));
+        return std::move(report_);
+    }
+
+  private:
+    Site
+    site(int p, int abs = -1) const
+    {
+        Site s;
+        s.unit = exe_.name;
+        s.proc = exe_.procs[static_cast<std::size_t>(p)].name;
+        s.inst = abs;
+        s.machine = true;
+        return s;
+    }
+
+    const Instruction &
+    instAt(int abs) const
+    {
+        return exe_.code[static_cast<std::size_t>(abs)];
+    }
+
+    void
+    checkProc(int p)
+    {
+        const comp::ProcInfo &pi =
+            exe_.procs[static_cast<std::size_t>(p)];
+        if (pi.end <= pi.entry) {
+            report_.add(Severity::Error, "mc-structure", site(p),
+                        "procedure contains no instructions");
+            return;
+        }
+
+        std::vector<int> escapes;
+        const MachineCfg mc = machineCfg(exe_, p, &escapes);
+        bool sound = true;
+        for (int abs : escapes) {
+            report_.add(Severity::Error, "mc-structure", site(p, abs),
+                        "control transfer targets code outside the "
+                        "procedure (" +
+                            instAt(abs).toString() + ")");
+            sound = false;
+        }
+        for (const MachineBlock &mb : mc.blocks) {
+            if (mb.end != pi.end)
+                continue;
+            const Instruction &last = instAt(mb.end - 1);
+            const bool terminated =
+                last.isReturn() || last.isHalt() ||
+                (last.op == Opcode::Jump && last.imm >= pi.entry &&
+                 last.imm < pi.end);
+            if (!terminated) {
+                report_.add(Severity::Error, "mc-structure",
+                            site(p, mb.end - 1),
+                            "execution falls through past the end of "
+                            "the procedure");
+                sound = false;
+            }
+        }
+        if (!sound)
+            return;  // liveness over a leaky CFG proves nothing
+
+        checkKills(p, mc);
+        if (advisory_)
+            checkKillDensity(p, mc);
+    }
+
+    /** Backward liveness over the 32 integer registers; returns
+     * per-block out states. Empty vector when the solver failed. */
+    std::vector<DynBitset>
+    liveness(int p, const MachineCfg &mc)
+    {
+        const std::size_t nbits = isa::numIntRegs;
+        const int nblocks = static_cast<int>(mc.blocks.size());
+        std::vector<Transfer> transfers(
+            static_cast<std::size_t>(nblocks));
+        for (int b = 0; b < nblocks; ++b) {
+            Transfer &t = transfers[static_cast<std::size_t>(b)];
+            t.gen = DynBitset(nbits);
+            t.kill = DynBitset(nbits);
+            const MachineBlock &mb =
+                mc.blocks[static_cast<std::size_t>(b)];
+            for (int abs = mb.end - 1; abs >= mb.begin; --abs) {
+                const DynBitset defs = maskToBits(instDefs(instAt(abs)));
+                const DynBitset uses = maskToBits(instUses(instAt(abs)));
+                t.gen.minusWith(defs);
+                t.gen.orWith(uses);
+                t.kill.orWith(defs);
+            }
+        }
+        const DataflowResult df =
+            solve(mc.cfg, Direction::Backward, Meet::Union, nbits,
+                  transfers, DynBitset(nbits));
+        if (!df.converged) {
+            report_.add(Severity::Error, "edvi-kill-live", site(p),
+                        "liveness analysis failed to converge "
+                        "(internal error)");
+            return {};
+        }
+        return df.out;
+    }
+
+    /** edvi-kill-live + edvi-spec-precondition. */
+    void
+    checkKills(int p, const MachineCfg &mc)
+    {
+        const std::vector<DynBitset> out = liveness(p, mc);
+        if (out.empty())
+            return;
+        const comp::ProcInfo &pi =
+            exe_.procs[static_cast<std::size_t>(p)];
+
+        // Frame saves present in this procedure: stores of a
+        // callee-saved register relative to the stack pointer, in
+        // either the plain or the live-store form. A procedure that
+        // never returns (main halts) has no caller to restore
+        // callee-saved state for, so the precondition is vacuous.
+        RegMask savedByProc;
+        bool returns = false;
+        for (int abs = pi.entry; abs < pi.end; ++abs) {
+            const Instruction &inst = instAt(abs);
+            if (inst.isReturn())
+                returns = true;
+            if ((inst.op == Opcode::Store ||
+                 inst.op == Opcode::LiveStore) &&
+                inst.rs1 == isa::regSp &&
+                isa::calleeSavedMask().test(inst.rs2)) {
+                savedByProc.set(inst.rs2);
+            }
+        }
+        if (!returns)
+            savedByProc |= isa::calleeSavedMask();
+
+        const int nblocks = static_cast<int>(mc.blocks.size());
+        for (int b = 0; b < nblocks; ++b) {
+            const MachineBlock &mb =
+                mc.blocks[static_cast<std::size_t>(b)];
+            RegMask live =
+                bitsToMask(out[static_cast<std::size_t>(b)]);
+            for (int abs = mb.end - 1; abs >= mb.begin; --abs) {
+                const Instruction &inst = instAt(abs);
+                if (inst.isKill()) {
+                    const RegMask bad = inst.killMask() & live;
+                    if (!bad.empty()) {
+                        report_.add(
+                            Severity::Error, "edvi-kill-live",
+                            site(p, abs),
+                            "kill names live register(s) " +
+                                bad.toString() + " (" +
+                                inst.toString() + ")");
+                    }
+                    const RegMask unsaved =
+                        (inst.killMask() & isa::calleeSavedMask())
+                            .minus(savedByProc);
+                    if (!unsaved.empty()) {
+                        report_.add(
+                            Severity::Warn, "edvi-spec-precondition",
+                            site(p, abs),
+                            "kill asserts callee-saved register(s) " +
+                                unsaved.toString() +
+                                " dead but the procedure has no "
+                                "frame save to recover them from");
+                    }
+                }
+                live = live.minus(instDefs(inst));
+                live |= instUses(inst);
+            }
+        }
+    }
+
+    /** edvi-kill-redundant + edvi-kill-missed (advisory). */
+    void
+    checkKillDensity(int p, const MachineCfg &mc)
+    {
+        const std::size_t nbits = isa::numIntRegs;
+        const int nblocks = static_cast<int>(mc.blocks.size());
+
+        // Forward must-analysis: bit r = "r is asserted dead on every
+        // path here and not redefined since". A kill generates its
+        // mask; any definition clears the fact.
+        std::vector<Transfer> transfers(
+            static_cast<std::size_t>(nblocks));
+        for (int b = 0; b < nblocks; ++b) {
+            Transfer &t = transfers[static_cast<std::size_t>(b)];
+            t.gen = DynBitset(nbits);
+            t.kill = DynBitset(nbits);
+            const MachineBlock &mb =
+                mc.blocks[static_cast<std::size_t>(b)];
+            for (int abs = mb.begin; abs < mb.end; ++abs) {
+                const Instruction &inst = instAt(abs);
+                if (inst.isKill()) {
+                    const DynBitset g = maskToBits(inst.killMask());
+                    t.gen.orWith(g);
+                    t.kill.minusWith(g);
+                } else {
+                    const DynBitset d = maskToBits(instDefs(inst));
+                    t.kill.orWith(d);
+                    t.gen.minusWith(d);
+                }
+            }
+        }
+        const DataflowResult dead =
+            solve(mc.cfg, Direction::Forward, Meet::Intersect, nbits,
+                  transfers, DynBitset(nbits));
+        const std::vector<DynBitset> liveOut = liveness(p, mc);
+        if (!dead.converged || liveOut.empty())
+            return;
+
+        const RegMask allocatable = isa::allocatableCalleeSaved() |
+                                    isa::allocatableCallerSaved();
+        const comp::ProcInfo &pi =
+            exe_.procs[static_cast<std::size_t>(p)];
+        for (int b = 0; b < nblocks; ++b) {
+            const MachineBlock &mb =
+                mc.blocks[static_cast<std::size_t>(b)];
+
+            RegMask knownDead =
+                bitsToMask(dead.in[static_cast<std::size_t>(b)]);
+            for (int abs = mb.begin; abs < mb.end; ++abs) {
+                const Instruction &inst = instAt(abs);
+                if (inst.isKill()) {
+                    const RegMask redundant =
+                        inst.killMask() & knownDead;
+                    if (!redundant.empty()) {
+                        report_.add(
+                            Severity::Info, "edvi-kill-redundant",
+                            site(p, abs),
+                            "register(s) " + redundant.toString() +
+                                " already asserted dead on every "
+                                "path to this kill");
+                    }
+                    knownDead |= inst.killMask();
+                } else {
+                    knownDead = knownDead.minus(instDefs(inst));
+                }
+            }
+
+            // Death points: a read after which the register is no
+            // longer live, with no kill in the fallthrough slot.
+            // Skipping control transfers — no slot exists after them
+            // in this block.
+            RegMask live =
+                bitsToMask(liveOut[static_cast<std::size_t>(b)]);
+            std::vector<RegMask> liveAfter(
+                static_cast<std::size_t>(mb.end - mb.begin));
+            for (int abs = mb.end - 1; abs >= mb.begin; --abs) {
+                liveAfter[static_cast<std::size_t>(abs - mb.begin)] =
+                    live;
+                live = live.minus(instDefs(instAt(abs)));
+                live |= instUses(instAt(abs));
+            }
+            for (int abs = mb.begin; abs < mb.end; ++abs) {
+                const Instruction &inst = instAt(abs);
+                if (inst.isControl() || inst.isHalt() ||
+                    inst.isKill())
+                    continue;
+                const RegMask after =
+                    liveAfter[static_cast<std::size_t>(abs -
+                                                       mb.begin)];
+                RegMask dying =
+                    (instUses(inst).minus(after)) & allocatable;
+                if (dying.empty())
+                    continue;
+                if (abs + 1 < pi.end && instAt(abs + 1).isKill())
+                    dying = dying.minus(instAt(abs + 1).killMask());
+                if (!dying.empty()) {
+                    report_.add(
+                        Severity::Info, "edvi-kill-missed",
+                        site(p, abs),
+                        "register(s) " + dying.toString() +
+                            " die here with no kill following (" +
+                            inst.toString() + ")");
+                }
+            }
+        }
+    }
+
+    const comp::Executable &exe_;
+    const bool advisory_;
+    FindingReport report_;
+};
+
+} // namespace
+
+FindingReport
+checkExecutable(const comp::Executable &exe, bool advisory)
+{
+    return MachineChecker(exe, advisory).run();
+}
+
+} // namespace analysis
+} // namespace dvi

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Static checks over linked machine code (comp::Executable) —
+ * including the independent E-DVI kill-mask soundness prover.
+ *
+ * The prover re-derives everything from the ISA: its own basic-block
+ * discovery and CFG (analysis::machineCfg), its own per-opcode use/def
+ * model, and backward liveness through the generic dataflow engine.
+ * It deliberately shares no analysis code with src/compiler's
+ * machine_liveness — only the ABI register-set definitions in
+ * isa/registers.hh, which are the calling convention's spec rather
+ * than anyone's analysis. A bug in the compiler's liveness therefore
+ * cannot hide a matching bug here (§7: "Errors in E-DVI should be
+ * considered compiler errors").
+ *
+ * Rule catalog:
+ *  - mc-structure (error): branches that escape their procedure,
+ *    procedures that fall off their final instruction, empty
+ *    procedures.
+ *  - edvi-kill-live (error): a kill mask naming a register some path
+ *    still reads — the §7 compiler-error condition.
+ *  - edvi-spec-precondition (warn): a kill asserting a callee-saved
+ *    register dead in a procedure with no frame save of it; a
+ *    speculative-kill variant would have no snapshot to recover from.
+ *  - edvi-kill-redundant (info, advisory): a kill bit already proven
+ *    dead on every path (forward known-dead must-analysis seeded by
+ *    earlier kills).
+ *  - edvi-kill-missed (info, advisory): an allocatable register's
+ *    last use with no kill following it — the gap between the binary
+ *    and a Dense-policy binary, feeding ablation-edvi-density.
+ */
+
+#ifndef DVI_ANALYSIS_MACHINE_CHECKS_HH
+#define DVI_ANALYSIS_MACHINE_CHECKS_HH
+
+#include "analysis/findings.hh"
+#include "compiler/executable.hh"
+
+namespace dvi
+{
+namespace analysis
+{
+
+/**
+ * Run the machine rule pipeline over every procedure of `exe`.
+ * Advisory (Info) rules run only when `advisory` is set.
+ */
+FindingReport checkExecutable(const comp::Executable &exe,
+                              bool advisory = false);
+
+} // namespace analysis
+} // namespace dvi
+
+#endif // DVI_ANALYSIS_MACHINE_CHECKS_HH

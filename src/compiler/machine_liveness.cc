@@ -170,32 +170,5 @@ analyzeProcedure(const Executable &exe, int proc_index)
     return ml;
 }
 
-std::string
-verifyEdviKills(const Executable &exe)
-{
-    for (std::size_t p = 0; p < exe.procs.size(); ++p) {
-        const ProcInfo &pi = exe.procs[p];
-        if (pi.end <= pi.entry)
-            continue;
-        const MachineLiveness ml =
-            analyzeProcedure(exe, static_cast<int>(p));
-        for (int i = pi.entry; i < pi.end; ++i) {
-            const isa::Instruction &inst =
-                exe.code[static_cast<std::size_t>(i)];
-            if (!inst.isKill())
-                continue;
-            const RegMask bad =
-                inst.killMask() &
-                ml.liveAfter[static_cast<std::size_t>(i - pi.entry)];
-            if (!bad.empty()) {
-                return "kill at " + std::to_string(i) + " in " +
-                       pi.name + " names live register(s) " +
-                       bad.toString() + " (" + inst.toString() + ")";
-            }
-        }
-    }
-    return "";
-}
-
 } // namespace comp
 } // namespace dvi

@@ -52,21 +52,16 @@ RegMask machineDefs(const isa::Instruction &inst);
 /** Registers used by one machine instruction. */
 RegMask machineUses(const isa::Instruction &inst);
 
-/** Analyze one procedure of an executable. */
-MachineLiveness analyzeProcedure(const Executable &exe, int proc_index);
-
 /**
- * Static E-DVI soundness check (§7: "Errors in E-DVI should be
- * considered compiler errors"): every kill instruction's mask must
- * name only registers that are machine-dead immediately after it —
- * a kill of a register the dataflow still sees as live means the
- * binary asserts dead value information that is wrong. Verifies
- * every procedure; returns "" when sound, else a diagnostic naming
- * the procedure, instruction index, and offending registers. This
- * is the fuzz oracle's cheapest layer: it catches corrupt kill
- * masks without running a single instruction.
+ * Analyze one procedure of an executable.
+ *
+ * This is the *compiler's* liveness — the one that decides where
+ * kills go. The static E-DVI soundness proof lives in
+ * analysis::verifyKills (src/analysis/lint.hh), which re-derives
+ * use/def and the CFG independently so a bug here cannot vouch for
+ * itself.
  */
-std::string verifyEdviKills(const Executable &exe);
+MachineLiveness analyzeProcedure(const Executable &exe, int proc_index);
 
 } // namespace comp
 } // namespace dvi

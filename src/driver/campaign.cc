@@ -37,9 +37,19 @@ ExecutableCache::get(workload::BenchmarkId id,
             slot = std::make_shared<Entry>();
         entry = slot;
     }
-    bool compiled = false;
-    std::call_once(entry->once, [&] {
-        compiled = true;
+    // Claim the compile slot, or wait for whoever holds it. A
+    // throwing compile releases the claim with `exe` still null, so
+    // the next get() (the campaign's retry) compiles again.
+    {
+        std::unique_lock<std::mutex> lk(entry->mu);
+        entry->cv.wait(lk, [&] { return !entry->inProgress; });
+        if (entry->exe) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return entry->exe;
+        }
+        entry->inProgress = true;
+    }
+    try {
         // A campaign-local cache carries its campaign's sink; the
         // process-wide cache dvi-serve shares has none, so compile
         // spans resolve through the thread's scoped sink and land
@@ -51,17 +61,25 @@ ExecutableCache::get(workload::BenchmarkId id,
         begin.set("policy", sim::edviPolicyName(policy));
         obs::PhaseSpan span(sink, "compile", obs::currentJob(),
                             std::move(begin));
-        // Chaos site: a throw here leaves the once-flag unset, so
-        // the next get() for this key retries the compile — which is
-        // exactly what the campaign retry loop relies on.
+        // Chaos site: a throw here releases the slot un-compiled,
+        // so the next get() for this key retries the compile —
+        // which is exactly what the campaign retry loop relies on.
         DVI_FAILPOINT("driver.compile");
         const prog::Module mod = workload::generateBenchmark(id);
-        entry->exe = std::make_shared<const comp::Executable>(
+        const auto exe = std::make_shared<const comp::Executable>(
             comp::compile(mod, comp::CompileOptions{policy}));
-        span.annotate("textBytes", entry->exe->textBytes());
-    });
-    (compiled ? misses_ : hits_)
-        .fetch_add(1, std::memory_order_relaxed);
+        span.annotate("textBytes", exe->textBytes());
+        std::lock_guard<std::mutex> lk(entry->mu);
+        entry->exe = exe;
+        entry->inProgress = false;
+        entry->cv.notify_all();
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(entry->mu);
+        entry->inProgress = false;
+        entry->cv.notify_all();
+        throw;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return entry->exe;
 }
 
@@ -224,6 +242,58 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
         }
     }
 
+    // Bridge the campaign-level cancel into jobs already in
+    // flight. Runners poll the per-job flag (the watchdog's
+    // target), so a campaign cancel must be mirrored into every
+    // active job's flag — otherwise a long job runs to completion
+    // before anyone notices (dvi-serve's DELETE relies on this).
+    struct CancelMirror
+    {
+        std::mutex mu;
+        std::vector<std::atomic<bool> *> active;
+        std::atomic<bool> stop{false};
+        std::thread thread;
+
+        void
+        registerFlag(std::atomic<bool> *flag,
+                     const std::atomic<bool> *campaign)
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            active.push_back(flag);
+            if (campaign->load(std::memory_order_relaxed))
+                flag->store(true, std::memory_order_release);
+        }
+
+        void
+        deregisterFlag(std::atomic<bool> *flag)
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            active.erase(
+                std::find(active.begin(), active.end(), flag));
+        }
+
+        ~CancelMirror()
+        {
+            if (thread.joinable()) {
+                stop.store(true, std::memory_order_release);
+                thread.join();
+            }
+        }
+    } mirror;
+    if (cancel) {
+        mirror.thread = std::thread([&mirror, cancel] {
+            while (!mirror.stop.load(std::memory_order_acquire)) {
+                if (cancel->load(std::memory_order_relaxed)) {
+                    std::lock_guard<std::mutex> lk(mirror.mu);
+                    for (std::atomic<bool> *f : mirror.active)
+                        f->store(true, std::memory_order_release);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        });
+    }
+
     parallelFor(pool, specs.size(), [&](std::size_t i) {
         // Cooperative cancel: jobs that have not started yet become
         // no-ops (their result slots stay default-constructed); the
@@ -267,6 +337,8 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
                             s.budget.maxWallMs));
             JobError err;
             bool failed = false;
+            if (cancel)
+                mirror.registerFlag(&jobCancel, cancel);
             try {
                 const sim::CancelScope cancelScope(&jobCancel);
                 DVI_FAILPOINT("driver.job");
@@ -296,6 +368,8 @@ Campaign::run(ThreadPool &pool, const CampaignOptions &opts) const
                 err.kind = base::FaultKind::Permanent;
                 err.message = e.what();
             }
+            if (cancel)
+                mirror.deregisterFlag(&jobCancel);
             const bool wdFired =
                 deadline && watchdog->disarm(wd);
 

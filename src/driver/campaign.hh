@@ -17,6 +17,7 @@
 #define DVI_DRIVER_CAMPAIGN_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -81,9 +82,20 @@ class ExecutableCache
   private:
     using Key = std::pair<workload::BenchmarkId, comp::EdviPolicy>;
 
+    /**
+     * One compile slot. An explicit state machine rather than
+     * std::once_flag: the retry path relies on a throwing compile
+     * leaving the slot retryable, and libstdc++'s call_once does
+     * not restore the flag portably when the callable throws under
+     * every runtime (ThreadSanitizer's pthread_once interception
+     * deadlocks every later waiter). The mutex + condvar version
+     * has the exceptional semantics the standard promises, visibly.
+     */
     struct Entry
     {
-        std::once_flag once;
+        std::mutex mu;
+        std::condition_variable cv;
+        bool inProgress = false;
         std::shared_ptr<const comp::Executable> exe;
     };
 

@@ -2,10 +2,10 @@
 
 #include <sstream>
 
+#include "analysis/lint.hh"
 #include "arch/emulator.hh"
 #include "base/bits.hh"
 #include "compiler/compile.hh"
-#include "compiler/machine_liveness.hh"
 #include "isa/registers.hh"
 #include "uarch/core.hh"
 #include "uarch/core_config.hh"
@@ -17,94 +17,6 @@ namespace fuzz
 
 namespace
 {
-
-/** Registers an IR instruction reads (vreg operands only). */
-unsigned
-irUses(const prog::IrInst &inst, prog::VReg out[4])
-{
-    using prog::IrOp;
-    unsigned n = 0;
-    switch (inst.op) {
-      case IrOp::Add:
-      case IrOp::Sub:
-      case IrOp::Mul:
-      case IrOp::Div:
-      case IrOp::And:
-      case IrOp::Or:
-      case IrOp::Xor:
-      case IrOp::Slt:
-      case IrOp::Sll:
-      case IrOp::Srl:
-      case IrOp::Store:
-      case IrOp::Beq:
-      case IrOp::Bne:
-      case IrOp::Blt:
-      case IrOp::Bge:
-        out[n++] = inst.src1;
-        out[n++] = inst.src2;
-        return n;
-      case IrOp::AddImm:
-      case IrOp::AndImm:
-      case IrOp::OrImm:
-      case IrOp::XorImm:
-      case IrOp::SltImm:
-      case IrOp::Load:
-      case IrOp::StoreStack:
-        out[n++] = inst.src1;
-        return n;
-      case IrOp::Ret:
-        if (inst.src1 != prog::noVReg)
-            out[n++] = inst.src1;
-        return n;
-      case IrOp::Call:
-        for (prog::VReg a : inst.args)
-            out[n++] = a;
-        return n;
-      default:
-        return 0;
-    }
-}
-
-/**
- * Cheap structural gate ahead of compilation: every vreg an
- * instruction reads must be defined *somewhere* in its procedure
- * (or be a parameter). Minimizer probes that delete a value's only
- * definition would otherwise panic the compiler ("unallocated"
- * operands); order/dominance violations that survive this check
- * degrade into dead reads or faults the oracle classes as
- * ill-formed.
- */
-std::string
-checkDefinedUses(const prog::Module &mod)
-{
-    for (const prog::Procedure &proc : mod.procs) {
-        std::vector<bool> defined(proc.nextVReg, false);
-        for (prog::VReg p : proc.params)
-            if (p < proc.nextVReg)
-                defined[p] = true;
-        for (const auto &block : proc.blocks)
-            for (const prog::IrInst &inst : block.insts)
-                if (inst.dst != prog::noVReg &&
-                    inst.dst < proc.nextVReg)
-                    defined[inst.dst] = true;
-        for (const auto &block : proc.blocks) {
-            for (const prog::IrInst &inst : block.insts) {
-                prog::VReg uses[4];
-                const unsigned n = irUses(inst, uses);
-                for (unsigned i = 0; i < n; ++i) {
-                    if (uses[i] >= proc.nextVReg ||
-                        !defined[uses[i]]) {
-                        return "proc " + proc.name +
-                               " reads vreg " +
-                               std::to_string(uses[i]) +
-                               " which is never defined";
-                    }
-                }
-            }
-        }
-    }
-    return "";
-}
 
 arch::EmulatorOptions
 emuOpts(bool honor_edvi, unsigned depth)
@@ -364,10 +276,14 @@ runOracle(const prog::Module &mod, const OracleOptions &opts)
         return rep;
     };
 
+    // Structural gate ahead of compilation: Module::validate plus
+    // the analysis framework's IR rules (def-before-use in
+    // particular — minimizer probes that delete a value's only
+    // definition would otherwise panic the register allocator).
     const std::string verr = mod.validate();
     if (!verr.empty())
         return fail("invalid module: " + verr);
-    const std::string uerr = checkDefinedUses(mod);
+    const std::string uerr = analysis::firstModuleError(mod);
     if (!uerr.empty())
         return fail("invalid module: " + uerr);
 
@@ -381,7 +297,9 @@ runOracle(const prog::Module &mod, const OracleOptions &opts)
     rep.staticKills = edvi.countKills();
 
     if (opts.staticCheck) {
-        const std::string serr = comp::verifyEdviKills(edvi);
+        // Layer 0: the independent kill-mask prover (src/analysis —
+        // deliberately not the compiler's own liveness).
+        const std::string serr = analysis::verifyKills(edvi);
         if (!serr.empty())
             return fail("static: " + serr);
     }
@@ -395,7 +313,7 @@ runOracle(const prog::Module &mod, const OracleOptions &opts)
         comp::Executable dense = comp::compile(
             mod, comp::CompileOptions{comp::EdviPolicy::Dense});
         if (opts.staticCheck) {
-            const std::string serr = comp::verifyEdviKills(dense);
+            const std::string serr = analysis::verifyKills(dense);
             if (!serr.empty())
                 return fail("static(dense): " + serr);
         }

@@ -9,7 +9,8 @@
  * the first disagreement is reported:
  *
  *  0. static: every kill mask in the binary names only machine-dead
- *     registers (comp::verifyEdviKills);
+ *     registers (analysis::verifyKills — the independent prover in
+ *     src/analysis, not the compiler's own liveness);
  *  1. lockstep: the functional emulator with DVI ignored
  *     (honorEdvi=false, plain binary) against the emulator consuming
  *     E-DVI kills — per-instruction opcode / effective-address /

@@ -15,8 +15,8 @@
 
 #include "arch/emulator.hh"
 #include "base/test_seed.hh"
+#include "analysis/lint.hh"
 #include "compiler/compile.hh"
-#include "compiler/machine_liveness.hh"
 #include "fuzz/campaign.hh"
 #include "fuzz/minimizer.hh"
 #include "fuzz/oracle.hh"
@@ -233,7 +233,7 @@ TEST(StaticVerifier, CleanOnEveryBenchmarkAndPolicy)
              {comp::EdviPolicy::CallSites, comp::EdviPolicy::Dense}) {
             const comp::Executable exe = comp::compile(
                 mod, comp::CompileOptions{policy});
-            EXPECT_EQ(comp::verifyEdviKills(exe), "")
+            EXPECT_EQ(analysis::verifyKills(exe), "")
                 << workload::benchmarkName(id);
         }
     }
@@ -258,7 +258,7 @@ TEST(StaticVerifier, FlagsCorruptedKillMask)
             comp::Executable candidate = exe;
             if (fuzz::applyKillFault(candidate, f)) {
                 applied = true;
-                EXPECT_NE(comp::verifyEdviKills(candidate), "");
+                EXPECT_NE(analysis::verifyKills(candidate), "");
             }
         }
     }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Prove every header under src/ compiles standalone.
+
+Usage:
+    tools/check_headers.py [--compiler CXX] [--jobs N] [HEADER...]
+
+Each src/**/*.hh is compiled as its own translation unit (a generated
+.cc whose only content is `#include "<header>"`), with the same
+include root and language standard as the real build. A header that
+sneaks a dependency in through whoever happened to include it first
+breaks here, not in some later reshuffle.
+
+With explicit HEADER arguments only those files are checked (paths
+relative to the repo root or absolute).
+
+Exit status: 0 all headers self-contained, 1 any failed, 2 unusable
+input. Failures replay the compiler diagnostics, one header per
+block.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+STD = "c++17"
+
+
+def find_headers():
+    headers = []
+    for dirpath, _dirnames, filenames in os.walk(SRC):
+        for name in sorted(filenames):
+            if name.endswith(".hh"):
+                headers.append(os.path.join(dirpath, name))
+    return sorted(headers)
+
+
+def check_one(compiler, header):
+    """Compile one header standalone; returns (header, output)."""
+    rel = os.path.relpath(header, SRC)
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, f"-std={STD}", "-Wall", "-Wextra",
+             "-fsyntax-only", "-I", SRC, tu_path],
+            capture_output=True, text=True)
+        if proc.returncode == 0:
+            return header, None
+        return header, proc.stderr or proc.stdout or "compiler failed"
+    finally:
+        os.unlink(tu_path)
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("headers", nargs="*", metavar="HEADER")
+    p.add_argument("--compiler", default=os.environ.get("CXX", "c++"))
+    p.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = p.parse_args()
+
+    if args.headers:
+        headers = [os.path.abspath(h) for h in args.headers]
+        missing = [h for h in headers if not os.path.isfile(h)]
+        if missing:
+            print(f"check_headers: no such file: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 2
+    else:
+        headers = find_headers()
+    if not headers:
+        print("check_headers: no headers found under src/",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for header, diag in pool.map(
+                lambda h: check_one(args.compiler, h), headers):
+            if diag is not None:
+                failed.append((header, diag))
+
+    for header, diag in failed:
+        rel = os.path.relpath(header, REPO)
+        print(f"check_headers: {rel} is not self-contained:",
+              file=sys.stderr)
+        for line in diag.rstrip().splitlines():
+            print(f"  {line}", file=sys.stderr)
+
+    ok = len(headers) - len(failed)
+    print(f"check_headers: {ok}/{len(headers)} headers "
+          f"self-contained")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,18 @@ SCHEMA = {
     "retry": {"attempt": int, "backoffMs": int, "fault": str},
     "error": {"fault": str, "message": str, "retries": int},
     "watchdog": {"limitMs": int},
+    "lint": {"severity": str, "rule": str, "unit": str,
+             "message": str},
+    "lint-summary": {"units": int, "findings": int, "errors": int,
+                     "warnings": int, "infos": int},
+}
+
+# kind -> {field: type tuple} for fields that may be absent but must
+# be well-typed when present. A lint finding's site narrows from the
+# whole module down to one machine instruction (pc) or one IR
+# instruction (block/inst) depending on the rule that fired.
+OPTIONAL = {
+    "lint": {"proc": str, "pc": int, "block": int, "inst": int},
 }
 
 JOB_REQUIRED = {"job-begin", "job-end", "core-sample",
@@ -106,6 +118,13 @@ def check_event(lineno, ev):
             fail(lineno, f"{kind}.{field} is a bool, want "
                          f"{want}: {v!r}")
         if not isinstance(v, want):
+            fail(lineno, f"{kind}.{field} has wrong type: {v!r} "
+                         f"(want {want})")
+    for field, want in OPTIONAL.get(kind, {}).items():
+        if field not in ev:
+            continue
+        v = ev[field]
+        if isinstance(v, bool) or not isinstance(v, want):
             fail(lineno, f"{kind}.{field} has wrong type: {v!r} "
                          f"(want {want})")
 

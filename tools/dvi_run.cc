@@ -30,14 +30,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "base/cli.hh"
 #include "base/failpoint.hh"
 #include "base/logging.hh"
+#include "compiler/compile.hh"
 #include "driver/figures.hh"
 #include "driver/scenario_registry.hh"
 #include "obs/metrics.hh"
@@ -45,6 +49,7 @@
 #include "obs/trace.hh"
 #include "sim/manifest.hh"
 #include "sim/scenario.hh"
+#include "workload/benchmarks.hh"
 
 using namespace dvi;
 
@@ -108,6 +113,11 @@ usage(const char *argv0)
         "                  'driver.compile=throw@1in20,seed=42'\n"
         "                  (also: DVI_CHAOS env var); see DESIGN.md\n"
         "                  §12\n"
+        "  --lint          statically verify every binary the\n"
+        "                  campaign will run (src/analysis rules,\n"
+        "                  including the independent E-DVI kill-mask\n"
+        "                  prover) before any job launches; findings\n"
+        "                  abort the run with exit 1\n"
         "  --quiet         suppress the tables on stdout\n"
         "  --list          list registered scenarios and exit\n"
         "  --help          this text\n",
@@ -189,6 +199,7 @@ main(int argc, char **argv)
     std::string chaos_spec;
     bool retries_given = false;
     unsigned retries = 0;
+    bool lint = false;
 
     // Failpoints arm before anything can hit one; an explicit
     // --chaos below replaces the environment's spec.
@@ -251,6 +262,8 @@ main(int argc, char **argv)
             retries = static_cast<unsigned>(
                 parseUint("--retries", value()));
             retries_given = true;
+        } else if (arg == "--lint") {
+            lint = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -416,6 +429,62 @@ main(int argc, char **argv)
         if (metrics_interval)
             flusher = std::make_unique<obs::MetricFlusher>(
                 metrics, *sink, metrics_interval);
+    }
+
+    // ------------------------------------------- pre-launch lint
+    // Statically verify every distinct (benchmark, policy) binary
+    // the campaign references before any job launches: a campaign
+    // burning hours on an unsoundly annotated binary is wasted
+    // compute AND a wrong conclusion.
+    if (lint) {
+        std::map<workload::BenchmarkId,
+                 std::set<comp::EdviPolicy>>
+            variants;
+        for (const driver::JobSpec &job : campaign.jobs())
+            variants[job.scenario.workload].insert(
+                job.scenario.binary.edvi);
+        analysis::FindingReport findings;
+        std::size_t binaries = 0;
+        for (const auto &[id, policies] : variants) {
+            prog::Module mod = workload::generateBenchmark(id);
+            mod.name = workload::benchmarkName(id);
+            findings.merge(analysis::lintModule(mod));
+            if (!analysis::firstModuleError(mod).empty())
+                continue;  // compiling broken IR would panic
+            for (comp::EdviPolicy policy : policies) {
+                comp::CompileOptions lint_copts;
+                lint_copts.edvi = policy;
+                comp::Executable exe =
+                    comp::compile(mod, lint_copts);
+                exe.name = mod.name + "/" +
+                           sim::edviPolicyName(policy);
+                ++binaries;
+                findings.merge(analysis::lintExecutable(exe));
+            }
+        }
+        findings.emitTelemetry(sink.get(), variants.size());
+        if (findings.failing()) {
+            findings.toTable("pre-launch lint findings").print();
+            flusher.reset();
+            if (sink) {
+                metrics.flush(*sink);
+                obs::setGlobalSink(nullptr);
+                obs::setCoreSampleInsts(0);
+            }
+            std::fprintf(
+                stderr,
+                "dvi-run: --lint found %zu finding(s) across %zu "
+                "binar%s; campaign %s not started\n",
+                findings.size(), binaries,
+                binaries == 1 ? "y" : "ies",
+                campaign.name().c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "dvi-run: lint clean (%zu module(s), %zu "
+                     "binar%s)\n",
+                     variants.size(), binaries,
+                     binaries == 1 ? "y" : "ies");
     }
 
     copts.cancel = &g_interrupted;
