@@ -351,6 +351,8 @@ std::size_t
 Emulator::stepBatch(TraceRecord *out, std::size_t max_records,
                     std::uint64_t max_prog_insts)
 {
+    if (opts.tier == ExecTier::Xlate)
+        return stepBatchXlate(out, max_records, max_prog_insts);
     std::size_t n = 0;
     std::uint64_t prog = 0;
     while (n < max_records) {
@@ -368,6 +370,8 @@ Emulator::stepBatch(TraceRecord *out, std::size_t max_records,
 std::uint64_t
 Emulator::run(std::uint64_t max_insts)
 {
+    if (opts.tier == ExecTier::Xlate)
+        return runXlate(max_insts);
     std::uint64_t n = 0;
     while (!halted_ && (max_insts == 0 || n < max_insts)) {
         if (opts.cancel && (n & 4095) == 0 &&

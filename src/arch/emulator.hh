@@ -28,8 +28,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "arch/memory.hh"
+#include "arch/xlate.hh"
 #include "base/reg_mask.hh"
 #include "base/types.hh"
 #include "compiler/executable.hh"
@@ -70,6 +72,19 @@ struct EmulatorOptions
      * are rejected gracefully rather than aborting the campaign.
      */
     bool faultOnMisaligned = false;
+
+    /**
+     * Execution tier for run() and stepBatch(). Xlate (the default)
+     * executes from the process-wide basic-block translation cache:
+     * each block is decoded once into pre-resolved micro-ops and
+     * dispatched through a threaded inner loop, with architectural
+     * state, stats, traces, and the functional LVM bit-identical to
+     * the interpreter (the fuzz oracle's tier-lockstep layer and the
+     * golden-stats tests enforce this). Interp forces the tier-0
+     * decode-dispatch loop — the A/B reference. step() always
+     * interprets regardless of tier.
+     */
+    ExecTier tier = ExecTier::Xlate;
 
     /**
      * Cooperative cancellation: when non-null, run() polls the flag
@@ -178,6 +193,11 @@ class Emulator
     const EmulatorStats &stats() const { return stats_; }
     const comp::Executable &executable() const { return exe; }
 
+    /** Tier-1 translation handle; null until the first cached
+     * run()/stepBatch() under ExecTier::Xlate (tests and the
+     * invalidation paths inspect block formation through it). */
+    const TranslatedProgram *translation() const { return xprog_.get(); }
+
     /**
      * Digest of the program-visible result: return-value registers
      * plus the global data region. Stack contents and return
@@ -201,6 +221,30 @@ class Emulator
      * accounting, only reachable with liveness tracking on. */
     void checkReadSlow(RegIndex r);
 
+    /** @name Tier-1 executor (emulator_xlate.cc) @{ */
+    /** Acquire the shared translation from the process cache. */
+    void ensureXlate();
+    /** Dead-read probe for block execution: pc_ is not advanced
+     * per micro-op, so the faulting pc is passed explicitly. */
+    void checkLiveAt(RegIndex r, std::uint32_t at_pc);
+    /** Effective address + misaligned-fault latch for a micro-op. */
+    Addr xlateAddr(const MicroOp &u);
+    /** Fold a block's static stats delta into stats_. */
+    void applyBlockStats(const BlockStats &s);
+    /** Execute one translated block; returns instructions retired
+     * (== b.len unless a misaligned fault halted mid-block). When
+     * Trace, writes one TraceRecord per retired instruction. Live
+     * bakes opts.trackLiveness into the instantiation so the
+     * no-LVM configuration (the timing core's) carries no liveness
+     * branches in the dispatch loop. */
+    template <bool Trace, bool Live>
+    std::uint32_t execBlock(const XBlock &b, TraceRecord *out);
+    std::uint64_t runXlate(std::uint64_t max_insts);
+    std::size_t stepBatchXlate(TraceRecord *out,
+                               std::size_t max_records,
+                               std::uint64_t max_prog_insts);
+    /** @} */
+
     /** Owned copy: the emulator must outlive any caller temporary
      * (code images are a few KB). */
     const comp::Executable exe;
@@ -218,6 +262,9 @@ class Emulator
     core::LvmStack stack;
     RegMask fpLive_;
     std::uint64_t callDepth = 0;
+
+    /** Shared tier-1 translation (lazy; see ensureXlate). */
+    std::shared_ptr<TranslatedProgram> xprog_;
 
     EmulatorStats stats_;
 };

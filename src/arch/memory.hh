@@ -6,12 +6,24 @@
  * 8-byte aligned 64-bit words (the compiler only emits such
  * accesses). Unwritten locations read as zero, which the workload
  * generators rely on for zero-initialized global arrays.
+ *
+ * Storage is paged rather than per-word: 512-word (4 KB) pages in a
+ * hash map, fronted by a one-entry last-page cache. Emulated
+ * accesses have strong spatial locality (stack frames, the global
+ * window), so the common case is a shift, a compare, and an indexed
+ * array access; the per-word hash lookup this replaced was the
+ * single largest shared cost in the functional emulator's inner
+ * loop on both execution tiers. Pages never move once allocated
+ * (unique_ptr targets), which is what keeps the cached pointer
+ * valid.
  */
 
 #ifndef DVI_ARCH_MEMORY_HH
 #define DVI_ARCH_MEMORY_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "base/logging.hh"
@@ -25,35 +37,100 @@ namespace arch
 /** Sparse word-addressed memory. */
 class Memory
 {
+    static constexpr unsigned pageShift = 9; ///< 512 words = 4 KB
+    static constexpr std::uint64_t pageWords = std::uint64_t(1) << pageShift;
+    static constexpr std::uint64_t pageMask = pageWords - 1;
+
+    struct Page
+    {
+        std::array<std::int64_t, pageWords> data{};
+        /** One bit per written word, for touchedWords accounting
+         * and forEach enumeration. */
+        std::array<std::uint64_t, pageWords / 64> written{};
+    };
+
   public:
     std::int64_t
     read(Addr addr) const
     {
         panic_if(addr % 8 != 0, "unaligned read at ", addr);
-        auto it = words.find(addr >> 3);
-        return it == words.end() ? 0 : it->second;
+        const std::uint64_t w = addr >> 3;
+        const Page *p = findPage(w >> pageShift);
+        return p ? p->data[w & pageMask] : 0;
     }
 
     void
     write(Addr addr, std::int64_t value)
     {
         panic_if(addr % 8 != 0, "unaligned write at ", addr);
-        words[addr >> 3] = value;
+        const std::uint64_t w = addr >> 3;
+        Page &p = ensurePage(w >> pageShift);
+        const std::uint64_t slot = w & pageMask;
+        std::uint64_t &bits = p.written[slot >> 6];
+        const std::uint64_t bit = std::uint64_t(1) << (slot & 63);
+        touched += !(bits & bit);
+        bits |= bit;
+        p.data[slot] = value;
     }
 
-    std::size_t touchedWords() const { return words.size(); }
+    /** Distinct words ever written. */
+    std::size_t touchedWords() const { return touched; }
 
-    /** Iterate (wordAddr, value) pairs; unordered. */
+    /** Iterate (wordAddr, value) pairs of written words; unordered
+     * across pages. */
     template <typename F>
     void
     forEach(F &&f) const
     {
-        for (const auto &[w, v] : words)
-            f(w << 3, v);
+        for (const auto &[idx, page] : pages) {
+            for (std::uint64_t g = 0; g < pageWords / 64; ++g) {
+                std::uint64_t bits = page->written[g];
+                while (bits) {
+                    const auto b =
+                        static_cast<unsigned>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    const std::uint64_t slot = g * 64 + b;
+                    f(((idx << pageShift) + slot) << 3,
+                      page->data[slot]);
+                }
+            }
+        }
     }
 
   private:
-    std::unordered_map<Addr, std::int64_t> words;
+    const Page *
+    findPage(std::uint64_t idx) const
+    {
+        if (lastPage && lastIdx == idx)
+            return lastPage;
+        const auto it = pages.find(idx);
+        if (it == pages.end())
+            return nullptr;
+        lastIdx = idx;
+        lastPage = it->second.get();
+        return lastPage;
+    }
+
+    Page &
+    ensurePage(std::uint64_t idx)
+    {
+        if (lastPage && lastIdx == idx)
+            return *lastPage;
+        std::unique_ptr<Page> &slot = pages[idx];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        lastIdx = idx;
+        lastPage = slot.get();
+        return *lastPage;
+    }
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+    std::size_t touched = 0;
+
+    /** Last page accessed; pages are never deallocated or moved, so
+     * the cached pointer stays valid for the Memory's lifetime. */
+    mutable std::uint64_t lastIdx = 0;
+    mutable Page *lastPage = nullptr;
 };
 
 } // namespace arch

@@ -1,0 +1,99 @@
+#include "arch/xlate_cache.hh"
+
+#include <algorithm>
+
+namespace dvi
+{
+namespace arch
+{
+
+TranslationCache &
+TranslationCache::process()
+{
+    static TranslationCache cache;
+    return cache;
+}
+
+std::shared_ptr<TranslatedProgram>
+TranslationCache::acquire(const comp::Executable &exe)
+{
+    const std::uint64_t h = TranslatedProgram::hashCode(exe);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Entry &e : entries_) {
+        if (e.hash == h && e.prog->matches(exe)) {
+            e.lastUse = ++tick_;
+            ++hits_;
+            return e.prog;
+        }
+    }
+    ++misses_;
+    if (maxPrograms_ && entries_.size() >= maxPrograms_) {
+        const auto lru = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.lastUse < b.lastUse;
+            });
+        entries_.erase(lru);
+        ++evictions_;
+    }
+    Entry e;
+    e.hash = h;
+    e.prog = std::make_shared<TranslatedProgram>(exe);
+    e.lastUse = ++tick_;
+    entries_.push_back(std::move(e));
+    return entries_.back().prog;
+}
+
+bool
+TranslationCache::invalidate(const comp::Executable &exe)
+{
+    const std::uint64_t h = TranslatedProgram::hashCode(exe);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->hash == h && it->prog->matches(exe)) {
+            entries_.erase(it);
+            ++evictions_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TranslationCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    evictions_ += entries_.size();
+    entries_.clear();
+}
+
+std::size_t
+TranslationCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+}
+
+std::uint64_t
+TranslationCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+std::uint64_t
+TranslationCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+}
+
+std::uint64_t
+TranslationCache::evictions() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+}
+
+} // namespace arch
+} // namespace dvi

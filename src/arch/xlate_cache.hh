@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Process-wide translation cache: one TranslatedProgram shared by
+ * every emulator running the same binary.
+ *
+ * The driver's ExecutableCache compiles each (benchmark, policy)
+ * pair once per campaign; this cache is its execution-side
+ * counterpart, keyed by code *content* rather than by identity.
+ * Content keying is what makes per-executable invalidation
+ * automatic: a recompiled binary — even under the same name — hashes
+ * differently, so it can never pick up a stale translation, and
+ * dvi-serve's resident process reuses translations across campaigns
+ * exactly when the bits are identical. invalidate()/clear() exist
+ * for explicit eviction (tests, memory pressure); a bounded LRU cap
+ * keeps a long-lived server from accumulating dead programs.
+ */
+
+#ifndef DVI_ARCH_XLATE_CACHE_HH
+#define DVI_ARCH_XLATE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/xlate.hh"
+#include "compiler/executable.hh"
+
+namespace dvi
+{
+namespace arch
+{
+
+/** Content-keyed cache of TranslatedPrograms. Thread-safe. */
+class TranslationCache
+{
+  public:
+    /** `maxPrograms` caps resident translations; 0 = unbounded. */
+    explicit TranslationCache(std::size_t maxPrograms = 64)
+        : maxPrograms_(maxPrograms)
+    {
+    }
+
+    /** The process-wide instance every emulator defaults to. */
+    static TranslationCache &process();
+
+    /**
+     * The shared translation for `exe`, admitting it on first use.
+     * Probed by hash, admitted by full code comparison — hash
+     * collisions fall through to a fresh entry, never to a wrong
+     * translation. The returned handle keeps the translation alive
+     * across eviction (emulators outliving an evicted entry keep
+     * executing their own copy).
+     */
+    std::shared_ptr<TranslatedProgram>
+    acquire(const comp::Executable &exe);
+
+    /** Drop the entry matching `exe`'s content, if resident.
+     * Returns true when an entry was evicted. */
+    bool invalidate(const comp::Executable &exe);
+
+    /** Drop every entry (live handles stay valid). */
+    void clear();
+
+    /** Resident translations. */
+    std::size_t size() const;
+
+    /** @name Accounting (monotonic over the cache's lifetime) @{ */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hash = 0;
+        std::shared_ptr<TranslatedProgram> prog;
+        std::uint64_t lastUse = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+    std::size_t maxPrograms_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace arch
+} // namespace dvi
+
+#endif // DVI_ARCH_XLATE_CACHE_HH

@@ -24,7 +24,23 @@ namespace
 using sim::Scenario;
 using sim::ScenarioGrid;
 
-/** Per-preset / total throughput aggregate. */
+/** How much longer the functional-tier rows run than the timing
+ * rows: the functional emulator retires instructions one to two
+ * orders of magnitude faster, so a bigger budget is what makes its
+ * wall-clock (and the interp-vs-xlate speedup) measurable and keeps
+ * one-time costs (compile, block translation, page faults in the
+ * sparse memory) out of the ratio. */
+constexpr std::uint64_t funcBudgetScale = 25;
+
+/** Row key: scenarios grouped by label when present (the functional
+ * tier rows), preset otherwise (the timing grid). */
+const std::string &
+rowKey(const Scenario &s)
+{
+    return s.label.empty() ? s.preset : s.label;
+}
+
+/** Per-group / total throughput aggregate. */
 struct Agg
 {
     std::uint64_t simInsts = 0;
@@ -48,33 +64,60 @@ struct Agg
     }
 };
 
-/** Preset-major aggregation of a throughput report. */
+/** Group-major aggregation of a throughput report. */
 struct ThroughputAggs
 {
-    std::vector<std::string> presetOrder;
-    std::vector<Agg> presetAggs;
+    std::vector<std::string> groupOrder;
+    std::vector<Agg> groupAggs;
+
+    /** Timing rows only — the regression gate's denominator must
+     * not move when functional rows are added or rescaled. */
     Agg total;
+
+    /** Functional-emulator rows by tier (label "func-interp" /
+     * "func-xlate"); instsPerSec() == 0 when absent. */
+    Agg funcInterp;
+    Agg funcXlate;
+
+    /** Translation-cache speedup on the functional rows; 0 until
+     * both tiers are present. */
+    double
+    tierSpeedup() const
+    {
+        const double interp = funcInterp.instsPerSec();
+        return interp > 0.0 ? funcXlate.instsPerSec() / interp : 0.0;
+    }
 };
 
 ThroughputAggs
-aggregate(const CampaignReport &report, const sim::Runner &timing)
+aggregate(const CampaignReport &report)
 {
     ThroughputAggs out;
     for (const JobResult &r : report.results) {
         const sim::Scenario &s = r.spec.scenario;
-        const std::uint64_t insts = timing.simulatedInsts(r.run);
-        if (out.presetOrder.empty() ||
-            out.presetOrder.back() != s.preset) {
-            out.presetOrder.push_back(s.preset);
-            out.presetAggs.push_back(Agg{});
+        const sim::Runner &runner = sim::runnerFor(s.runner);
+        const std::uint64_t insts = runner.simulatedInsts(r.run);
+        const std::string &key = rowKey(s);
+        if (out.groupOrder.empty() || out.groupOrder.back() != key) {
+            out.groupOrder.push_back(key);
+            out.groupAggs.push_back(Agg{});
         }
-        Agg &p = out.presetAggs.back();
-        p.simInsts += insts;
-        p.cycles += r.run.core.cycles;
-        p.wallSeconds += r.wallSeconds;
-        out.total.simInsts += insts;
-        out.total.cycles += r.run.core.cycles;
-        out.total.wallSeconds += r.wallSeconds;
+        Agg &g = out.groupAggs.back();
+        g.simInsts += insts;
+        g.cycles += r.run.core.cycles;
+        g.wallSeconds += r.wallSeconds;
+        if (s.runner == "timing") {
+            out.total.simInsts += insts;
+            out.total.cycles += r.run.core.cycles;
+            out.total.wallSeconds += r.wallSeconds;
+        }
+        if (key == "func-interp") {
+            out.funcInterp.simInsts += insts;
+            out.funcInterp.wallSeconds += r.wallSeconds;
+        } else if (key == "func-xlate") {
+            out.funcXlate.simInsts += insts;
+            out.funcXlate.wallSeconds += r.wallSeconds;
+        }
     }
     return out;
 }
@@ -85,10 +128,37 @@ buildCoreThroughput(std::uint64_t insts)
     Scenario proto;
     proto.runner = "timing";
     proto.budget.maxInsts = insts;
-    return Campaign(ScenarioGrid("perf-core-throughput")
-                        .base(proto)
-                        .overPresets(sim::allPresets())
-                        .overWorkloads(workload::allBenchmarks()));
+    Campaign campaign(ScenarioGrid("perf-core-throughput")
+                          .base(proto)
+                          .overPresets(sim::allPresets())
+                          .overWorkloads(workload::allBenchmarks()));
+
+    // Functional-emulator rows: the oracle runner over every
+    // workload, once per execution tier. These are what the
+    // translation cache actually accelerates (the timing core
+    // dominates the timing rows, Amdahl), and their ratio is the
+    // tier-speedup gate in tools/check_bench.py.
+    for (const arch::ExecTier tier :
+         {arch::ExecTier::Interp, arch::ExecTier::Xlate}) {
+        for (const workload::BenchmarkId bench :
+             workload::allBenchmarks()) {
+            Scenario s;
+            s.runner = "oracle";
+            s.workload = bench;
+            sim::applyPreset(s, sim::presetFull());
+            s.emu.tier = tier;
+            // Raw emulation throughput, like the timing core's own
+            // functional emulator: LVM bookkeeping off. The
+            // liveness-tracking configurations are covered by the
+            // oracle and fuzz tiers, not this bench.
+            s.emu.trackLiveness = false;
+            s.label = tier == arch::ExecTier::Interp ? "func-interp"
+                                                     : "func-xlate";
+            s.budget.maxInsts = insts * funcBudgetScale;
+            campaign.add(std::move(s));
+        }
+    }
+    return campaign;
 }
 
 json::Value
@@ -114,8 +184,7 @@ benchOutPath()
 void
 emitCoreThroughput(const CampaignReport &report)
 {
-    const sim::Runner &timing = sim::runnerFor("timing");
-    const ThroughputAggs aggs = aggregate(report, timing);
+    const ThroughputAggs aggs = aggregate(report);
 
     // The BENCH file: per-scenario rows plus aggregates.
     json::Value doc = json::Value::object();
@@ -126,23 +195,30 @@ emitCoreThroughput(const CampaignReport &report)
     json::Value rows = json::Value::array();
     for (const JobResult &r : report.results) {
         const sim::Scenario &s = r.spec.scenario;
+        const sim::Runner &runner = sim::runnerFor(s.runner);
         json::Value row = json::Value::object();
         row.set("benchmark", workload::benchmarkName(s.workload));
-        row.set("preset", s.preset);
-        row.set("simInsts", timing.simulatedInsts(r.run));
+        row.set("preset", rowKey(s));
+        row.set("runner", s.runner);
+        row.set("simInsts", runner.simulatedInsts(r.run));
         row.set("cycles", r.run.core.cycles);
         row.set("wallSeconds", r.wallSeconds);
-        row.set("instsPerSec", r.instsPerSec(timing));
+        row.set("instsPerSec", r.instsPerSec(runner));
         rows.push(std::move(row));
     }
     doc.set("scenarios", std::move(rows));
 
-    json::Value presets = json::Value::object();
-    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i)
-        presets.set(aggs.presetOrder[i],
-                    aggJson(aggs.presetAggs[i]));
-    doc.set("presets", std::move(presets));
+    json::Value groups = json::Value::object();
+    for (std::size_t i = 0; i < aggs.groupOrder.size(); ++i)
+        groups.set(aggs.groupOrder[i], aggJson(aggs.groupAggs[i]));
+    doc.set("presets", std::move(groups));
     doc.set("total", aggJson(aggs.total));
+
+    json::Value tier = json::Value::object();
+    tier.set("interpInstsPerSec", aggs.funcInterp.instsPerSec());
+    tier.set("xlateInstsPerSec", aggs.funcXlate.instsPerSec());
+    tier.set("speedup", aggs.tierSpeedup());
+    doc.set("tier", std::move(tier));
 
     const std::string path = benchOutPath();
     std::ofstream out(path, std::ios::binary);
@@ -152,30 +228,34 @@ emitCoreThroughput(const CampaignReport &report)
     fatal_if(!out, "write to '", path, "' failed");
 }
 
-/** Display: the per-preset summary table. */
+/** Display: the per-group summary table. */
 void
 renderCoreThroughput(const CampaignReport &report, std::ostream &os)
 {
-    const ThroughputAggs aggs =
-        aggregate(report, sim::runnerFor("timing"));
+    const ThroughputAggs aggs = aggregate(report);
 
-    Table t("Simulator throughput (timing core)");
+    Table t("Simulator throughput (timing core + functional tiers)");
     t.setHeader({"preset", "sim Minsts", "wall s", "Minsts/s",
                  "Mcycles/s"});
-    for (std::size_t i = 0; i < aggs.presetOrder.size(); ++i) {
-        const Agg &a = aggs.presetAggs[i];
-        t.addRow({aggs.presetOrder[i],
+    for (std::size_t i = 0; i < aggs.groupOrder.size(); ++i) {
+        const Agg &a = aggs.groupAggs[i];
+        t.addRow({aggs.groupOrder[i],
                   Table::fmt(double(a.simInsts) / 1e6, 2),
                   Table::fmt(a.wallSeconds, 3),
                   Table::fmt(a.instsPerSec() / 1e6, 2),
                   Table::fmt(a.cyclesPerSec() / 1e6, 2)});
     }
     const Agg &total = aggs.total;
-    t.addRow({"total", Table::fmt(double(total.simInsts) / 1e6, 2),
+    t.addRow({"total(timing)",
+              Table::fmt(double(total.simInsts) / 1e6, 2),
               Table::fmt(total.wallSeconds, 3),
               Table::fmt(total.instsPerSec() / 1e6, 2),
               Table::fmt(total.cyclesPerSec() / 1e6, 2)});
     os << t.render();
+    if (aggs.tierSpeedup() > 0.0)
+        os << "functional tier: xlate is "
+           << Table::fmt(aggs.tierSpeedup(), 2)
+           << "x interp\n";
     os << "bench report written to " << benchOutPath() << "\n";
 }
 
@@ -187,7 +267,8 @@ registerPerfScenarios(ScenarioRegistry &registry)
     RegisteredScenario s;
     s.name = "perf-core-throughput";
     s.description = "simulator throughput: timing-core insts/sec "
-                    "across presets x benchmarks";
+                    "across presets x benchmarks, plus functional-"
+                    "emulator tier rows (interp vs xlate)";
     s.defaultInsts = 120000;
     s.profile = true;
     s.build = buildCoreThroughput;

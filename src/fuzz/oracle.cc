@@ -1,5 +1,6 @@
 #include "fuzz/oracle.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/lint.hh"
@@ -170,6 +171,149 @@ lockstep(const comp::Executable &plain, arch::Emulator &b,
     return "";
 }
 
+/**
+ * Layer 5: the tier-0 interpreter against the tier-1 translation
+ * cache over the same binary. Unlike the E-DVI lockstep, both sides
+ * run identical code, so the record streams must match one for one
+ * — kills included — and every stats counter and architectural bit
+ * must agree at the end. The cached side is driven through
+ * stepBatch (the path the timing core uses); the reference through
+ * step(), which never translates.
+ */
+std::string
+tierLockstep(const comp::Executable &exe, const OracleOptions &opts)
+{
+    arch::EmulatorOptions iopts = emuOpts(true, opts.lvmStackDepth);
+    iopts.tier = arch::ExecTier::Interp;
+    arch::EmulatorOptions xopts = iopts;
+    xopts.tier = arch::ExecTier::Xlate;
+    arch::Emulator a(exe, iopts);
+    arch::Emulator b(exe, xopts);
+
+    arch::TraceRecord ta;
+    arch::TraceRecord buf[128];
+    std::uint64_t n = 0;
+    while (n < opts.maxProgInsts) {
+        const std::size_t want =
+            std::min<std::uint64_t>(128, opts.maxProgInsts - n);
+        const std::size_t got = b.stepBatch(buf, want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i, ++n) {
+            const arch::TraceRecord &tb = buf[i];
+            if (!a.step(&ta)) {
+                return "tier: interpreter halted at record #" +
+                       std::to_string(n) +
+                       ", translation cache still running (" +
+                       describeInst(tb) + ")";
+            }
+            if (ta.pc != tb.pc || ta.inst.op != tb.inst.op) {
+                return "tier: stream diverges at record #" +
+                       std::to_string(n) + ": interpreter " +
+                       describeInst(ta) + " vs cached " +
+                       describeInst(tb);
+            }
+            if (ta.effAddr != tb.effAddr) {
+                return "tier: effective address diverges at record "
+                       "#" +
+                       std::to_string(n) + " (" + describeInst(ta) +
+                       "): " + std::to_string(ta.effAddr) + " vs " +
+                       std::to_string(tb.effAddr);
+            }
+            if (ta.taken != tb.taken) {
+                return "tier: branch outcome diverges at record #" +
+                       std::to_string(n) + " (" + describeInst(ta) +
+                       ")";
+            }
+            if (ta.nextPc != tb.nextPc) {
+                return "tier: next pc diverges at record #" +
+                       std::to_string(n) + " (" + describeInst(ta) +
+                       "): " + std::to_string(ta.nextPc) + " vs " +
+                       std::to_string(tb.nextPc);
+            }
+        }
+        // The dead-read detector must fire identically; checked at
+        // batch (<= block-length) granularity, then exactly below.
+        if (a.stats().deadReads != b.stats().deadReads) {
+            return "tier: dead-read counts diverge after record #" +
+                   std::to_string(n) + ": " +
+                   std::to_string(a.stats().deadReads) + " vs " +
+                   std::to_string(b.stats().deadReads);
+        }
+        if (b.halted())
+            break;
+    }
+    if (b.halted() && a.step(nullptr))
+        return "tier: translation cache halted, interpreter still "
+               "running";
+
+    if (a.faulted() != b.faulted() ||
+        (a.faulted() && a.faultPc() != b.faultPc())) {
+        return "tier: fault state diverges (interpreter " +
+               std::string(a.faulted() ? "faulted" : "clean") +
+               " at pc " + std::to_string(a.faultPc()) +
+               ", cached " +
+               std::string(b.faulted() ? "faulted" : "clean") +
+               " at pc " + std::to_string(b.faultPc()) + ")";
+    }
+
+    const arch::EmulatorStats &sa = a.stats();
+    const arch::EmulatorStats &sb = b.stats();
+#define DVI_TIER_STAT(f)                                            \
+    if (sa.f != sb.f)                                               \
+        return std::string("tier: stats." #f " diverges: ") +       \
+               std::to_string(sa.f) + " vs " + std::to_string(sb.f);
+    DVI_TIER_STAT(insts)
+    DVI_TIER_STAT(progInsts)
+    DVI_TIER_STAT(kills)
+    DVI_TIER_STAT(aluOps)
+    DVI_TIER_STAT(memRefs)
+    DVI_TIER_STAT(loads)
+    DVI_TIER_STAT(stores)
+    DVI_TIER_STAT(calls)
+    DVI_TIER_STAT(returns)
+    DVI_TIER_STAT(condBranches)
+    DVI_TIER_STAT(takenBranches)
+    DVI_TIER_STAT(fpOps)
+    DVI_TIER_STAT(saves)
+    DVI_TIER_STAT(restores)
+    DVI_TIER_STAT(saveElimOracle)
+    DVI_TIER_STAT(restoreElimOracle)
+    DVI_TIER_STAT(deadReads)
+    DVI_TIER_STAT(firstDeadReadPc)
+    DVI_TIER_STAT(firstDeadReadReg)
+    DVI_TIER_STAT(maxCallDepth)
+#undef DVI_TIER_STAT
+
+    // Bitwise architectural end state. Same binary on both sides,
+    // so ra is included (unlike the cross-binary lockstep layer).
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r) {
+        if (a.intReg(r) != b.intReg(r)) {
+            return "tier: " + isa::intRegName(r) + " diverges: " +
+                   std::to_string(a.intReg(r)) + " vs " +
+                   std::to_string(b.intReg(r));
+        }
+    }
+    for (RegIndex r = 0; r < isa::numFpRegs; ++r) {
+        if (bitCast<std::int64_t>(a.fpReg(r)) !=
+            bitCast<std::int64_t>(b.fpReg(r)))
+            return "tier: " + isa::fpRegName(r) + " diverges";
+    }
+    if (a.lvm().mask().raw() != b.lvm().mask().raw())
+        return "tier: LVM diverges";
+    if (a.fpLive().raw() != b.fpLive().raw())
+        return "tier: FP liveness diverges";
+    for (unsigned w = 0; w < exe.globalWords; ++w) {
+        const Addr addr = exe.globalBase + 8ull * w;
+        if (a.memory().read(addr) != b.memory().read(addr))
+            return "tier: global word " + std::to_string(w) +
+                   " diverges";
+    }
+    if (a.resultHash() != b.resultHash())
+        return "tier: result hash diverges";
+    return "";
+}
+
 /** Layer 4: the timing core's commit stream against the functional
  * LVM oracle `b` (the candidate emulator from the lockstep run). */
 std::string
@@ -327,6 +471,12 @@ runOracle(const prog::Module &mod, const OracleOptions &opts)
 
     if (opts.runCore) {
         err = coreLayer(edvi, edvi_emu, opts, rep);
+        if (!err.empty())
+            return fail(std::move(err));
+    }
+
+    if (opts.runTierLockstep) {
+        err = tierLockstep(edvi, opts);
         if (!err.empty())
             return fail(std::move(err));
     }

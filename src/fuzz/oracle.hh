@@ -5,7 +5,7 @@
  * compiler errors"; killing dead values must never change what a
  * program computes).
  *
- * One program is run through up to five layers, cheapest first, and
+ * One program is run through up to six layers, cheapest first, and
  * the first disagreement is reported:
  *
  *  0. static: every kill mask in the binary names only machine-dead
@@ -25,7 +25,15 @@
  *     equal committed counts, equal squash decisions
  *     (saves/restores eliminated exactly match the functional LVM
  *     oracle), and a final architectural state identical to the
- *     lockstep emulator's.
+ *     lockstep emulator's;
+ *  5. tier lockstep: the tier-0 interpreter against the tier-1
+ *     basic-block translation cache over the same E-DVI binary —
+ *     record-for-record pc / opcode / effective-address /
+ *     branch-outcome / next-pc diff (kills included: same binary,
+ *     so the streams must match one for one), dead-read counts at
+ *     every batch boundary, then full EmulatorStats equality
+ *     (firstDeadReadPc/Reg included) and a bitwise architectural
+ *     end-state compare.
  *
  * A FaultSpec corrupts one kill mask in the compiled binary
  * (test-only fault injection) to prove the oracle actually detects
@@ -69,6 +77,7 @@ struct OracleOptions
     bool staticCheck = true;   ///< layer 0
     bool runDense = true;      ///< lockstep the Dense binary too
     bool runCore = true;       ///< layer 4
+    bool runTierLockstep = true;  ///< layer 5
     FaultSpec fault;
 };
 

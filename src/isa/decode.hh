@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Decode-once helpers for the translation tier (arch/xlate).
+ *
+ * The basic-block translator pre-resolves, per instruction, the
+ * facts the interpreter re-derives on every dynamic visit. The most
+ * delicate of these is the dead-read probe order: the emulator's
+ * firstDeadReadPc/Reg diagnostics depend on exactly which register
+ * is checked first, so the list baked into a micro-op must replicate
+ * the interpreter's checkRead call sequence instruction for
+ * instruction (tests/emulator_translate_test.cc locks this down, and
+ * the fuzz oracle's tier-lockstep layer diffs it dynamically).
+ */
+
+#ifndef DVI_ISA_DECODE_HH
+#define DVI_ISA_DECODE_HH
+
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace dvi
+{
+namespace isa
+{
+
+/**
+ * Integer registers the emulator's dead-read detector probes for
+ * this instruction, in the exact order arch::Emulator::step() issues
+ * its checkRead calls; returns the count (0-2). The hard-wired zero
+ * is excluded here (checkRead ignores it), so a translated block
+ * never probes r0 at run time. Note the asymmetries this preserves:
+ *
+ *  - Store probes the data register (rs2) before the base (rs1),
+ *    because step() checks the stored value ahead of the address
+ *    computation;
+ *  - LiveStore probes only the base: the data register of a callee
+ *    save is deliberately exempt (saving a dead value is exactly
+ *    what the hardware squashes — §5.1);
+ *  - a register read twice (e.g. `add r1, r5, r5`) is probed twice,
+ *    matching the interpreter's dead-read count.
+ */
+inline unsigned
+deadCheckRegs(const Instruction &inst, RegIndex out[2])
+{
+    unsigned n = 0;
+    const auto add = [&](RegIndex r) {
+        if (r != regZero)
+            out[n++] = r;
+    };
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Slt:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        add(inst.rs1);
+        add(inst.rs2);
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+        add(inst.rs1);
+        break;
+      case Opcode::Store:
+        add(inst.rs2);  // data first — see above
+        add(inst.rs1);  // then the base, inside addr_of
+        break;
+      case Opcode::Load:
+      case Opcode::LiveLoad:
+      case Opcode::LiveStore:
+      case Opcode::Fload:
+      case Opcode::Fstore:
+      case Opcode::LvmSave:
+      case Opcode::LvmLoad:
+        add(inst.rs1);  // base address only
+        break;
+      case Opcode::Ret:
+        add(regRa);
+        break;
+      default:
+        // Nop, Halt, Lui, Fadd, Fmul, Jump, Call, Kill: no integer
+        // reads subject to the dead-read check.
+        break;
+    }
+    return n;
+}
+
+/** True when `inst` ends a translated basic block: every control
+ * transfer plus Halt. Kills and LVM spills flow through — a block
+ * may span them, which is what makes pre-baked kill masks pay. */
+inline bool
+endsBlock(const Instruction &inst)
+{
+    return inst.isControl() || inst.isHalt();
+}
+
+} // namespace isa
+} // namespace dvi
+
+#endif // DVI_ISA_DECODE_HH

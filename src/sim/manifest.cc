@@ -19,6 +19,16 @@ edviPolicyTokenMap()
     return tokens;
 }
 
+const fields::EnumTokens<arch::ExecTier> &
+execTierTokenMap()
+{
+    static const fields::EnumTokens<arch::ExecTier> tokens = {
+        {"interp", arch::ExecTier::Interp},
+        {"xlate", arch::ExecTier::Xlate},
+    };
+    return tokens;
+}
+
 const fields::EnumTokens<workload::BenchmarkId> &
 benchmarkTokenMap()
 {
@@ -119,6 +129,9 @@ describeFields(fields::FieldSet &fs, const std::string &prefix,
     fs.bindBool(prefix + "honorIdvi", o.honorIdvi);
     fs.bindUnsigned(prefix + "lvmStackDepth", o.lvmStackDepth);
     fs.bindBool(prefix + "strictDeadReads", o.strictDeadReads);
+    // Throughput-only knob (tiers are proven bit-identical); bound
+    // so `--set emu.tier=interp` A/Bs the translation cache.
+    fs.bindEnum(prefix + "tier", o.tier, execTierTokenMap());
 }
 
 void

@@ -82,6 +82,9 @@ fields::FieldSet scenarioFields(Scenario &s);
 /** Token map for comp::EdviPolicy ("none" / "callsites" / "dense"). */
 const fields::EnumTokens<comp::EdviPolicy> &edviPolicyTokenMap();
 
+/** "interp" / "xlate" (arch::ExecTier). */
+const fields::EnumTokens<arch::ExecTier> &execTierTokenMap();
+
 /** Token map for workload::BenchmarkId (paper reporting order). */
 const fields::EnumTokens<workload::BenchmarkId> &benchmarkTokenMap();
 

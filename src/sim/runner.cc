@@ -75,6 +75,7 @@ class TimingRunner : public Runner
     {
         uarch::CoreConfig cfg = s.hardware.core;
         cfg.dvi = s.hardware.dvi;
+        cfg.emuTier = s.emu.tier;
         cfg.maxInsts = cappedInsts(s.budget);
         cfg.cancel = currentCancel();
         // Mid-run sampling rides the scoped (per-campaign, else

@@ -46,7 +46,7 @@ Core::Core(const comp::Executable &exe, const CoreConfig &config)
     : exe(exe), cfg(config),
       emu(exe,
           arch::EmulatorOptions{/*trackLiveness=*/false, true, true, 0,
-                                false}),
+                                false, false, config.emuTier}),
       renamer(cfg.numPhysRegs), lvm(isa::abiEntryLiveMask()),
       lvmStack_(cfg.dvi.lvmStackDepth),
       pregReadyAt(cfg.numPhysRegs, 0),

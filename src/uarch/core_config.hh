@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "arch/xlate.hh"
 #include "mem/cache.hh"
 #include "predictor/branch_predictor.hh"
 
@@ -86,6 +87,14 @@ struct CoreConfig
     unsigned memLatency = 60;
 
     predictor::PredictorParams bp;
+
+    /** Execution tier of the internal functional emulator feeding
+     * the fetch stage (sim/scenario.hh's emu.tier; the timing
+     * runner copies it here so one `--set emu.tier=...` axis A/Bs
+     * both the functional and the timing paths). Either tier
+     * produces bit-identical traces — this is a throughput knob,
+     * never a results axis. */
+    arch::ExecTier emuTier = arch::ExecTier::Xlate;
 
     /** Stop after this many committed program instructions (0: run
      * to completion). */

@@ -3,13 +3,22 @@
 baseline and fail on a large throughput regression.
 
 Usage:
-    tools/check_bench.py CURRENT.json BASELINE.json [--max-regression 0.30]
+    tools/check_bench.py CURRENT.json BASELINE.json \
+        [--max-regression 0.30] [--min-tier-speedup 0]
 
 Compares total simulated-instructions-per-second. The threshold is
 deliberately loose (30% by default): the baseline was recorded on one
 machine and CI runners differ, so this is a smoke test for large
 regressions (an accidental O(window) scan creeping back into the
-timing core), not a microbenchmark.
+timing core), not a microbenchmark. The total covers the timing rows
+only, so adding, removing, or rescaling functional-tier rows is a
+reported step change (the per-scenario table marks rows "(new)" or
+"(gone)"), never a spurious regression in the gate.
+
+--min-tier-speedup additionally gates the report's functional-tier
+ratio (tier.speedup: translation-cache insts/sec over interpreter
+insts/sec on the same oracle rows). 0 disables the gate; reports
+that predate the tier rows pass it vacuously.
 
 Exit status: 0 OK, 1 regression, 2 unusable input (missing or
 malformed report/baseline) — always with a one-line explanation, so
@@ -58,8 +67,9 @@ def total_ips(doc, path, role):
 
 
 def scenario_ips(doc):
-    """Map (benchmark, preset) -> instsPerSec from the report's
-    per-scenario rows; empty when the report predates them."""
+    """Map (benchmark, preset-or-label) -> instsPerSec from the
+    report's per-scenario rows; empty when the report predates
+    them."""
     rows = doc.get("scenarios")
     out = {}
     if not isinstance(rows, list):
@@ -75,6 +85,19 @@ def scenario_ips(doc):
                 not isinstance(ips, bool)):
             out[(bench, preset)] = float(ips)
     return out
+
+
+def tier_speedup(doc):
+    """The functional-tier speedup (tier.speedup), or None when the
+    report has no tier rows."""
+    tier = doc.get("tier")
+    if not isinstance(tier, dict):
+        return None
+    speedup = tier.get("speedup")
+    if (not isinstance(speedup, numbers.Real) or
+            isinstance(speedup, bool) or speedup <= 0):
+        return None
+    return float(speedup)
 
 
 def print_scenario_deltas(cur, base):
@@ -110,6 +133,10 @@ def main():
     p.add_argument("--max-regression", type=float, default=0.30,
                    help="maximum allowed fractional drop in total "
                         "insts/sec (default 0.30)")
+    p.add_argument("--min-tier-speedup", type=float, default=0.0,
+                   help="minimum required functional-tier speedup "
+                        "(tier.speedup: translation cache over "
+                        "interpreter); 0 disables (default)")
     args = p.parse_args()
 
     cur = load_report(args.current, "current report")
@@ -145,10 +172,25 @@ def main():
 
     print_scenario_deltas(cur, base)
 
+    cur_speedup = tier_speedup(cur)
+    base_speedup = tier_speedup(base)
+    if cur_speedup is not None:
+        against = (f" (baseline {base_speedup:.2f}x)"
+                   if base_speedup is not None else "")
+        print(f"functional tier speedup: {cur_speedup:.2f}x"
+              f"{against}")
+
     if ratio < 1.0 - args.max_regression:
         print(f"FAIL: throughput regressed by "
               f"{100 * (1 - ratio):.1f}% "
               f"(> {100 * args.max_regression:.0f}% allowed)",
+              file=sys.stderr)
+        return 1
+    if args.min_tier_speedup > 0 and cur_speedup is not None and \
+            cur_speedup < args.min_tier_speedup:
+        print(f"FAIL: functional tier speedup {cur_speedup:.2f}x "
+              f"is below the required "
+              f"{args.min_tier_speedup:.2f}x",
               file=sys.stderr)
         return 1
     print("OK")
